@@ -1,0 +1,217 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table I, Figs. 5-9, Fig. 12), runs the ablation benches
+   from DESIGN.md, and measures the hot paths with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig5 fig7 # a subset
+     dune exec bench/main.exe -- micro     # only the microbenchmarks
+
+   Scale via environment (documented in README):
+     MIFO_ASES, MIFO_SEED, MIFO_FLOWS, MIFO_RATE, MIFO_DESTS,
+     MIFO_TESTBED_MB, MIFO_TESTBED_FLOWS *)
+
+module Exp = Mifo_exp.Experiments
+module Ablations = Mifo_exp.Ablations
+module Context = Mifo_exp.Context
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> (match float_of_string_opt v with Some f -> f | None -> default)
+  | None -> default
+
+let seed = env_int "MIFO_SEED" 42
+
+let scale =
+  {
+    Context.default_scale with
+    Context.flows = env_int "MIFO_FLOWS" Context.default_scale.Context.flows;
+    arrival_rate = env_float "MIFO_RATE" Context.default_scale.Context.arrival_rate;
+    dest_samples = env_int "MIFO_DESTS" Context.default_scale.Context.dest_samples;
+  }
+
+let params =
+  let d = Mifo_topology.Generator.default_params in
+  { d with Mifo_topology.Generator.ases = env_int "MIFO_ASES" d.Mifo_topology.Generator.ases }
+
+let testbed_config =
+  {
+    Mifo_testbed.Testbed.default_config with
+    Mifo_testbed.Testbed.flow_bytes = env_int "MIFO_TESTBED_MB" 10 * 1_000_000;
+    flows_per_source = env_int "MIFO_TESTBED_FLOWS" 30;
+  }
+
+let context = lazy (Context.create ~params ~scale ~seed ())
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Printf.printf "%s\n[%s regenerated in %.1fs]\n\n%!" result name
+    (Unix.gettimeofday () -. t0)
+
+let table1 () = timed "Table I" (fun () -> Exp.Table1.render (Exp.Table1.run (Lazy.force context)))
+let fig5 () = timed "Fig. 5" (fun () -> Exp.Throughput.render_fig5 (Exp.Throughput.fig5 (Lazy.force context)))
+let fig6 () = timed "Fig. 6" (fun () -> Exp.Throughput.render_fig6 (Exp.Throughput.fig6 (Lazy.force context)))
+let fig7 () = timed "Fig. 7" (fun () -> Exp.Fig7.render (Exp.Fig7.run (Lazy.force context)))
+let fig8 () = timed "Fig. 8" (fun () -> Exp.Fig8.render (Exp.Fig8.run (Lazy.force context)))
+let fig9 () = timed "Fig. 9" (fun () -> Exp.Fig9.render (Exp.Fig9.run (Lazy.force context)))
+let fig12 () = timed "Fig. 12" (fun () -> Exp.Fig12.render (Exp.Fig12.run ~config:testbed_config ()))
+
+let ablations () =
+  let ctx = Lazy.force context in
+  timed "Ablation: tag-check (Fig. 2a gadget)" (fun () ->
+      Ablations.Tag_check.render ~label:"Fig. 2(a) gadget"
+        (Ablations.Tag_check.run_gadget ()));
+  timed "Ablation: tag-check (generated topology)" (fun () ->
+      Ablations.Tag_check.render ~label:"generated topology"
+        (Ablations.Tag_check.run ctx));
+  timed "Ablation: IP-in-IP" (fun () ->
+      let config = { testbed_config with Mifo_testbed.Testbed.flows_per_source = 5 } in
+      Ablations.Encap.render (Ablations.Encap.run ~config ()));
+  timed "Ablation: selection rule" (fun () ->
+      Ablations.Selection.render (Ablations.Selection.run ctx));
+  timed "Ablation: control-plane overhead" (fun () ->
+      Ablations.Overhead.render (Ablations.Overhead.run ctx));
+  timed "Ablation: convergence dynamics" (fun () ->
+      Ablations.Convergence.render (Ablations.Convergence.run ctx));
+  timed "Ablation: failure recovery" (fun () ->
+      Ablations.Failure.render (Ablations.Failure.run ctx));
+  timed "Ablation: threshold sweep" (fun () ->
+      Ablations.Threshold.render (Ablations.Threshold.run ctx))
+
+(* --- Bechamel microbenchmarks of the hot paths ------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  Gc.compact ();
+  let ctx = Lazy.force context in
+  let g = Context.graph ctx in
+  let n = Mifo_topology.As_graph.n g in
+  let table = ctx.Context.table in
+  let rt = Mifo_bgp.Routing_table.get table (n / 2) in
+  (* A FIB with a realistic number of prefixes. *)
+  let fib = Mifo_core.Fib.create () in
+  for asn = 0 to Stdlib.min 4095 (n - 1) do
+    Mifo_core.Fib.insert fib (Mifo_bgp.Prefix.of_as asn) ~out_port:(asn mod 8)
+      ~alt_port:((asn + 1) mod 8) ()
+  done;
+  let dst = Mifo_bgp.Prefix.host_of_as (n / 2) 1 in
+  let env =
+    {
+      Mifo_core.Engine.router_id = 0;
+      fib;
+      port_kind =
+        (fun p ->
+          if p = 7 then Mifo_core.Engine.Local
+          else
+            Mifo_core.Engine.Ebgp
+              { neighbor_as = p; rel = Mifo_topology.Relationship.Customer });
+      is_congested = (fun p -> p = 1);
+      next_hop_router = (fun _ -> None);
+    }
+  in
+  let packet = Mifo_core.Packet.make ~src:(Mifo_bgp.Prefix.host_of_as 1 1) ~dst ~flow:7 () in
+  let deployment = Mifo_core.Deployment.full ~n in
+  let tests =
+    [
+      Test.make ~name:"fib-lookup" (Staged.stage (fun () -> Mifo_core.Fib.lookup fib dst));
+      (let trie =
+         let t = ref Mifo_bgp.Lpm_trie.empty in
+         for asn = 0 to Stdlib.min 4095 (n - 1) do
+           t := Mifo_bgp.Lpm_trie.add (Mifo_bgp.Prefix.of_as asn) (asn mod 8) !t
+         done;
+         !t
+       in
+       Test.make ~name:"lpm-trie-lookup"
+         (Staged.stage (fun () -> Mifo_bgp.Lpm_trie.lookup dst trie)));
+
+      Test.make ~name:"engine-forward"
+        (Staged.stage (fun () -> Mifo_core.Engine.forward env ~ingress:(Some 3) packet));
+      Test.make ~name:"route-computation-per-dest"
+        (Staged.stage (fun () -> Mifo_bgp.Routing.compute g 17));
+      Test.make ~name:"rib-enumeration"
+        (Staged.stage (fun () -> Mifo_bgp.Routing.rib rt (n / 3)));
+      Test.make ~name:"path-count-dp-per-dest"
+        (Staged.stage (fun () ->
+             Mifo_bgp.Path_count.mifo_counts g rt
+               ~capable:(Mifo_core.Deployment.to_fun deployment)));
+      Test.make ~name:"tag-check"
+        (Staged.stage (fun () ->
+             Mifo_core.Policy.check ~tag:true ~downstream:Mifo_topology.Relationship.Peer));
+    ]
+  in
+  let measure test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name ols ->
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> Printf.printf "%-34s %12.1f ns/op\n%!" name est
+        | Some _ | None -> Printf.printf "%-34s (no estimate)\n%!" name)
+      results
+  in
+  Printf.printf "== Microbenchmarks (monotonic clock) ==\n%!";
+  List.iter measure tests;
+  (* the global-table-sized FIB (the paper's 500K-prefix scale) is
+     measured separately: its hundreds of MB of live data would distort
+     the small benches' GC behaviour *)
+  let rng = Mifo_util.Prng.create ~seed:99 () in
+  let table = Mifo_bgp.Prefix_table.generate rng ~size:500_000 in
+  let big_fib = Mifo_core.Fib.create () in
+  Array.iter
+    (fun (prefix, next_hop) ->
+      Mifo_core.Fib.insert big_fib prefix ~out_port:next_hop ())
+    table;
+  let big_trie = Mifo_bgp.Prefix_table.load_trie table in
+  let probe = (fst table.(123_456)).Mifo_bgp.Prefix.network in
+  measure
+    (Test.make ~name:"fib-lookup-500k-prefixes"
+       (Staged.stage (fun () -> Mifo_core.Fib.lookup big_fib probe)));
+  measure
+    (Test.make ~name:"lpm-trie-lookup-500k-prefixes"
+       (Staged.stage (fun () -> Mifo_bgp.Lpm_trie.lookup probe big_trie)));
+  print_newline ()
+
+let validate () =
+  timed "Validation: flow-level vs packet-level"
+    (fun () -> Mifo_exp.Validation.render (Mifo_exp.Validation.run ~seed ()))
+
+(* [micro] runs first by default: the later experiments grow the heap by
+   hundreds of MB, which would distort nanosecond-scale measurements. *)
+let registry =
+  [
+    ("micro", micro);
+    ("table1", table1);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig12", fig12);
+    ("ablations", ablations);
+    ("validate", validate);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst registry
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name registry with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown bench %S; available: %s\n" name
+          (String.concat ", " (List.map fst registry));
+        exit 2)
+    requested

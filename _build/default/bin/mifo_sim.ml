@@ -1,0 +1,250 @@
+(* mifo-sim: command-line driver for the MIFO reproduction.
+
+   Every experiment of the paper is exposed as a subcommand with the
+   scale knobs as flags, so any figure can be regenerated at any size:
+
+     mifo-sim table1 --ases 44340
+     mifo-sim fig5 --flows 10000 --rate 4000
+     mifo-sim fig12 --megabytes 100 --flows-per-source 30
+     mifo-sim topo --out topo.as-rel
+     mifo-sim paths --src 100 --dst 7 *)
+
+open Cmdliner
+module Exp = Mifo_exp.Experiments
+module Ablations = Mifo_exp.Ablations
+module Context = Mifo_exp.Context
+module Generator = Mifo_topology.Generator
+
+(* ---- common options ---------------------------------------------------- *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let ases_t =
+  Arg.(
+    value
+    & opt int Generator.default_params.Generator.ases
+    & info [ "ases" ] ~docv:"N" ~doc:"Number of ASes in the generated topology.")
+
+let topo_file_t =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "topo" ] ~docv:"FILE"
+        ~doc:"Load the AS topology from a CAIDA as-rel file instead of generating one.")
+
+let flows_t =
+  Arg.(
+    value
+    & opt int Context.default_scale.Context.flows
+    & info [ "flows" ] ~docv:"N" ~doc:"Number of flows in throughput experiments.")
+
+let rate_t =
+  Arg.(
+    value
+    & opt float Context.default_scale.Context.arrival_rate
+    & info [ "rate" ] ~docv:"R" ~doc:"Poisson flow arrival rate (flows/second).")
+
+let dests_t =
+  Arg.(
+    value
+    & opt int Context.default_scale.Context.dest_samples
+    & info [ "dests" ] ~docv:"N" ~doc:"Destinations sampled for Fig. 7 path counts.")
+
+let make_context seed ases topo_file flows rate dests =
+  let scale =
+    {
+      Context.default_scale with
+      Context.flows;
+      arrival_rate = rate;
+      dest_samples = dests;
+    }
+  in
+  match topo_file with
+  | Some path ->
+    let loaded = Mifo_topology.As_rel_io.load path in
+    let topo =
+      {
+        Generator.graph = loaded.Mifo_topology.As_rel_io.graph;
+        roles =
+          Array.make (Mifo_topology.As_graph.n loaded.Mifo_topology.As_rel_io.graph)
+            Generator.Stub;
+        content = [||];
+      }
+    in
+    Context.of_graph ~scale ~seed topo
+  | None ->
+    let params = { Generator.default_params with Generator.ases } in
+    Context.create ~params ~scale ~seed ()
+
+let context_t = Term.(const make_context $ seed_t $ ases_t $ topo_file_t $ flows_t $ rate_t $ dests_t)
+
+let csv_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:"Also dump the figure's raw data as CSV files into $(docv).")
+
+let write_csv dir files =
+  match dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (name, contents) ->
+        let path = Filename.concat dir name in
+        Mifo_util.Csv.write_file path contents;
+        Printf.printf "wrote %s
+" path)
+      files
+
+let run_and_print render = print_string render
+
+(* ---- subcommands ------------------------------------------------------- *)
+
+let cmd_of name ~doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun ctx -> run_and_print (f ctx)) $ context_t)
+
+(* a figure command with CSV export: [f ctx] returns (rendered, csv files) *)
+let fig_cmd name ~doc f =
+  let run ctx csv =
+    let rendered, files = f ctx in
+    print_string rendered;
+    write_csv csv files
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ context_t $ csv_t)
+
+let table1_cmd =
+  cmd_of "table1" ~doc:"Regenerate Table I (topology attributes)." (fun ctx ->
+      Exp.Table1.render (Exp.Table1.run ctx))
+
+let fig5_cmd =
+  fig_cmd "fig5" ~doc:"Regenerate Fig. 5 (throughput CDFs, uniform traffic)." (fun ctx ->
+      let panels = Exp.Throughput.fig5 ctx in
+      (Exp.Throughput.render_fig5 panels, Exp.Throughput.fig5_to_csv panels))
+
+let fig6_cmd =
+  fig_cmd "fig6" ~doc:"Regenerate Fig. 6 (throughput CDFs, power-law traffic)."
+    (fun ctx ->
+      let panels = Exp.Throughput.fig6 ctx in
+      (Exp.Throughput.render_fig6 panels, Exp.Throughput.fig6_to_csv panels))
+
+let fig7_cmd =
+  fig_cmd "fig7" ~doc:"Regenerate Fig. 7 (available paths per AS pair)." (fun ctx ->
+      let t = Exp.Fig7.run ctx in
+      (Exp.Fig7.render t, [ ("fig7.csv", Exp.Fig7.to_csv t) ]))
+
+let fig8_cmd =
+  fig_cmd "fig8" ~doc:"Regenerate Fig. 8 (traffic offload vs deployment)." (fun ctx ->
+      let t = Exp.Fig8.run ctx in
+      (Exp.Fig8.render t, [ ("fig8.csv", Exp.Fig8.to_csv t) ]))
+
+let fig9_cmd =
+  fig_cmd "fig9" ~doc:"Regenerate Fig. 9 (path-switch distribution)." (fun ctx ->
+      let t = Exp.Fig9.run ctx in
+      (Exp.Fig9.render t, [ ("fig9.csv", Exp.Fig9.to_csv t) ]))
+
+let fig12_cmd =
+  let mb_t =
+    Arg.(value & opt int 10 & info [ "megabytes" ] ~docv:"MB" ~doc:"Flow size (paper: 100).")
+  in
+  let fps_t =
+    Arg.(
+      value & opt int 30
+      & info [ "flows-per-source" ] ~docv:"N" ~doc:"Back-to-back flows per source (paper: 30).")
+  in
+  let run mb fps csv =
+    let config =
+      {
+        Mifo_testbed.Testbed.default_config with
+        Mifo_testbed.Testbed.flow_bytes = mb * 1_000_000;
+        flows_per_source = fps;
+      }
+    in
+    let t = Exp.Fig12.run ~config () in
+    print_string (Exp.Fig12.render t);
+    write_csv csv (Exp.Fig12.to_csv t)
+  in
+  Cmd.v
+    (Cmd.info "fig12" ~doc:"Regenerate Fig. 12 (testbed: aggregate throughput and FCT).")
+    Term.(const run $ mb_t $ fps_t $ csv_t)
+
+let ablations_cmd =
+  cmd_of "ablations" ~doc:"Run the design-choice ablation benches." (fun ctx ->
+      String.concat "\n"
+        [
+          Ablations.Tag_check.render ~label:"Fig. 2(a) gadget" (Ablations.Tag_check.run_gadget ());
+          Ablations.Tag_check.render ~label:"generated topology" (Ablations.Tag_check.run ctx);
+          Ablations.Selection.render (Ablations.Selection.run ctx);
+          Ablations.Overhead.render (Ablations.Overhead.run ctx);
+          Ablations.Convergence.render (Ablations.Convergence.run ctx);
+          Ablations.Failure.render (Ablations.Failure.run ctx);
+          Ablations.Threshold.render (Ablations.Threshold.run ctx);
+        ])
+
+let validate_cmd =
+  let run seed ases flows =
+    print_string
+      (Mifo_exp.Validation.render (Mifo_exp.Validation.run ~ases ~flows ~seed ()))
+  in
+  let v_ases = Arg.(value & opt int 150 & info [ "ases" ] ~docv:"N" ~doc:"Topology size.") in
+  let v_flows = Arg.(value & opt int 24 & info [ "flows" ] ~docv:"N" ~doc:"Flows.") in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Cross-validate the flow-level and packet-level simulators on one scenario.")
+    Term.(const run $ seed_t $ v_ases $ v_flows)
+
+let topo_cmd =
+  let out_t =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run seed ases out =
+    let params = { Generator.default_params with Generator.ases } in
+    let topo = Generator.generate ~params ~seed () in
+    Mifo_topology.As_rel_io.save out topo.Generator.graph;
+    Printf.printf "wrote %s: %s\n" out
+      (Format.asprintf "%a" Mifo_topology.Topo_stats.pp
+         (Mifo_topology.Topo_stats.compute topo.Generator.graph))
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Generate a topology and save it in as-rel format.")
+    Term.(const run $ seed_t $ ases_t $ out_t)
+
+let paths_cmd =
+  let src_t = Arg.(required & opt (some int) None & info [ "src" ] ~docv:"AS" ~doc:"Source AS.") in
+  let dst_t = Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"AS" ~doc:"Destination AS.") in
+  let limit_t = Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc:"Paths to list.") in
+  let run ctx src dst limit =
+    let g = Context.graph ctx in
+    let rt = Mifo_bgp.Routing_table.get ctx.Context.table dst in
+    let show path = String.concat " -> " (List.map string_of_int path) in
+    Printf.printf "default path: %s\n" (show (Mifo_bgp.Routing.default_path rt src));
+    Printf.printf "local RIB at AS %d toward AS %d:\n" src dst;
+    List.iter
+      (fun (e : Mifo_bgp.Routing.rib_entry) ->
+        Printf.printf "  via AS %-6d (%s route, %d AS hops)\n" e.via
+          (Mifo_topology.Relationship.to_string e.rel)
+          e.len)
+      (Mifo_bgp.Routing.rib rt src);
+    let paths =
+      Mifo_bgp.Path_count.enumerate_mifo_paths g rt ~capable:(fun _ -> true) ~src ~limit
+    in
+    Printf.printf "first %d MIFO forwarding paths (of %.0f):\n" (List.length paths)
+      (Mifo_bgp.Path_count.mifo_counts g rt ~capable:(fun _ -> true)).(src);
+    List.iter (fun p -> Printf.printf "  %s\n" (show p)) paths
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Inspect the RIB and MIFO path diversity of an AS pair.")
+    Term.(const run $ context_t $ src_t $ dst_t $ limit_t)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "mifo-sim" ~version:"1.0.0"
+       ~doc:"Multi-path Interdomain Forwarding (MIFO, ICPP 2015) - simulation driver.")
+    [
+      table1_cmd; fig5_cmd; fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig12_cmd;
+      ablations_cmd; validate_cmd; topo_cmd; paths_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/bgp_convergence.ml: List Mifo_bgp Mifo_topology Printf String

@@ -1,0 +1,1 @@
+examples/content_provider.ml: Array Format Mifo_bgp Mifo_core Mifo_netsim Mifo_topology Mifo_traffic Mifo_util

@@ -1,0 +1,1 @@
+examples/loop_demo.ml: List Mifo_bgp Mifo_core Mifo_topology Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Mifo_bgp Mifo_core Mifo_topology String

@@ -1,0 +1,1 @@
+examples/testbed_demo.ml: Array Format Mifo_netsim Mifo_testbed Mifo_util String

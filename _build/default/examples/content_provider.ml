@@ -1,0 +1,52 @@
+(* Content-provider scenario: the workload from the paper's introduction.
+   Popular content networks (the Google / Facebook role) push heavy,
+   Zipf-skewed traffic toward stub consumers; default BGP paths congest
+   at the providers' egresses while their many peering links sit idle.
+   MIFO spreads the load onto those links at the data plane.
+
+   Run with: dune exec examples/content_provider.exe *)
+
+module Generator = Mifo_topology.Generator
+module Flowsim = Mifo_netsim.Flowsim
+module Deployment = Mifo_core.Deployment
+module Traffic = Mifo_traffic.Traffic
+module Dist = Mifo_util.Dist
+module Table = Mifo_util.Table
+
+let () =
+  let topo = Generator.generate ~seed:5 () in
+  let g = topo.Generator.graph in
+  let n = Mifo_topology.As_graph.n g in
+  let table = Mifo_bgp.Routing_table.create g in
+  let rng = Mifo_util.Prng.create ~seed:17 () in
+  let providers = Traffic.content_provider_ranking g in
+  let flows = Traffic.power_law rng g ~alpha:1.0 ~providers ~count:2_000 ~rate:2_000. () in
+  Format.printf
+    "power-law traffic: %d flows of 10 MB, alpha = 1.0, top producer is AS %d@."
+    (Array.length flows) providers.(0);
+  let summarize label proto =
+    let r = Flowsim.run table proto flows in
+    let cdf = Dist.cdf_of_samples (Array.map (fun x -> x /. 1e6) (Flowsim.throughputs r)) in
+    [
+      label;
+      Table.fmt_percent (Dist.fraction_at_least cdf 500.);
+      Table.fmt_percent (Dist.fraction_at_least cdf 250.);
+      Table.fmt_float (Dist.percentile cdf 50.);
+      Table.fmt_percent r.Flowsim.offload_fraction;
+      Table.fmt_float r.Flowsim.sim_end;
+    ]
+  in
+  let half = Deployment.fraction ~n ~ratio:0.5 ~seed:3 in
+  let rows =
+    [
+      summarize "BGP (single path)" Flowsim.Bgp;
+      summarize "MIRO, 50% deployed" (Flowsim.Miro { deployment = half; cap = 5 });
+      summarize "MIFO, 50% deployed" (Flowsim.Mifo half);
+      summarize "MIFO, 100% deployed" (Flowsim.Mifo (Deployment.full ~n));
+    ]
+  in
+  print_string
+    (Table.render
+       ~header:
+         [ "protocol"; ">=500 Mbps"; ">=250 Mbps"; "median Mbps"; "offloaded"; "drain time (s)" ]
+       ~rows)

@@ -1,0 +1,46 @@
+(* The data-plane loop of Fig. 2(a), and how the Tag-Check breaks it.
+
+   Three ASes (1, 2, 3) peer with each other and share a customer (0).
+   Each uses its direct link to 0 as the default path and a route via a
+   peer as the alternative.  When every default link congests and every
+   AS deflects clockwise, the packet orbits 1 -> 2 -> 3 -> 1 ... forever
+   - unless the valley-free rule runs on the data plane, in which case
+   the second peer-to-peer hop is refused and the packet is dropped
+   before a loop forms (the theorem of Section III-A3).
+
+   Run with: dune exec examples/loop_demo.exe *)
+
+module Generator = Mifo_topology.Generator
+module Routing = Mifo_bgp.Routing
+module Loop_walk = Mifo_core.Loop_walk
+
+let describe = function
+  | Loop_walk.Delivered path ->
+    Printf.sprintf "delivered via %s" (String.concat " -> " (List.map string_of_int path))
+  | Loop_walk.Dropped { path; at; reason } ->
+    Printf.sprintf "dropped at AS %d (%s) after %s" at
+      (match reason with
+       | Loop_walk.Valley -> "valley-free check"
+       | Loop_walk.No_route -> "no route"
+       | Loop_walk.Dead_end -> "dead end")
+      (String.concat " -> " (List.map string_of_int path))
+  | Loop_walk.Looped path ->
+    Printf.sprintf "LOOPED: %s ..." (String.concat " -> " (List.map string_of_int path))
+
+let () =
+  let g = Generator.fig2a_gadget () in
+  let rt = Routing.compute g 0 in
+  (* worst case: every AS considers its direct (default) link to AS 0
+     congested and deflects greedily to a peer *)
+  let congested _ _ = true in
+  let spare _ _ = 1. in
+  let strategy = Loop_walk.congestion_strategy ~congested ~spare in
+  List.iter
+    (fun tag_check ->
+      Printf.printf "tag-check %s:\n" (if tag_check then "ON " else "OFF");
+      List.iter
+        (fun src ->
+          let outcome = Loop_walk.walk ~tag_check g rt ~decide:strategy ~src in
+          Printf.printf "  packet from AS %d: %s\n" src (describe outcome))
+        [ 1; 2; 3 ])
+    [ false; true ]

@@ -1,0 +1,1 @@
+lib/bgp/bgp_proto.ml: Array Hashtbl List Mifo_topology Queue

@@ -1,0 +1,1 @@
+lib/bgp/bgp_proto.mli: Mifo_topology

@@ -1,0 +1,1 @@
+lib/bgp/lpm_trie.mli: Prefix

@@ -1,0 +1,1 @@
+lib/bgp/path_count.ml: Array List Mifo_topology Routing

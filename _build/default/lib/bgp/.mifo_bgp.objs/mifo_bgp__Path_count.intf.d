@@ -1,0 +1,1 @@
+lib/bgp/path_count.mli: Mifo_topology Routing

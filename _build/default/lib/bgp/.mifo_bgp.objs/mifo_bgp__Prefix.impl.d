@@ -1,0 +1,1 @@
+lib/bgp/prefix.ml: Format Int32 Printf Stdlib String

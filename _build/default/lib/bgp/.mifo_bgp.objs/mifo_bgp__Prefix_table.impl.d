@@ -1,0 +1,1 @@
+lib/bgp/prefix_table.ml: Array Hashtbl Int32 List Lpm_trie Mifo_util Prefix

@@ -1,0 +1,1 @@
+lib/bgp/prefix_table.mli: Lpm_trie Mifo_util Prefix

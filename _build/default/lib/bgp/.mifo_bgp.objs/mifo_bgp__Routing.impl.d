@@ -1,0 +1,1 @@
+lib/bgp/routing.ml: Array List Mifo_topology Queue Stack

@@ -1,0 +1,1 @@
+lib/bgp/routing.mli: Mifo_topology

@@ -1,0 +1,1 @@
+lib/bgp/routing_table.ml: Hashtbl Mifo_topology Queue Routing

@@ -1,0 +1,1 @@
+lib/bgp/routing_table.mli: Mifo_topology Routing

@@ -1,0 +1,202 @@
+module As_graph = Mifo_topology.As_graph
+module Relationship = Mifo_topology.Relationship
+
+(* An UPDATE: [path = Some p] announces the AS path [p] (receiver not yet
+   prepended), [None] withdraws the sender's previous announcement. *)
+type update = { from : int; target : int; path : int list option }
+
+type node = {
+  id : int;
+  rib_in : (int, int list) Hashtbl.t;  (* neighbor -> announced path *)
+  mutable selected : (int * int list) option;  (* (via, full path incl. self) *)
+  mutable exported : (int, int list option) Hashtbl.t;
+      (* last thing we told each neighbor, to suppress duplicate UPDATEs *)
+  mutable sent : int;
+}
+
+type t = {
+  graph : As_graph.t;
+  origin : int;
+  nodes : node array;
+  queue : update Queue.t;
+  mutable messages : int;
+  down : (int * int, unit) Hashtbl.t;  (* failed links, unordered pairs *)
+}
+
+let origin t = t.origin
+let converged t = Queue.is_empty t.queue
+let messages_sent t = t.messages
+let announcements_by t v = t.nodes.(v).sent
+
+let selected_path t v =
+  if v = t.origin then None
+  else match t.nodes.(v).selected with Some (_, p) -> Some p | None -> None
+
+let selected_next_hop t v =
+  if v = t.origin then None
+  else match t.nodes.(v).selected with Some (via, _) -> Some via | None -> None
+
+let link_key u v = if u < v then (u, v) else (v, u)
+let link_up t u v = not (Hashtbl.mem t.down (link_key u v))
+
+let live_neighbors t v =
+  Array.to_list (As_graph.neighbors t.graph v) |> List.filter (link_up t v)
+
+let adj_rib_in t v =
+  Hashtbl.fold (fun nb p acc -> (nb, p) :: acc) t.nodes.(v).rib_in []
+  |> List.sort compare
+
+let send t ~from ~target path =
+  let node = t.nodes.(from) in
+  let previous = Hashtbl.find_opt node.exported target in
+  (* suppress no-op UPDATEs: same announcement, or withdrawing a route the
+     neighbor never had *)
+  let is_noop =
+    match (previous, path) with
+    | Some prev, p when prev = p -> true
+    | None, None -> true
+    | _ -> false
+  in
+  if not is_noop then begin
+    Hashtbl.replace node.exported target path;
+    node.sent <- node.sent + 1;
+    t.messages <- t.messages + 1;
+    Queue.add { from; target; path } t.queue
+  end
+
+(* The decision process at [v]: best (class, length, neighbor id) among
+   loop-free adj-RIB-in entries. *)
+let decide t v =
+  let node = t.nodes.(v) in
+  let best = ref None in
+  Hashtbl.iter
+    (fun nb path ->
+      if link_up t v nb && not (List.mem v path) then begin
+        let rel = As_graph.rel_exn t.graph v nb in
+        let key = (Relationship.preference_rank rel, List.length path, nb) in
+        match !best with
+        | Some (k, _, _) when k <= key -> ()
+        | _ -> best := Some (key, nb, path)
+      end)
+    node.rib_in;
+  match !best with Some (_, nb, path) -> Some (nb, v :: path) | None -> None
+
+(* Re-run decision + export at [v]; sends UPDATEs for every neighbor whose
+   view changes. *)
+let refresh t v =
+  let node = t.nodes.(v) in
+  let selection = if v = t.origin then Some (v, [ v ]) else decide t v in
+  node.selected <- (match selection with Some (via, p) when via <> v -> Some (via, p) | _ -> None);
+  let announced_path, learned_rel =
+    match selection with
+    | None -> (None, None)
+    | Some (via, path) ->
+      if v = t.origin then (Some path, Some Relationship.Customer)
+        (* own prefix: exported like a customer route, i.e. to everyone *)
+      else (Some path, Some (As_graph.rel_exn t.graph v via))
+  in
+  List.iter
+    (fun nb ->
+      let nb_rel = As_graph.rel_exn t.graph v nb in
+      let export =
+        match (announced_path, learned_rel) with
+        | Some path, Some learned
+          when Relationship.exports_to ~route_learned_from:learned ~neighbor:nb_rel ->
+          (* never announce back the path we'd immediately loop-reject,
+             matching common sender-side loop avoidance *)
+          if List.mem nb path then None else Some path
+        | _ -> None
+      in
+      send t ~from:v ~target:nb export)
+    (live_neighbors t v)
+
+let create graph ~origin =
+  let n = As_graph.n graph in
+  if origin < 0 || origin >= n then invalid_arg "Bgp_proto.create: origin out of range";
+  let nodes =
+    Array.init n (fun id ->
+        {
+          id;
+          rib_in = Hashtbl.create 4;
+          selected = None;
+          exported = Hashtbl.create 4;
+          sent = 0;
+        })
+  in
+  let t =
+    {
+      graph;
+      origin;
+      nodes;
+      queue = Queue.create ();
+      messages = 0;
+      down = Hashtbl.create 8;
+    }
+  in
+  refresh t origin;
+  t
+
+let step t =
+  match Queue.take_opt t.queue with
+  | None -> false
+  | Some { from; target; path } when not (link_up t from target) ->
+    ignore path;
+    true
+  | Some { from; target; path } ->
+    let node = t.nodes.(target) in
+    (match path with
+     | Some p -> Hashtbl.replace node.rib_in from p
+     | None -> Hashtbl.remove node.rib_in from);
+    let before = node.selected in
+    let selection = if target = t.origin then None else decide t target in
+    let after =
+      match selection with Some (via, p) -> Some (via, p) | None -> None
+    in
+    if before <> after || target = t.origin then begin
+      if target <> t.origin then refresh t target
+    end;
+    true
+
+let fail_link t u v =
+  if As_graph.rel t.graph u v = None then
+    invalid_arg "Bgp_proto.fail_link: not an adjacency";
+  if link_up t u v then begin
+    Hashtbl.replace t.down (link_key u v) ();
+    (* the BGP sessions drop: both ends lose the adj-RIB-in entry and any
+       suppressed-export memory, then rerun decision + export *)
+    let sever a b =
+      Hashtbl.remove t.nodes.(a).rib_in b;
+      Hashtbl.remove t.nodes.(a).exported b
+    in
+    sever u v;
+    sever v u;
+    if u <> t.origin then refresh t u;
+    if v <> t.origin then refresh t v;
+    (* the origin never re-decides, but must still re-export if an
+       endpoint was its neighbor *)
+    if u = t.origin || v = t.origin then refresh t t.origin
+  end
+
+let restore_link t u v =
+  if Hashtbl.mem t.down (link_key u v) then begin
+    Hashtbl.remove t.down (link_key u v);
+    refresh t u;
+    refresh t v;
+    if u = t.origin || v = t.origin then refresh t t.origin
+  end
+
+let unreachable_count t =
+  let count = ref 0 in
+  Array.iteri
+    (fun v node -> if v <> t.origin && node.selected = None then incr count)
+    t.nodes;
+  !count
+
+let run ?(max_messages = 10_000_000) t =
+  let handled = ref 0 in
+  while (not (converged t)) && !handled < max_messages do
+    ignore (step t);
+    incr handled
+  done;
+  if not (converged t) then failwith "Bgp_proto.run: convergence bound exceeded";
+  !handled

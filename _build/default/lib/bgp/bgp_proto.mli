@@ -1,0 +1,78 @@
+(** An event-driven BGP path-vector protocol simulator.
+
+    {!Routing} computes the stable Gao–Rexford solution analytically —
+    that is what the large-scale experiments use.  This module gets to
+    the same place the way real routers do: UPDATE messages carrying full
+    AS paths, per-neighbor adj-RIB-in state, the BGP decision process,
+    loop detection by AS-path inspection, and export filtering.  It
+    exists for three reasons:
+
+    + {b cross-validation} — after convergence the selected routes must
+      agree with {!Routing.compute} (the test suite checks every AS);
+    + {b overhead accounting} — MIFO's "zero overhead" claim (Section
+      II-B) is relative to control-plane multi-path schemes that send
+      extra announcements; this simulator counts messages, so the MIRO
+      comparison in the ablation bench can charge them;
+    + {b convergence experiments} — the paper motivates MIFO with the
+      mismatch between traffic dynamics and slow route convergence;
+      [run] reports how many message events a prefix takes to settle.
+
+    One instance simulates one originated prefix.  Processing is
+    deterministic: messages are handled in FIFO order, so runs are
+    reproducible. *)
+
+type t
+
+val create : Mifo_topology.As_graph.t -> origin:int -> t
+(** The origin announces its prefix to all neighbors; nothing is
+    processed yet. *)
+
+val origin : t -> int
+
+val step : t -> bool
+(** Process one queued UPDATE; [false] when the queue is empty
+    (converged). *)
+
+val run : ?max_messages:int -> t -> int
+(** Process until convergence; returns the number of messages handled.
+    @raise Failure if [max_messages] (default [10_000_000]) is hit —
+    Gao–Rexford topologies always converge, so hitting the bound means
+    the topology violates the hierarchy assumptions. *)
+
+val converged : t -> bool
+
+val selected_path : t -> int -> int list option
+(** The AS path selected at a node, e.g. [[v; ...; origin]]; [None] if
+    the node has no route (or is the origin). *)
+
+val selected_next_hop : t -> int -> int option
+
+val adj_rib_in : t -> int -> (int * int list) list
+(** Per neighbor, the path it most recently announced to us (withdrawn
+    entries omitted), sorted by neighbor id. *)
+
+val messages_sent : t -> int
+(** Total UPDATEs enqueued so far (announcements and withdrawals). *)
+
+val announcements_by : t -> int -> int
+(** UPDATEs a given AS has sent — per-node advertisement load. *)
+
+(** {1 Topology dynamics}
+
+    The paper's motivation is the mismatch between fast traffic dynamics
+    and slow route convergence; these entry points let experiments
+    measure that slowness: fail a link, then count the UPDATEs (and the
+    transiently route-less ASes) it takes BGP to re-converge — while
+    MIFO's data-plane deflection reacts within one forwarding decision. *)
+
+val fail_link : t -> int -> int -> unit
+(** Drop the BGP session over an adjacency: both ends withdraw state and
+    re-run decision + export; in-flight UPDATEs on the link are lost.
+    Idempotent.  @raise Invalid_argument if not an adjacency. *)
+
+val restore_link : t -> int -> int -> unit
+(** Bring a failed link back; both ends re-export. *)
+
+val unreachable_count : t -> int
+(** ASes (origin excluded) currently holding no route — transient
+    black-holing during convergence. *)

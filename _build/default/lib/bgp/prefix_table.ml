@@ -1,0 +1,56 @@
+module Prng = Mifo_util.Prng
+
+(* Approximate length histogram of the 2014 global BGP table (potaroo):
+   /24 dominates, /22 and /23 carry real mass, the short legacy prefixes
+   are rare but present. *)
+let length_distribution =
+  [
+    (8, 0.001); (10, 0.002); (12, 0.004); (13, 0.005); (14, 0.010);
+    (15, 0.015); (16, 0.025); (17, 0.015); (18, 0.025); (19, 0.045);
+    (20, 0.070); (21, 0.075); (22, 0.100); (23, 0.058); (24, 0.550);
+  ]
+
+let () =
+  let total = List.fold_left (fun acc (_, f) -> acc +. f) 0. length_distribution in
+  assert (abs_float (total -. 1.0) < 1e-9)
+
+let generate rng ~size =
+  if size <= 0 then invalid_arg "Prefix_table.generate: size must be positive";
+  let cumulative =
+    let acc = ref 0. in
+    List.map
+      (fun (len, f) ->
+        acc := !acc +. f;
+        (len, !acc))
+      length_distribution
+  in
+  let sample_length () =
+    let u = Prng.float rng 1.0 in
+    let rec pick = function
+      | [ (len, _) ] -> len
+      | (len, c) :: rest -> if u <= c then len else pick rest
+      | [] -> assert false
+    in
+    pick cumulative
+  in
+  let seen = Hashtbl.create (2 * size) in
+  let out = Array.make size (Prefix.make 0l 0, 0) in
+  let filled = ref 0 in
+  while !filled < size do
+    let len = sample_length () in
+    let addr = Int32.of_int (Prng.int rng 0x3FFFFFFF) in
+    let addr = Int32.logor (Int32.shift_left addr 2) 0l in
+    let prefix = Prefix.make addr len in
+    let key = (prefix.Prefix.network, len) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out.(!filled) <- (prefix, Prng.int rng 64);
+      incr filled
+    end
+  done;
+  out
+
+let load_trie entries =
+  Array.fold_left
+    (fun t (prefix, next_hop) -> Lpm_trie.add prefix next_hop t)
+    Lpm_trie.empty entries

@@ -1,0 +1,20 @@
+(** Synthetic-but-realistic BGP prefix tables.
+
+    The paper notes the global table held ~500K prefixes in 2014; the FIB
+    benchmarks should be run against tables of that shape, not a toy.
+    This module samples prefixes with the length mix of the real global
+    table (dominated by /24s, with mass at /22–/19 and the legacy /16s
+    and /8s) over the 10.0.0.0/8-style space the simulators use. *)
+
+val length_distribution : (int * float) list
+(** (prefix length, fraction) — sums to 1.  Approximates the 2014 global
+    table: ~55% /24, with the remainder spread over /8–/23. *)
+
+val generate : Mifo_util.Prng.t -> size:int -> (Prefix.t * int) array
+(** [generate rng ~size] draws [size] distinct prefixes with the length
+    mix of [length_distribution]; the [int] payload is a synthetic
+    next-hop id.  Deterministic in the PRNG state. *)
+
+val load_trie : (Prefix.t * int) array -> int Lpm_trie.t
+(** (The production FIB lives above this library; callers load it with
+    [Mifo_core.Fib.insert] directly.) *)

@@ -1,0 +1,273 @@
+module As_graph = Mifo_topology.As_graph
+module Relationship = Mifo_topology.Relationship
+
+type route_class = Customer_route | Peer_route | Provider_route
+
+let class_rank = function Customer_route -> 0 | Peer_route -> 1 | Provider_route -> 2
+
+let class_to_string = function
+  | Customer_route -> "customer"
+  | Peer_route -> "peer"
+  | Provider_route -> "provider"
+
+type t = {
+  graph : As_graph.t;
+  dest : int;
+  dist_cust : int array;  (* best customer-route length; -1 = none *)
+  peer_len : int array;  (* best peer-route length; -1 = none *)
+  prov_len : int array;  (* best provider-route length; -1 = none *)
+  export_len : int array;  (* best route length (selected); -1 = unreachable *)
+  best_class : int array;  (* 0/1/2 per class_rank; -1 at dest or unreachable *)
+  next : int array;  (* default next hop; -1 at dest or unreachable *)
+  mutable tree_times : (int array * int array) option;
+      (* DFS entry/exit times of the selected-route tree (parent =
+         default next hop, root = dest), built lazily: [x] lies on [n]'s
+         selected path iff [x] is an ancestor of [n], an O(1) interval
+         test.  Powers the BGP loop filter in [rib]. *)
+}
+
+let dest t = t.dest
+
+(* Pick the neighbor minimizing (advertised length, id) among candidates
+   that actually have a route. *)
+let best_via candidates route_len =
+  let best = ref (-1) and best_len = ref max_int in
+  Array.iter
+    (fun nb ->
+      match route_len nb with
+      | None -> ()
+      | Some l ->
+        if l < !best_len || (l = !best_len && nb < !best) then begin
+          best := nb;
+          best_len := l
+        end)
+    candidates;
+  if !best < 0 then None else Some (!best, 1 + !best_len)
+
+let compute g d =
+  let n = As_graph.n g in
+  if d < 0 || d >= n then invalid_arg "Routing.compute: destination out of range";
+  let dist_cust = Array.make n (-1) in
+  let peer_len = Array.make n (-1) in
+  let prov_len = Array.make n (-1) in
+  let export_len = Array.make n (-1) in
+  let best_class = Array.make n (-1) in
+  let next = Array.make n (-1) in
+  (* Phase 1 — customer routes: BFS from the destination along
+     customer->provider edges; an AS has a customer route iff some chain of
+     successive customers leads down to d. *)
+  dist_cust.(d) <- 0;
+  let queue = Queue.create () in
+  Queue.add d queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun p ->
+        if dist_cust.(p) < 0 then begin
+          dist_cust.(p) <- dist_cust.(v) + 1;
+          Queue.add p queue
+        end)
+      (As_graph.providers g v)
+  done;
+  (* Phase 2 — peer routes: usable iff the peer's best route is a customer
+     route (export policy), i.e. iff the peer has a customer route. *)
+  for v = 0 to n - 1 do
+    if v <> d then begin
+      let via_peer nb = if dist_cust.(nb) >= 0 then Some dist_cust.(nb) else None in
+      match best_via (As_graph.peers g v) via_peer with
+      | Some (_, l) -> peer_len.(v) <- l
+      | None -> ()
+    end
+  done;
+  (* Phase 3 — provider routes, in provider-before-customer order: a
+     provider advertises its selected best route to customers, whatever its
+     class, so export_len must be fixed top-down. *)
+  let order = As_graph.topological_order g in
+  let selected v =
+    (* (class, length) of v's best route given phases so far *)
+    if v = d then Some (-1, 0)
+    else if dist_cust.(v) >= 0 then Some (0, dist_cust.(v))
+    else if peer_len.(v) >= 0 then Some (1, peer_len.(v))
+    else if prov_len.(v) >= 0 then Some (2, prov_len.(v))
+    else None
+  in
+  Array.iter
+    (fun v ->
+      if v <> d then begin
+        let via_provider nb =
+          if export_len.(nb) >= 0 then Some export_len.(nb) else None
+        in
+        (match best_via (As_graph.providers g v) via_provider with
+         | Some (_, l) -> prov_len.(v) <- l
+         | None -> ());
+        match selected v with
+        | Some (_, l) -> export_len.(v) <- l
+        | None -> ()
+      end
+      else export_len.(v) <- 0)
+    order;
+  (* Default next hops from the final class decision. *)
+  for v = 0 to n - 1 do
+    if v <> d then begin
+      let pick candidates route_len = best_via candidates route_len in
+      let via_customer nb =
+        (* a customer exports to its provider only its customer routes *)
+        if dist_cust.(nb) >= 0 then Some dist_cust.(nb) else None
+      in
+      let via_peer nb = if dist_cust.(nb) >= 0 then Some dist_cust.(nb) else None in
+      let via_provider nb = if export_len.(nb) >= 0 then Some export_len.(nb) else None in
+      if dist_cust.(v) >= 0 then begin
+        best_class.(v) <- 0;
+        match pick (As_graph.customers g v) via_customer with
+        | Some (nb, l) ->
+          assert (l = dist_cust.(v));
+          next.(v) <- nb
+        | None ->
+          (* the only customer route with no customer next hop is via a
+             directly-connected destination customer — impossible here
+             since d itself is covered by via_customer *)
+          assert false
+      end
+      else if peer_len.(v) >= 0 then begin
+        best_class.(v) <- 1;
+        match pick (As_graph.peers g v) via_peer with
+        | Some (nb, l) ->
+          assert (l = peer_len.(v));
+          next.(v) <- nb
+        | None -> assert false
+      end
+      else if prov_len.(v) >= 0 then begin
+        best_class.(v) <- 2;
+        match pick (As_graph.providers g v) via_provider with
+        | Some (nb, l) ->
+          assert (l = prov_len.(v));
+          next.(v) <- nb
+        | None -> assert false
+      end
+    end
+  done;
+  {
+    graph = g;
+    dest = d;
+    dist_cust;
+    peer_len;
+    prov_len;
+    export_len;
+    best_class;
+    next;
+    tree_times = None;
+  }
+
+let reachable t v = v = t.dest || t.export_len.(v) >= 0
+
+let best_class t v =
+  if v = t.dest then None
+  else
+    match t.best_class.(v) with
+    | 0 -> Some Customer_route
+    | 1 -> Some Peer_route
+    | 2 -> Some Provider_route
+    | _ -> None
+
+let best_len t v =
+  if v = t.dest then 0
+  else if t.export_len.(v) < 0 then invalid_arg "Routing.best_len: unreachable"
+  else t.export_len.(v)
+
+let next_hop t v = if t.next.(v) < 0 then None else Some t.next.(v)
+
+let customer_route_len t v =
+  if t.dist_cust.(v) < 0 then None else Some t.dist_cust.(v)
+
+let export_len t v = if t.export_len.(v) < 0 then None else Some t.export_len.(v)
+
+let default_path t s =
+  let n = As_graph.n t.graph in
+  let rec follow v acc steps =
+    if steps > n then invalid_arg "Routing.default_path: next-hop loop (corrupt state)"
+    else if v = t.dest then List.rev (v :: acc)
+    else
+      match next_hop t v with
+      | None -> invalid_arg "Routing.default_path: unreachable source"
+      | Some nb -> follow nb (v :: acc) (steps + 1)
+  in
+  follow s [] 0
+
+(* DFS over the selected-route tree rooted at the destination. *)
+let tree_times t =
+  match t.tree_times with
+  | Some times -> times
+  | None ->
+    let n = As_graph.n t.graph in
+    let children = Array.make n [] in
+    for v = 0 to n - 1 do
+      let p = t.next.(v) in
+      if p >= 0 then children.(p) <- v :: children.(p)
+    done;
+    let tin = Array.make n (-1) and tout = Array.make n (-1) in
+    let clock = ref 0 in
+    (* iterative DFS: (node, Enter | Exit) *)
+    let stack = Stack.create () in
+    Stack.push (t.dest, true) stack;
+    while not (Stack.is_empty stack) do
+      let v, entering = Stack.pop stack in
+      if entering then begin
+        tin.(v) <- !clock;
+        incr clock;
+        Stack.push (v, false) stack;
+        List.iter (fun c -> Stack.push (c, true) stack) children.(v)
+      end
+      else begin
+        tout.(v) <- !clock;
+        incr clock
+      end
+    done;
+    let times = (tin, tout) in
+    t.tree_times <- Some times;
+    times
+
+let on_selected_path t ~node x =
+  (* is [x] on [node]'s selected default path (including its endpoints)? *)
+  let tin, tout = tree_times t in
+  tin.(node) >= 0 && tin.(x) >= 0 && tin.(x) <= tin.(node) && tout.(node) <= tout.(x)
+
+type rib_entry = { via : int; rel : Relationship.t; len : int }
+
+let entry_order a b =
+  let ka = (Relationship.preference_rank a.rel, a.len, a.via) in
+  let kb = (Relationship.preference_rank b.rel, b.len, b.via) in
+  compare ka kb
+
+let rib t v =
+  if v = t.dest then []
+  else begin
+    let g = t.graph in
+    let entries = ref [] in
+    let nbrs = As_graph.neighbors g v in
+    Array.iter
+      (fun nb ->
+        let rel = As_graph.rel_exn g v nb in
+        let advertised =
+          match rel with
+          | Relationship.Customer | Relationship.Peer ->
+            (* they export to us (their provider / peer) only customer routes *)
+            if t.dist_cust.(nb) >= 0 then Some t.dist_cust.(nb) else None
+          | Relationship.Provider ->
+            if t.export_len.(nb) >= 0 then Some t.export_len.(nb) else None
+        in
+        match advertised with
+        | Some l ->
+          (* BGP loop filter: reject a route whose AS path contains us.
+             The neighbor's exported path is its selected default path,
+             so the check is an ancestor query on the route tree. *)
+          if not (on_selected_path t ~node:nb v) then
+            entries := { via = nb; rel; len = 1 + l } :: !entries
+        | None -> ())
+      nbrs;
+    List.sort entry_order !entries
+  end
+
+let alternatives t v =
+  match rib t v with [] -> [] | _default :: rest -> rest
+
+let rib_size t v = List.length (rib t v)

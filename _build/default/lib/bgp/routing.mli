@@ -1,0 +1,83 @@
+(** Per-destination interdomain route computation.
+
+    Computes, for one destination AS [d], the stable Gao–Rexford routing
+    state of {e every} AS: which neighbors exported a route (the local
+    BGP RIB MIFO mines for alternative paths), the selected best route
+    and its class, and the default next hop.
+
+    Selection follows the paper exactly (Section IV-A): customer routes
+    are preferred over peer routes over provider routes; within a class
+    the shorter AS path wins, and the lowest next-hop AS id breaks the
+    remaining ties.  Export follows {!Mifo_topology.Relationship.exports_to}:
+    an AS advertises only its selected best route, to every neighbor for
+    customer routes and only to customers otherwise.
+
+    The algorithm is the standard three-phase propagation over the
+    provider hierarchy (customer routes by BFS up the provider edges,
+    peer routes in one step, provider routes down the hierarchy in
+    topological order) and runs in O(V + E) per destination. *)
+
+type route_class = Customer_route | Peer_route | Provider_route
+
+val class_rank : route_class -> int
+val class_to_string : route_class -> string
+
+type t
+(** Routing state toward one destination. *)
+
+val dest : t -> int
+
+val compute : Mifo_topology.As_graph.t -> int -> t
+(** [compute g d].  @raise Invalid_argument if [d] is out of range. *)
+
+val reachable : t -> int -> bool
+(** Every AS is reachable in a connected topology (provider routes reach
+    everywhere), but the accessor keeps callers honest on subgraphs. *)
+
+val best_class : t -> int -> route_class option
+(** [None] at the destination itself or when unreachable. *)
+
+val best_len : t -> int -> int
+(** AS-path length (in AS hops) of the selected route; [0] at the
+    destination.  @raise Invalid_argument when unreachable. *)
+
+val next_hop : t -> int -> int option
+(** Default next hop; [None] at the destination. *)
+
+val customer_route_len : t -> int -> int option
+(** Length of the best customer-learned route at an AS, if any.  The
+    export rules make this the value a neighbor sees when this AS
+    advertises to a provider or peer. *)
+
+val export_len : t -> int -> int option
+(** Length of the route this AS advertises to its customers (= its best
+    route), if reachable. *)
+
+val default_path : t -> int -> int list
+(** [default_path t s] is the full default AS path [s; ...; d] obtained by
+    following default next hops.  At most [V] hops by construction. *)
+
+(** {1 The local RIB} *)
+
+type rib_entry = {
+  via : int;  (** the neighbor that exported the route *)
+  rel : Mifo_topology.Relationship.t;  (** that neighbor's role relative to us *)
+  len : int;  (** AS-path length of the route via this neighbor *)
+}
+
+val rib : t -> int -> rib_entry list
+(** All routes in the local RIB of an AS toward [dest t], one per
+    exporting neighbor, sorted best-first (class, then length, then
+    next-hop id).  The head is the default route.  Empty at the
+    destination. *)
+
+val alternatives : t -> int -> rib_entry list
+(** [rib] minus the default entry — exactly the paths MIFO can deflect
+    to. *)
+
+val rib_size : t -> int -> int
+
+val on_selected_path : t -> node:int -> int -> bool
+(** [on_selected_path t ~node x] — does [x] lie on [node]'s selected
+    default path (endpoints included)?  O(1) after a lazy O(V) pass;
+    this is the predicate behind [rib]'s BGP loop filter. *)

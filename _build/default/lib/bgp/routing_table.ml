@@ -1,0 +1,33 @@
+type t = {
+  graph : Mifo_topology.As_graph.t;
+  cache : (int, Routing.t) Hashtbl.t;
+  order : int Queue.t;  (* insertion order, for FIFO eviction *)
+  max_cached : int;
+}
+
+let create ?(max_cached = max_int) graph =
+  if max_cached < 1 then invalid_arg "Routing_table.create: max_cached < 1";
+  { graph; cache = Hashtbl.create 256; order = Queue.create (); max_cached }
+
+let graph t = t.graph
+
+let get t d =
+  match Hashtbl.find_opt t.cache d with
+  | Some r -> r
+  | None ->
+    let r = Routing.compute t.graph d in
+    if Hashtbl.length t.cache >= t.max_cached then begin
+      match Queue.take_opt t.order with
+      | Some victim -> Hashtbl.remove t.cache victim
+      | None -> ()
+    end;
+    Hashtbl.add t.cache d r;
+    Queue.add d t.order;
+    r
+
+let precompute_all t =
+  for d = 0 to Mifo_topology.As_graph.n t.graph - 1 do
+    ignore (get t d)
+  done
+
+let cached_count t = Hashtbl.length t.cache

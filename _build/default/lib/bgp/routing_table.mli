@@ -1,0 +1,19 @@
+(** Cache of per-destination routing states.
+
+    Experiments query routes toward many destinations; this table
+    memoizes {!Routing.compute} per destination.  [precompute_all] builds
+    every destination eagerly (fine for the default 2,000-AS topology);
+    larger graphs can rely on lazy filling with an optional bound on the
+    number of cached destinations (oldest-first eviction). *)
+
+type t
+
+val create : ?max_cached:int -> Mifo_topology.As_graph.t -> t
+(** [max_cached] defaults to unbounded. *)
+
+val graph : t -> Mifo_topology.As_graph.t
+val get : t -> int -> Routing.t
+(** Routing state toward destination [d], computed on first use. *)
+
+val precompute_all : t -> unit
+val cached_count : t -> int

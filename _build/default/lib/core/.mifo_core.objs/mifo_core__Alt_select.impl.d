@@ -1,0 +1,1 @@
+lib/core/alt_select.ml: List Mifo_bgp Policy

@@ -1,0 +1,1 @@
+lib/core/alt_select.mli: Mifo_bgp Mifo_topology

@@ -1,0 +1,1 @@
+lib/core/daemon.ml: Fib Stdlib

@@ -1,0 +1,1 @@
+lib/core/daemon.mli: Fib Mifo_bgp

@@ -1,0 +1,1 @@
+lib/core/deployment.ml: Array Bytes Float List Mifo_util Stdlib

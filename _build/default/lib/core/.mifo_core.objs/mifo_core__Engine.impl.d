@@ -1,0 +1,1 @@
+lib/core/engine.ml: Fib Mifo_topology Packet Policy Stdlib

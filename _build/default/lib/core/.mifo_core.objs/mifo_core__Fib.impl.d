@@ -1,0 +1,1 @@
+lib/core/fib.ml: Array Hashtbl Int64 Mifo_bgp

@@ -1,0 +1,1 @@
+lib/core/fib.mli: Mifo_bgp

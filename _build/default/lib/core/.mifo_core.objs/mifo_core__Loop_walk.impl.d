@@ -1,0 +1,1 @@
+lib/core/loop_walk.ml: Hashtbl List Mifo_bgp Mifo_topology Policy

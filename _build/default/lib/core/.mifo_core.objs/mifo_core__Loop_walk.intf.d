@@ -1,0 +1,1 @@
+lib/core/loop_walk.mli: Mifo_bgp Mifo_topology

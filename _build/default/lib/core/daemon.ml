@@ -1,0 +1,30 @@
+type config = {
+  congest_threshold : float;
+  clear_threshold : float;
+  ramp_up : int;
+  ramp_down : int;
+}
+
+let default_config =
+  { congest_threshold = 0.9; clear_threshold = 0.6; ramp_up = 2; ramp_down = 1 }
+
+let is_congested ?(config = default_config) util = util >= config.congest_threshold
+
+let epoch ?(config = default_config) ~fib ~port_utilization ~choose_alt () =
+  Fib.iter fib (fun prefix entry ->
+      entry.Fib.alt_port <- choose_alt prefix entry;
+      match entry.Fib.alt_port with
+      | None -> entry.Fib.deflect_buckets <- 0
+      | Some alt ->
+        let util = port_utilization entry.Fib.out_port in
+        let alt_util = port_utilization alt in
+        (* Shift more flows onto the alternative only while it still has
+           headroom; when both egresses run hot the split is where we want
+           it (hold), and when the default drains we shift back. *)
+        if util >= config.congest_threshold && alt_util < config.congest_threshold
+        then
+          entry.Fib.deflect_buckets <-
+            Stdlib.min Fib.buckets (entry.Fib.deflect_buckets + config.ramp_up)
+        else if util <= config.clear_threshold then
+          entry.Fib.deflect_buckets <-
+            Stdlib.max 0 (entry.Fib.deflect_buckets - config.ramp_down))

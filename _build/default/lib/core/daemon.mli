@@ -1,0 +1,43 @@
+(** The MIFO daemon — the control-plane half of the prototype (Section V).
+
+    In the paper's implementation this is a XORP module: it obtains
+    alternative paths from the BGP module, collects per-link utilization
+    from the kernel forwarding engine, exchanges measurements with iBGP
+    peers over the existing TCP sessions, and updates the [alt] port in
+    the FIB.  Here it is a pure epoch function over a {!Fib.t} plus
+    callbacks, so the packet simulator and the testbed can run it at any
+    cadence.
+
+    Each epoch, for every FIB entry the daemon
+    + refreshes the alternative port (best spare capacity, greedy rule);
+    + ramps the deflection level up while the default egress stays above
+      the congestion threshold {e and the alternative still has headroom}
+      — once both run hot the split is held, and it ramps back down when
+      the default drains below the clear threshold (hysteresis keeps path
+      switching rare — Fig. 9). *)
+
+type config = {
+  congest_threshold : float;  (** egress utilization >= this = congested (default 0.9) *)
+  clear_threshold : float;  (** utilization <= this = drained (default 0.6) *)
+  ramp_up : int;  (** buckets added per congested epoch (default 2) *)
+  ramp_down : int;  (** buckets removed per drained epoch (default 1) *)
+}
+
+val default_config : config
+
+val epoch :
+  ?config:config ->
+  fib:Fib.t ->
+  port_utilization:(int -> float) ->
+  choose_alt:(Mifo_bgp.Prefix.t -> Fib.entry -> int option) ->
+  unit ->
+  unit
+(** One daemon tick.  [port_utilization p] is the smoothed utilization of
+    egress port [p] in \[0, 1\]; [choose_alt prefix entry] returns the
+    port of the currently best alternative path for [prefix] (or [None]),
+    typically via {!Alt_select.best_alternative} plus the router's
+    port map. *)
+
+val is_congested : ?config:config -> float -> bool
+(** The congestion predicate on a utilization sample, shared with the
+    engine's [is_congested] callback. *)

@@ -1,0 +1,114 @@
+type port_kind =
+  | Ebgp of { neighbor_as : int; rel : Mifo_topology.Relationship.t }
+  | Ibgp of { peer_router : int }
+  | Local
+
+type env = {
+  router_id : int;
+  fib : Fib.t;
+  port_kind : int -> port_kind;
+  is_congested : int -> bool;
+  next_hop_router : int -> int option;
+}
+
+type drop_reason = No_route | Valley_violation | Ttl_expired
+
+type action =
+  | Send of { port : int; packet : Packet.t }
+  | Drop of { packet : Packet.t; reason : drop_reason }
+
+let drop_reason_to_string = function
+  | No_route -> "no-route"
+  | Valley_violation -> "valley-violation"
+  | Ttl_expired -> "ttl-expired"
+
+let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
+  match Packet.decrement_ttl packet with
+  | None -> Drop { packet; reason = Ttl_expired }
+  | Some packet ->
+    (* Lines 1-3: strip the outer header of a tunnel terminating here and
+       remember which iBGP peer deflected the packet to us. *)
+    let sender, packet =
+      match packet.Packet.encap with
+      | Some e when e.Packet.outer_dst = env.router_id ->
+        (Some e.Packet.outer_src, Packet.decapsulate packet)
+      | Some _ | None -> (None, packet)
+    in
+    (* Lines 5-10: (re)tag at the packet entering point. *)
+    let packet =
+      match ingress with
+      | None -> Packet.with_tag packet Policy.source_tag
+      | Some port -> (
+        match env.port_kind port with
+        | Ebgp { rel; _ } -> Packet.with_tag packet (Policy.tag_of_upstream rel)
+        | Ibgp _ | Local -> packet)
+    in
+    (* Line 4: FIB lookup. *)
+    match Fib.lookup env.fib packet.Packet.dst with
+    | None -> Drop { packet; reason = No_route }
+    | Some entry -> (
+      match env.port_kind entry.Fib.out_port with
+      | Local ->
+        (* destination network attached here: hand the packet to the
+           host-facing port, no deflection logic applies *)
+        Send { port = entry.Fib.out_port; packet }
+      | Ebgp _ | Ibgp _ ->
+        (* Line 11: use the alternative when this flow is being deflected
+           (daemon-driven hash buckets over the congestion signal), or when
+           the deflecting sender is exactly our default next hop - sending
+           the packet back would cycle between iBGP peers (Fig. 2(b)). *)
+        let deflected_to_me =
+          match (sender, env.next_hop_router entry.Fib.out_port) with
+          | Some s, Some nh -> s = nh
+          | _ -> false
+        in
+        (* The daemon ramps [deflect_buckets] with hysteresis; on top of
+           that, a congested egress immediately deflects at least the
+           first hash bucket so the reaction starts at line speed, before
+           the next daemon epoch. *)
+        let effective_buckets =
+          if env.is_congested entry.Fib.out_port then
+            Stdlib.max 1 entry.Fib.deflect_buckets
+          else entry.Fib.deflect_buckets
+        in
+        let flow_deflected =
+          entry.Fib.alt_port <> None
+          && Fib.flow_bucket packet.Packet.flow < effective_buckets
+        in
+        let want_alt = deflected_to_me || flow_deflected in
+        match (want_alt, entry.Fib.alt_port) with
+        | false, _ | _, None -> Send { port = entry.Fib.out_port; packet }
+        | true, Some alt -> (
+          match env.port_kind alt with
+          | Ibgp { peer_router } ->
+            (* Lines 12-15: tunnel to the iBGP peer that owns the
+               alternative path.  A packet already inside someone else's
+               tunnel cannot be tunneled again (MIFO never nests
+               IP-in-IP), so it stays on the default port.
+               [ibgp_encap:false] is the Fig. 2(b) ablation: the peer
+               cannot tell a deflected packet from a normal one and
+               bounces it straight back. *)
+            if packet.Packet.encap <> None then
+              Send { port = entry.Fib.out_port; packet }
+            else begin
+              let packet =
+                if ibgp_encap then
+                  Packet.encapsulate packet ~outer_src:env.router_id
+                    ~outer_dst:peer_router
+                else packet
+              in
+              Send { port = alt; packet }
+            end
+          | Ebgp { rel = downstream; _ } ->
+            (* Lines 16-20: Tag-Check before leaving the AS sideways.  A
+               failing check means this packet may not use the
+               alternative.  If it was tunneled to us by the default
+               next hop, returning it would cycle, so it is dropped
+               (the pseudocode's line 20); a locally hash-deflected
+               packet instead falls back to the default port, which is
+               congested but always loop-free. *)
+            if (not tag_check) || Policy.check ~tag:packet.Packet.vf_tag ~downstream
+            then Send { port = alt; packet }
+            else if deflected_to_me then Drop { packet; reason = Valley_violation }
+            else Send { port = entry.Fib.out_port; packet }
+          | Local -> Send { port = entry.Fib.out_port; packet }))

@@ -1,0 +1,72 @@
+(** The MIFO forwarding engine — Algorithm 1 of the paper.
+
+    This is the data-plane code a border router runs on every packet.  It
+    is written against a small environment record so the same engine
+    drives the packet-level simulator, the testbed emulation and the unit
+    tests that replay the paper's Fig. 2 scenarios.
+
+    Behaviour, following the pseudocode line by line:
+    - an IP-in-IP packet addressed to this router is decapsulated and its
+      sender (the deflecting iBGP peer) remembered (lines 1–3);
+    - the FIB gives default and alternative ports (line 4);
+    - a packet entering from an eBGP peer is (re)tagged: bit set iff the
+      upstream neighbor is a customer (lines 5–10);
+    - the packet takes the alternative path when the default egress is
+      congested for its flow, or when it was deflected to us by the iBGP
+      peer that is our default next hop (line 11; the pseudocode prints
+      [GetNextHop(Ialt)], but the accompanying text of Section III-B
+      compares the sender against the {e default} next hop — R2's default
+      route points back at the deflecting R1 — so that is what we
+      implement);
+    - an alternative on an iBGP peer means encapsulate-and-tunnel
+      (lines 12–15); an alternative on an eBGP peer is used only if the
+      Tag-Check passes (lines 16–20).  On a failing check, a packet that
+      was tunneled to us by our own default next hop is dropped (sending
+      it back would cycle — the pseudocode's line 20), while a locally
+      hash-deflected packet falls back to the default egress, which is
+      congested but always loop-free;
+    - otherwise the packet follows the default port (line 22).
+
+    Congestion response is flow-deterministic: {!Fib.deflects} hashes the
+    flow id against the entry's daemon-controlled deflection level, so a
+    given flow sees a stable path between daemon updates (no reordering).
+
+    The engine also decrements the TTL; [tag_check:false] disables the
+    valley-free check (the loop ablation of Section III). *)
+
+type port_kind =
+  | Ebgp of { neighbor_as : int; rel : Mifo_topology.Relationship.t }
+  | Ibgp of { peer_router : int }
+  | Local  (** host-facing or intra-AS delivery *)
+
+type env = {
+  router_id : int;
+  fib : Fib.t;
+  port_kind : int -> port_kind;
+  is_congested : int -> bool;
+      (** instantaneous congestion signal of an egress port; the paper
+          leaves the definition open and uses the tx-queue ratio, as do
+          our simulators *)
+  next_hop_router : int -> int option;
+      (** router at the far end of a port, when known ([None] for eBGP /
+          host ports) *)
+}
+
+type drop_reason = No_route | Valley_violation | Ttl_expired
+
+type action =
+  | Send of { port : int; packet : Packet.t }
+      (** also covers local delivery: the FIB maps a local prefix to a
+          [Local] (host-facing) port and the packet is sent out of it *)
+  | Drop of { packet : Packet.t; reason : drop_reason }
+
+val forward :
+  ?tag_check:bool -> ?ibgp_encap:bool -> env -> ingress:int option -> Packet.t -> action
+(** [forward env ~ingress p] processes one packet.  [ingress = None]
+    means locally originated (the host side); such packets carry
+    {!Policy.source_tag}.  [tag_check] (default [true]) disables the
+    valley-free check for the loop ablation; [ibgp_encap] (default
+    [true]) disables IP-in-IP for the iBGP-cycling ablation of
+    Fig. 2(b). *)
+
+val drop_reason_to_string : drop_reason -> string

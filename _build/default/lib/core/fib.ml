@@ -1,0 +1,58 @@
+module Prefix = Mifo_bgp.Prefix
+
+type entry = {
+  mutable out_port : int;
+  mutable alt_port : int option;
+  mutable deflect_buckets : int;
+}
+
+(* One hash table per prefix length; longest-prefix match scans lengths
+   32 down to 0.  Interdomain tables are dominated by a few lengths, so
+   this is both simple and fast. *)
+type t = { by_len : (Prefix.addr, entry) Hashtbl.t array }
+
+let buckets = 64
+let create () = { by_len = Array.init 33 (fun _ -> Hashtbl.create 16) }
+
+let insert t prefix ~out_port ?alt_port () =
+  let table = t.by_len.(prefix.Prefix.length) in
+  Hashtbl.replace table prefix.Prefix.network
+    { out_port; alt_port; deflect_buckets = 0 }
+
+let lookup t addr =
+  let rec scan len =
+    if len < 0 then None
+    else begin
+      let masked = (Prefix.make addr len).Prefix.network in
+      match Hashtbl.find_opt t.by_len.(len) masked with
+      | Some e -> Some e
+      | None -> scan (len - 1)
+    end
+  in
+  scan 32
+
+let find t prefix = Hashtbl.find_opt t.by_len.(prefix.Prefix.length) prefix.Prefix.network
+
+let set_alt t prefix alt =
+  match find t prefix with
+  | Some e -> e.alt_port <- alt
+  | None -> raise Not_found
+
+let iter t f =
+  Array.iteri
+    (fun len table ->
+      Hashtbl.iter (fun net e -> f (Prefix.make net len) e) table)
+    t.by_len
+
+let size t = Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.by_len
+
+(* SplitMix64-style mix so bucket spread does not depend on flow-id
+   assignment patterns. *)
+let flow_bucket flow =
+  let open Int64 in
+  let z = mul (of_int ((flow * 2) + 1)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (shift_right_logical z 40) mod buckets
+
+let deflects entry ~flow =
+  entry.alt_port <> None && flow_bucket flow < entry.deflect_buckets

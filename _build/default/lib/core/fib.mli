@@ -1,0 +1,45 @@
+(** The MIFO-modified FIB (Fig. 1).
+
+    A classic FIB maps a prefix to the default output port; MIFO adds an
+    [alt_port] field pointing at the best alternative path, kept up to
+    date by the MIFO daemon, plus the adaptive deflection level the
+    daemon uses to shift flows onto it.  Lookup is longest-prefix match.
+
+    Deflection granularity: flows hash into [buckets] (64) buckets and an
+    entry deflects the first [deflect_buckets] of them, so path choice is
+    deterministic per flow (no packet reordering — Section II-A) while
+    the daemon ramps the deflected share up under congestion and back
+    down when the default path drains. *)
+
+type entry = {
+  mutable out_port : int;
+  mutable alt_port : int option;
+  mutable deflect_buckets : int;  (** 0 = all flows on the default path *)
+}
+
+type t
+
+val buckets : int
+(** Number of hash buckets (64). *)
+
+val create : unit -> t
+val insert : t -> Mifo_bgp.Prefix.t -> out_port:int -> ?alt_port:int -> unit -> unit
+(** Replaces any previous entry for the same prefix. *)
+
+val lookup : t -> Mifo_bgp.Prefix.addr -> entry option
+(** Longest-prefix match. *)
+
+val find : t -> Mifo_bgp.Prefix.t -> entry option
+(** Exact-prefix lookup (the daemon's view). *)
+
+val set_alt : t -> Mifo_bgp.Prefix.t -> int option -> unit
+(** @raise Not_found if no entry exists for the prefix. *)
+
+val iter : t -> (Mifo_bgp.Prefix.t -> entry -> unit) -> unit
+val size : t -> int
+
+val flow_bucket : int -> int
+(** Deterministic bucket of a flow id, in \[0, buckets). *)
+
+val deflects : entry -> flow:int -> bool
+(** Whether this flow currently hashes onto the alternative path. *)

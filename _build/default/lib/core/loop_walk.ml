@@ -1,0 +1,84 @@
+module As_graph = Mifo_topology.As_graph
+module Relationship = Mifo_topology.Relationship
+module Routing = Mifo_bgp.Routing
+
+type decision = Default | Deflect of int
+type drop_reason = Valley | No_route | Dead_end
+
+type outcome =
+  | Delivered of int list
+  | Dropped of { path : int list; at : int; reason : drop_reason }
+  | Looped of int list
+
+let walk ?(tag_check = true) ?max_hops g rt ~decide ~src =
+  let dest = Routing.dest rt in
+  let n = As_graph.n g in
+  let max_hops = match max_hops with Some m -> m | None -> (2 * n) + 4 in
+  let seen = Hashtbl.create 64 in
+  (* state: current AS, the AS we came from (None at the source), the
+     reversed path so far *)
+  let rec step v upstream rev_path hops =
+    let rev_path = v :: rev_path in
+    if v = dest then Delivered (List.rev rev_path)
+    else if hops > max_hops then Looped (List.rev rev_path)
+    else begin
+      let state = (v, upstream) in
+      if Hashtbl.mem seen state then Looped (List.rev rev_path)
+      else begin
+        Hashtbl.add seen state ();
+        let entries = Routing.rib rt v in
+        match entries with
+        | [] -> Dropped { path = List.rev rev_path; at = v; reason = Dead_end }
+        | default :: _ -> (
+          match decide ~as_id:v ~upstream ~entries with
+          | Default -> step default.Routing.via (Some v) rev_path (hops + 1)
+          | Deflect nb -> (
+            match
+              List.find_opt (fun (e : Routing.rib_entry) -> e.via = nb) entries
+            with
+            | None -> Dropped { path = List.rev rev_path; at = v; reason = No_route }
+            | Some e ->
+              let upstream_rel =
+                match upstream with
+                | None -> None
+                | Some u -> Some (As_graph.rel_exn g v u)
+              in
+              if
+                (not tag_check)
+                || Policy.deflection_allowed ~upstream:upstream_rel
+                     ~downstream:e.rel
+              then step nb (Some v) rev_path (hops + 1)
+              else Dropped { path = List.rev rev_path; at = v; reason = Valley }))
+      end
+    end
+  in
+  step src None [] 0
+
+let congestion_strategy ~congested ~spare ~as_id ~upstream ~entries =
+  match entries with
+  | [] -> Default
+  | (default : Routing.rib_entry) :: alternatives ->
+    if not (congested as_id default.via) then Default
+    else begin
+      (* greedy: the permitted alternative with the most spare capacity on
+         its direct link; stay on the default when nothing qualifies *)
+      (* The strategy itself does not apply the valley-free rule — the
+         walker's tag-check (or its absence, in the ablation) is
+         authoritative, mirroring the engine/daemon split. *)
+      ignore upstream;
+      let permitted (e : Routing.rib_entry) = spare as_id e.via > 0. in
+      match List.filter permitted alternatives with
+      | [] -> Default
+      | candidates ->
+        let best =
+          List.fold_left
+            (fun acc (e : Routing.rib_entry) ->
+              match acc with
+              | None -> Some e
+              | Some b ->
+                let se = spare as_id e.via and sb = spare as_id b.via in
+                if se > sb || (se = sb && e.via < b.via) then Some e else Some b)
+            None candidates
+        in
+        (match best with Some e -> Deflect e.via | None -> Default)
+    end

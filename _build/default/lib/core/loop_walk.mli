@@ -1,0 +1,56 @@
+(** Hop-by-hop AS-level forwarding walks, with and without the Tag-Check.
+
+    This is the executable counterpart of the paper's Theorem (Section
+    III-A3): it replays a packet's AS-level trajectory under an arbitrary
+    deflection strategy and reports whether it was delivered, dropped by
+    the valley-free check, or caught in a loop.  The property-based tests
+    verify the theorem with it (with the check on, no strategy can loop a
+    packet), and the ablation bench reproduces the Fig. 2(a) loop with
+    the check off. *)
+
+type decision =
+  | Default  (** follow the default next hop *)
+  | Deflect of int  (** deflect to this RIB neighbor *)
+
+type drop_reason = Valley | No_route | Dead_end
+
+type outcome =
+  | Delivered of int list  (** the full AS path, source to destination *)
+  | Dropped of { path : int list; at : int; reason : drop_reason }
+  | Looped of int list  (** path prefix up to the point the loop was detected *)
+
+val walk :
+  ?tag_check:bool ->
+  ?max_hops:int ->
+  Mifo_topology.As_graph.t ->
+  Mifo_bgp.Routing.t ->
+  decide:
+    (as_id:int ->
+     upstream:int option ->
+     entries:Mifo_bgp.Routing.rib_entry list ->
+     decision) ->
+  src:int ->
+  outcome
+(** [walk g rt ~decide ~src] forwards one packet from [src] toward
+    [Routing.dest rt].  At every transit AS, [decide] picks the default
+    route or a deflection among the RIB [entries] (the full sorted RIB;
+    its head is the default).  A [Deflect] to a neighbor that exported no
+    route is answered with [Dropped No_route].  With [tag_check] (the
+    default), a deflection violating the valley-free rule yields
+    [Dropped Valley] — exactly the engine's behaviour; with
+    [tag_check:false] the deflection proceeds unchecked, which is the
+    legacy multi-path data plane the theorem shows can loop.
+    [max_hops] defaults to [2 * As_graph.n g + 4]; exceeding it (or
+    revisiting an AS with the same upstream) reports [Looped]. *)
+
+val congestion_strategy :
+  congested:(int -> int -> bool) ->
+  spare:(int -> int -> float) ->
+  as_id:int ->
+  upstream:int option ->
+  entries:Mifo_bgp.Routing.rib_entry list ->
+  decision
+(** The MIFO strategy: deflect whenever the default egress link is
+    congested ([congested u v] on directed link [u -> v]), onto the
+    permitted alternative with the most spare capacity.  Matches
+    {!Alt_select.best_alternative}. *)

@@ -1,0 +1,11 @@
+module Relationship = Mifo_topology.Relationship
+
+let tag_of_upstream rel = Relationship.equal rel Relationship.Customer
+let check ~tag ~downstream = tag || Relationship.equal downstream Relationship.Customer
+
+let deflection_allowed ~upstream ~downstream =
+  match upstream with
+  | None -> true
+  | Some up -> check ~tag:(tag_of_upstream up) ~downstream
+
+let source_tag = true

@@ -1,0 +1,1 @@
+lib/exp/ablations.ml: Array Context Hashtbl List Mifo_bgp Mifo_core Mifo_miro Mifo_netsim Mifo_testbed Mifo_topology Mifo_traffic Mifo_util Option Printf Stdlib

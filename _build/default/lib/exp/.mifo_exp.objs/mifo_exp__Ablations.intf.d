@@ -1,0 +1,1 @@
+lib/exp/ablations.mli: Context Mifo_testbed

@@ -1,0 +1,1 @@
+lib/exp/context.mli: Lazy Mifo_bgp Mifo_core Mifo_netsim Mifo_topology Mifo_util

@@ -1,0 +1,1 @@
+lib/exp/experiments.ml: Array Context Float List Mifo_bgp Mifo_core Mifo_miro Mifo_netsim Mifo_testbed Mifo_topology Mifo_traffic Mifo_util Printf Stdlib String

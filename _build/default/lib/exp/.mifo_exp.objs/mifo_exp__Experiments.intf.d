@@ -1,0 +1,1 @@
+lib/exp/experiments.mli: Context Mifo_testbed Mifo_topology

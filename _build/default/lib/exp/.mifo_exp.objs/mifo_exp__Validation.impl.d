@@ -1,0 +1,1 @@
+lib/exp/validation.ml: Array Float Hashtbl Mifo_bgp Mifo_core Mifo_netsim Mifo_topology Mifo_util Printf

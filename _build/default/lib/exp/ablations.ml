@@ -1,0 +1,417 @@
+module As_graph = Mifo_topology.As_graph
+module Generator = Mifo_topology.Generator
+module Routing = Mifo_bgp.Routing
+module Routing_table = Mifo_bgp.Routing_table
+module Loop_walk = Mifo_core.Loop_walk
+module Deployment = Mifo_core.Deployment
+module Flowsim = Mifo_netsim.Flowsim
+module Packetsim = Mifo_netsim.Packetsim
+module Testbed = Mifo_testbed.Testbed
+module Traffic = Mifo_traffic.Traffic
+module Table = Mifo_util.Table
+module Dist = Mifo_util.Dist
+
+module Tag_check = struct
+  type outcome_counts = { delivered : int; dropped_valley : int; looped : int; total : int }
+  type t = { with_check : outcome_counts; without_check : outcome_counts }
+
+  let empty = { delivered = 0; dropped_valley = 0; looped = 0; total = 0 }
+
+  let tally acc = function
+    | Loop_walk.Delivered _ -> { acc with delivered = acc.delivered + 1; total = acc.total + 1 }
+    | Loop_walk.Dropped { reason = Loop_walk.Valley; _ } ->
+      { acc with dropped_valley = acc.dropped_valley + 1; total = acc.total + 1 }
+    | Loop_walk.Dropped _ -> { acc with total = acc.total + 1 }
+    | Loop_walk.Looped _ -> { acc with looped = acc.looped + 1; total = acc.total + 1 }
+
+  (* Worst-case strategy: every AS considers its default egress congested
+     and deflects greedily, preferring the neighbor that continues the
+     clockwise loop (lowest id not equal to the default). *)
+  let all_congested _ _ = true
+  let unit_spare _ _ = 1.
+
+  let run_walks g rt sources =
+    let strategy = Loop_walk.congestion_strategy ~congested:all_congested ~spare:unit_spare in
+    let walk ~tag_check src =
+      Loop_walk.walk ~tag_check g rt ~decide:strategy ~src
+    in
+    let on = List.fold_left (fun acc s -> tally acc (walk ~tag_check:true s)) empty sources in
+    let off = List.fold_left (fun acc s -> tally acc (walk ~tag_check:false s)) empty sources in
+    { with_check = on; without_check = off }
+
+  let run_gadget () =
+    let g = Generator.fig2a_gadget () in
+    let rt = Routing.compute g 0 in
+    run_walks g rt [ 1; 2; 3 ]
+
+  let run ?(sources = 200) ctx =
+    let g = Context.graph ctx in
+    let n = As_graph.n g in
+    let rng = Context.rng ctx ~purpose:31 in
+    let rec walks k acc =
+      if k = 0 then acc
+      else begin
+        let d = Mifo_util.Prng.int rng n in
+        let s = Mifo_util.Prng.int rng n in
+        if s = d then walks k acc
+        else begin
+          let rt = Routing_table.get ctx.Context.table d in
+          let partial = run_walks g rt [ s ] in
+          walks (k - 1)
+            {
+              with_check =
+                {
+                  delivered = acc.with_check.delivered + partial.with_check.delivered;
+                  dropped_valley =
+                    acc.with_check.dropped_valley + partial.with_check.dropped_valley;
+                  looped = acc.with_check.looped + partial.with_check.looped;
+                  total = acc.with_check.total + partial.with_check.total;
+                };
+              without_check =
+                {
+                  delivered = acc.without_check.delivered + partial.without_check.delivered;
+                  dropped_valley =
+                    acc.without_check.dropped_valley + partial.without_check.dropped_valley;
+                  looped = acc.without_check.looped + partial.without_check.looped;
+                  total = acc.without_check.total + partial.without_check.total;
+                };
+            }
+        end
+      end
+    in
+    walks sources { with_check = empty; without_check = empty }
+
+  let render ~label t =
+    let row name c =
+      [
+        name;
+        string_of_int c.delivered;
+        string_of_int c.dropped_valley;
+        string_of_int c.looped;
+        string_of_int c.total;
+      ]
+    in
+    Printf.sprintf "== Ablation: valley-free Tag-Check (%s) ==\n%s" label
+      (Table.render
+         ~header:[ "data plane"; "delivered"; "dropped (valley)"; "looped"; "walks" ]
+         ~rows:[ row "Tag-Check on" t.with_check; row "Tag-Check off" t.without_check ])
+end
+
+module Encap = struct
+  type t = { with_encap : Testbed.result; without_encap : Testbed.result }
+
+  let run ?(config = Testbed.default_config) () =
+    let with_encap = Testbed.run ~config Testbed.Mifo_routing in
+    let config_off =
+      { config with Testbed.sim = { config.Testbed.sim with Packetsim.ibgp_encap = false } }
+    in
+    let without_encap = Testbed.run ~config:config_off Testbed.Mifo_routing in
+    { with_encap; without_encap }
+
+  let render t =
+    let row name (r : Testbed.result) =
+      [
+        name;
+        Table.fmt_float (r.Testbed.mean_aggregate /. 1e9) ^ " Gbps";
+        Table.fmt_float r.Testbed.makespan ^ " s";
+        Table.fmt_count r.Testbed.counters.Packetsim.dropped_ttl;
+      ]
+    in
+    "== Ablation: IP-in-IP encapsulation between iBGP peers ==\n"
+    ^ Table.render
+        ~header:[ "mode"; "aggregate"; "makespan"; "TTL-expired drops" ]
+        ~rows:[ row "encap on" t.with_encap; row "encap off" t.without_encap ]
+end
+
+module Selection = struct
+  type row = { label : string; at_least_500m : float; median_mbps : float }
+  type t = row list
+
+  let run ctx =
+    let flows =
+      Traffic.uniform
+        (Context.rng ctx ~purpose:33)
+        ~n_ases:(Context.n_ases ctx) ~count:ctx.Context.scale.flows
+        ~rate:ctx.Context.scale.arrival_rate ()
+    in
+    let deployment = Context.deployment ctx ~ratio:1.0 in
+    let one label selection =
+      let params = { ctx.Context.scale.sim with Flowsim.alt_selection = selection } in
+      let r = Flowsim.run ~params ctx.Context.table (Flowsim.Mifo deployment) flows in
+      let cdf = Dist.cdf_of_samples (Array.map (fun x -> x /. 1e6) (Flowsim.throughputs r)) in
+      {
+        label;
+        at_least_500m = Dist.fraction_at_least cdf 500.;
+        median_mbps = Dist.percentile cdf 50.;
+      }
+    in
+    [
+      one "greedy local link (paper)" Flowsim.Greedy_local;
+      one "oracle bottleneck spare" Flowsim.Oracle_bottleneck;
+    ]
+
+  let render t =
+    "== Ablation: alternative-path selection rule ==\n"
+    ^ Table.render
+        ~header:[ "selection"; ">=500 Mbps"; "median Mbps" ]
+        ~rows:
+          (List.map
+             (fun r ->
+               [ r.label; Table.fmt_percent r.at_least_500m; Table.fmt_float r.median_mbps ])
+             t)
+end
+
+module Overhead = struct
+  type t = {
+    destinations : int;
+    bgp_messages : float;
+    miro_extra : float;
+    mifo_extra : float;
+  }
+
+  let run ?(destinations = 12) ctx =
+    let g = Context.graph ctx in
+    let n = As_graph.n g in
+    let rng = Context.rng ctx ~purpose:35 in
+    let k = Stdlib.min destinations n in
+    let dests = Mifo_util.Prng.sample_without_replacement rng k n in
+    let deployment = Context.deployment ctx ~ratio:1.0 in
+    let bgp_total = ref 0 and miro_total = ref 0 in
+    Array.iter
+      (fun d ->
+        let proto = Mifo_bgp.Bgp_proto.create g ~origin:d in
+        bgp_total := !bgp_total + Mifo_bgp.Bgp_proto.run proto;
+        let rt = Routing_table.get ctx.Context.table d in
+        miro_total := !miro_total + Mifo_miro.Miro.extra_announcements rt ~deployment)
+      dests;
+    let fk = float_of_int k in
+    {
+      destinations = k;
+      bgp_messages = float_of_int !bgp_total /. fk;
+      miro_extra = float_of_int !miro_total /. fk;
+      mifo_extra = 0.;
+    }
+
+  let render t =
+    Printf.sprintf
+      "== Ablation: control-plane overhead per prefix (%d sampled destinations) ==
+%s"
+      t.destinations
+      (Table.render
+         ~header:[ "mechanism"; "extra messages / prefix" ]
+         ~rows:
+           [
+             [ "BGP convergence (baseline)"; Table.fmt_float t.bgp_messages ];
+             [ "MIRO strict alternates"; "+" ^ Table.fmt_float t.miro_extra ];
+             [ "MIFO (reads the local RIB)"; "+" ^ Table.fmt_float t.mifo_extra ];
+           ])
+end
+
+module Convergence = struct
+  type t = {
+    failures : int;
+    mean_messages : float;
+    max_messages : int;
+    mean_unreachable : float;
+    max_unreachable : int;
+  }
+
+  let run ?(failures = 20) ctx =
+    let g = Context.graph ctx in
+    let n = As_graph.n g in
+    let rng = Context.rng ctx ~purpose:36 in
+    let messages = Mifo_util.Stats.create () in
+    let unreachable = Mifo_util.Stats.create () in
+    let done_ = ref 0 in
+    while !done_ < failures do
+      let origin = Mifo_util.Prng.int rng n in
+      let src = Mifo_util.Prng.int rng n in
+      if origin <> src then begin
+        let rt = Routing_table.get ctx.Context.table origin in
+        match Routing.default_path rt src with
+        | exception Invalid_argument _ -> ()
+        | path when List.length path >= 2 ->
+          (* fail one random link of a live default path *)
+          let hops = Array.of_list path in
+          let i = Mifo_util.Prng.int rng (Array.length hops - 1) in
+          let u = hops.(i) and v = hops.(i + 1) in
+          let proto = Mifo_bgp.Bgp_proto.create g ~origin in
+          ignore (Mifo_bgp.Bgp_proto.run proto);
+          let before = Mifo_bgp.Bgp_proto.messages_sent proto in
+          Mifo_bgp.Bgp_proto.fail_link proto u v;
+          (* track the peak black-hole while draining the churn *)
+          let peak = ref (Mifo_bgp.Bgp_proto.unreachable_count proto) in
+          while not (Mifo_bgp.Bgp_proto.converged proto) do
+            ignore (Mifo_bgp.Bgp_proto.step proto);
+            peak := Stdlib.max !peak (Mifo_bgp.Bgp_proto.unreachable_count proto)
+          done;
+          Mifo_util.Stats.add messages
+            (float_of_int (Mifo_bgp.Bgp_proto.messages_sent proto - before));
+          Mifo_util.Stats.add unreachable (float_of_int !peak);
+          incr done_
+        | _ -> ()
+      end
+    done;
+    {
+      failures;
+      mean_messages = Mifo_util.Stats.mean messages;
+      max_messages = int_of_float (Mifo_util.Stats.max messages);
+      mean_unreachable = Mifo_util.Stats.mean unreachable;
+      max_unreachable = int_of_float (Mifo_util.Stats.max unreachable);
+    }
+
+  let render t =
+    Printf.sprintf
+      "== Ablation: route convergence after a default-path link failure (%d failures) ==\n"
+      t.failures
+    ^ Table.render
+        ~header:[ "metric"; "mean"; "max" ]
+        ~rows:
+          [
+            [ "UPDATE messages to re-converge"; Table.fmt_float t.mean_messages;
+              Table.fmt_count t.max_messages ];
+            [ "ASes transiently without a route"; Table.fmt_float t.mean_unreachable;
+              Table.fmt_count t.max_unreachable ];
+          ]
+    ^ "(MIFO reacts to the same signal with one data-plane forwarding decision\n"
+    ^ "and zero messages - the control/data-plane timescale gap the paper opens with.)\n"
+end
+
+module Failure = struct
+  type t = {
+    failed_links : int;
+    affected : int;
+    bgp_completed : float;
+    mifo_completed : float;
+  }
+
+  let run ?(fail_count = 3) ?(fail_after = 0.2) ctx =
+    let flows =
+      Traffic.uniform
+        (Context.rng ctx ~purpose:37)
+        ~n_ases:(Context.n_ases ctx) ~count:ctx.Context.scale.flows
+        ~rate:ctx.Context.scale.arrival_rate ()
+    in
+    (* fail the busiest transit links of the default paths *)
+    let crossings = Hashtbl.create 4096 in
+    Array.iter
+      (fun (s : Flowsim.flow_spec) ->
+        let rt = Routing_table.get ctx.Context.table s.Flowsim.dst in
+        let path = Array.of_list (Routing.default_path rt s.Flowsim.src) in
+        for i = 0 to Array.length path - 2 do
+          let key = (path.(i), path.(i + 1)) in
+          Hashtbl.replace crossings key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt crossings key))
+        done)
+      flows;
+    let busiest =
+      Hashtbl.fold (fun k v acc -> (v, k) :: acc) crossings []
+      |> List.sort (fun a b -> compare b a)
+      |> List.filteri (fun i _ -> i < fail_count)
+      |> List.map snd
+    in
+    let failures = List.map (fun link -> (fail_after, link)) busiest in
+    let failed_set = Hashtbl.create 8 in
+    List.iter
+      (fun (u, v) ->
+        Hashtbl.replace failed_set (u, v) ();
+        Hashtbl.replace failed_set (v, u) ())
+      busiest;
+    let affected_flow (s : Flowsim.flow_spec) =
+      let rt = Routing_table.get ctx.Context.table s.Flowsim.dst in
+      let path = Array.of_list (Routing.default_path rt s.Flowsim.src) in
+      let hit = ref false in
+      for i = 0 to Array.length path - 2 do
+        if Hashtbl.mem failed_set (path.(i), path.(i + 1)) then hit := true
+      done;
+      !hit
+    in
+    let params = { ctx.Context.scale.sim with Flowsim.max_time = 15. } in
+    let completion proto =
+      let r = Flowsim.run ~params ~failures ctx.Context.table proto flows in
+      let affected = ref 0 and completed = ref 0 in
+      Array.iteri
+        (fun i (st : Flowsim.flow_stats) ->
+          ignore i;
+          if affected_flow st.Flowsim.spec then begin
+            incr affected;
+            if st.Flowsim.completed then incr completed
+          end)
+        r.Flowsim.flows;
+      (!affected, float_of_int !completed /. float_of_int (Stdlib.max 1 !affected))
+    in
+    let affected, bgp_completed = completion Flowsim.Bgp in
+    let _, mifo_completed =
+      completion (Flowsim.Mifo (Context.deployment ctx ~ratio:1.0))
+    in
+    { failed_links = List.length busiest; affected; bgp_completed; mifo_completed }
+
+  let render t =
+    Printf.sprintf
+      "== Ablation: data-plane failure recovery (%d busiest links cut, %d flows affected) ==
+"
+      t.failed_links t.affected
+    ^ Table.render
+        ~header:[ "protocol"; "affected flows completed" ]
+        ~rows:
+          [
+            [ "BGP (waits for control-plane repair)"; Table.fmt_percent t.bgp_completed ];
+            [ "MIFO 100% (routes around at the data plane)"; Table.fmt_percent t.mifo_completed ];
+          ]
+end
+
+module Threshold = struct
+  type row = {
+    threshold : float;
+    at_least_500m : float;
+    mean_switches : float;
+    offload : float;
+  }
+
+  type t = row list
+
+  let run ?(thresholds = [ 0.80; 0.90; 0.95; 0.99 ]) ctx =
+    let flows =
+      Traffic.uniform
+        (Context.rng ctx ~purpose:34)
+        ~n_ases:(Context.n_ases ctx) ~count:ctx.Context.scale.flows
+        ~rate:ctx.Context.scale.arrival_rate ()
+    in
+    let deployment = Context.deployment ctx ~ratio:1.0 in
+    List.map
+      (fun threshold ->
+        let params =
+          { ctx.Context.scale.sim with Flowsim.congest_threshold = threshold }
+        in
+        let r = Flowsim.run ~params ctx.Context.table (Flowsim.Mifo deployment) flows in
+        let cdf =
+          Dist.cdf_of_samples (Array.map (fun x -> x /. 1e6) (Flowsim.throughputs r))
+        in
+        let switches = Mifo_util.Stats.create () in
+        Array.iter
+          (fun (s : Flowsim.flow_stats) ->
+            Mifo_util.Stats.add switches (float_of_int s.switches))
+          r.Flowsim.flows;
+        {
+          threshold;
+          at_least_500m = Dist.fraction_at_least cdf 500.;
+          mean_switches = Mifo_util.Stats.mean switches;
+          offload = r.Flowsim.offload_fraction;
+        })
+      thresholds
+
+  let render t =
+    "== Ablation: congestion-threshold sweep ==\n"
+    ^ Table.render
+        ~header:[ "threshold"; ">=500 Mbps"; "mean switches/flow"; "offload" ]
+        ~rows:
+          (List.map
+             (fun r ->
+               [
+                 Table.fmt_float r.threshold;
+                 Table.fmt_percent r.at_least_500m;
+                 Table.fmt_float ~decimals:3 r.mean_switches;
+                 Table.fmt_percent r.offload;
+               ])
+             t)
+end

@@ -1,0 +1,112 @@
+(** Ablation studies of MIFO's design choices (DESIGN.md, "Design choices
+    worth calling out").  These go beyond the paper's own figures: each
+    quantifies what one mechanism contributes by turning it off. *)
+
+(** The valley-free Tag-Check (Section III-A).  Replays hop-by-hop
+    forwarding under a worst-case congestion pattern (every default
+    egress congested, every AS deflecting greedily) with the data-plane
+    check on and off, on the Fig. 2(a) gadget and on the full generated
+    topology. *)
+module Tag_check : sig
+  type outcome_counts = { delivered : int; dropped_valley : int; looped : int; total : int }
+  type t = { with_check : outcome_counts; without_check : outcome_counts }
+
+  val run_gadget : unit -> t
+  (** All three peers of the Fig. 2(a) clique deflect clockwise. *)
+
+  val run : ?sources:int -> Context.t -> t
+  (** Random source/destination walks on the context topology. *)
+
+  val render : label:string -> t -> string
+end
+
+(** IP-in-IP encapsulation between iBGP peers (Section III-B): the
+    testbed run with tunneling disabled — deflected packets bounce
+    between Rd and Ra until their TTL dies. *)
+module Encap : sig
+  type t = {
+    with_encap : Mifo_testbed.Testbed.result;
+    without_encap : Mifo_testbed.Testbed.result;
+  }
+
+  val run : ?config:Mifo_testbed.Testbed.config -> unit -> t
+  val render : t -> string
+end
+
+(** Greedy local-link selection vs an oracle that knows end-to-end
+    bottleneck spare (Section III-C). *)
+module Selection : sig
+  type row = { label : string; at_least_500m : float; median_mbps : float }
+  type t = row list
+
+  val run : Context.t -> t
+  val render : t -> string
+end
+
+(** Control-plane overhead per destination prefix (Section II-B, "zero
+    overhead"): messages until BGP convergence (measured with the
+    event-driven {!Mifo_bgp.Bgp_proto} simulator), MIRO's extra
+    alternative announcements on top, and MIFO's zero. *)
+module Overhead : sig
+  type t = {
+    destinations : int;
+    bgp_messages : float;  (** mean UPDATEs to convergence per prefix *)
+    miro_extra : float;  (** mean extra announcements per prefix, strict MIRO *)
+    mifo_extra : float;  (** 0 by construction *)
+  }
+
+  val run : ?destinations:int -> Context.t -> t
+  val render : t -> string
+end
+
+(** Route-convergence dynamics (the paper's introduction: "the mismatch
+    between fast dynamics of traffic and slow route convergence").
+    Random links on live default paths are failed; the event-driven BGP
+    simulator measures how many UPDATE messages re-convergence takes and
+    how many ASes are transiently without a route — while MIFO's
+    data-plane deflection needs one forwarding decision. *)
+module Convergence : sig
+  type t = {
+    failures : int;
+    mean_messages : float;  (** UPDATEs to re-converge after one failure *)
+    max_messages : int;
+    mean_unreachable : float;  (** ASes transiently route-less, post-failure *)
+    max_unreachable : int;
+  }
+
+  val run : ?failures:int -> Context.t -> t
+  val render : t -> string
+end
+
+(** Data-plane failure recovery.  The related work (R-BGP) motivates
+    staying connected through failures; MIFO gets this for free — a dead
+    link looks like a fully congested one, so capable ASes deflect around
+    it within one epoch, while BGP flows wait for control-plane repair
+    that does not arrive within the simulation horizon. *)
+module Failure : sig
+  type t = {
+    failed_links : int;
+    affected : int;  (** flows whose default path crossed a failed link *)
+    bgp_completed : float;  (** fraction of affected flows that still completed *)
+    mifo_completed : float;
+  }
+
+  val run : ?fail_count:int -> ?fail_after:float -> Context.t -> t
+  val render : t -> string
+end
+
+(** Congestion-threshold sweep: responsiveness vs stability (how the
+    queue-ratio trigger trades throughput against path switching). *)
+module Threshold : sig
+  type row = {
+    threshold : float;
+    at_least_500m : float;
+    mean_switches : float;
+    offload : float;
+  }
+
+  type t = row list
+
+  val run : ?thresholds:float list -> Context.t -> t
+  val render : t -> string
+end

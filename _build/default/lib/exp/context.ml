@@ -1,0 +1,68 @@
+type scale = {
+  flows : int;
+  arrival_rate : float;
+  dest_samples : int;
+  miro_cap : int;
+  sim : Mifo_netsim.Flowsim.params;
+}
+
+let default_scale =
+  {
+    flows = 3_000;
+    arrival_rate = 2_000.;
+    dest_samples = 48;
+    miro_cap = 5;
+    sim = Mifo_netsim.Flowsim.default_params;
+  }
+
+let quick_scale =
+  {
+    default_scale with
+    flows = 300;
+    arrival_rate = 1_000.;
+    dest_samples = 8;
+  }
+
+type t = {
+  topo : Mifo_topology.Generator.t;
+  table : Mifo_bgp.Routing_table.t;
+  scale : scale;
+  seed : int;
+  adoption_order : int array Lazy.t;
+      (* a fixed random permutation of the ASes: deployment at ratio r is
+         its first r*n entries, so growing the ratio only ever adds
+         capable ASes (nested adoption), which keeps sweeps like Fig. 8
+         monotone in expectation and mirrors real incremental rollout *)
+}
+
+let of_graph ?(scale = default_scale) ~seed topo =
+  let graph = topo.Mifo_topology.Generator.graph in
+  let n = Mifo_topology.As_graph.n graph in
+  {
+    topo;
+    table = Mifo_bgp.Routing_table.create graph;
+    scale;
+    seed;
+    adoption_order =
+      lazy
+        (let rng = Mifo_util.Prng.create ~seed:((seed * 31) + 17) () in
+         Mifo_util.Prng.sample_without_replacement rng n n);
+  }
+
+let create ?params ?scale ~seed () =
+  of_graph ?scale ~seed (Mifo_topology.Generator.generate ?params ~seed ())
+
+let graph t = t.topo.Mifo_topology.Generator.graph
+let n_ases t = Mifo_topology.As_graph.n (graph t)
+
+let deployment t ~ratio =
+  let n = n_ases t in
+  if ratio >= 1. then Mifo_core.Deployment.full ~n
+  else begin
+    let order = Lazy.force t.adoption_order in
+    let k = int_of_float (Float.round (ratio *. float_of_int n)) in
+    let k = Stdlib.max 0 (Stdlib.min n k) in
+    Mifo_core.Deployment.of_list ~n (Array.to_list (Array.sub order 0 k))
+  end
+
+let rng t ~purpose = Mifo_util.Prng.create ~seed:((t.seed * 65_537) + purpose) ()

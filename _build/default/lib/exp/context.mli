@@ -1,0 +1,47 @@
+(** Shared experiment context: one topology + routing table + scale knobs.
+
+    Every figure module consumes a [Context.t] so a single generated
+    topology (or a loaded real trace) is reused across the whole
+    evaluation, exactly as the paper evaluates everything on one AS-level
+    snapshot. *)
+
+type scale = {
+  flows : int;  (** flows per throughput experiment *)
+  arrival_rate : float;  (** Poisson arrivals per second *)
+  dest_samples : int;  (** destinations sampled for the Fig. 7 counts *)
+  miro_cap : int;  (** MIRO strict-mode alternates per destination *)
+  sim : Mifo_netsim.Flowsim.params;
+}
+
+val default_scale : scale
+(** 3,000 flows at 2,000/s, 48 sampled destinations — minutes for the
+    full figure set on the default 2,000-AS topology. *)
+
+val quick_scale : scale
+(** A few hundred flows; used by the test suite. *)
+
+type t = {
+  topo : Mifo_topology.Generator.t;
+  table : Mifo_bgp.Routing_table.t;
+  scale : scale;
+  seed : int;
+  adoption_order : int array Lazy.t;
+      (** fixed adoption permutation: deployments at different ratios are
+          nested, as in a real incremental rollout *)
+}
+
+val create :
+  ?params:Mifo_topology.Generator.params -> ?scale:scale -> seed:int -> unit -> t
+
+val of_graph : ?scale:scale -> seed:int -> Mifo_topology.Generator.t -> t
+(** Wrap an existing topology (e.g. loaded from an [as-rel] file). *)
+
+val graph : t -> Mifo_topology.As_graph.t
+val n_ases : t -> int
+
+val deployment : t -> ratio:float -> Mifo_core.Deployment.t
+(** Deterministic in the context seed; deployments are nested: the
+    capable set at ratio [r1 <= r2] is a subset of the set at [r2]. *)
+
+val rng : t -> purpose:int -> Mifo_util.Prng.t
+(** Independent, reproducible stream per purpose tag. *)

@@ -1,0 +1,98 @@
+(** Every table and figure of the paper's evaluation, regenerated.
+
+    Each submodule has a [run] returning structured results and a
+    [render] producing the aligned-text table/series the benchmark
+    harness prints.  See DESIGN.md for the experiment index and
+    EXPERIMENTS.md for paper-vs-measured numbers. *)
+
+(** Table I — attributes of the AS topology. *)
+module Table1 : sig
+  type t = Mifo_topology.Topo_stats.t
+
+  val run : Context.t -> t
+  val render : t -> string
+end
+
+(** Fig. 7 — available paths per AS pair, MIFO vs MIRO at 50%/100%
+    deployment.  Path counts toward [dest_samples] destinations from
+    every source, presented as the count at each percentile of node
+    pairs (the paper's x axis). *)
+module Fig7 : sig
+  type series = { label : string; percentile_counts : (float * float) array }
+  type t = { series : series list; pairs : int }
+
+  val run : Context.t -> t
+  val render : t -> string
+  val to_csv : t -> string
+
+  val median_of : t -> string -> float
+  (** Median path count of a named series.  @raise Not_found on a bad
+      label. *)
+end
+
+(** Figs. 5 and 6 — end-to-end flow-throughput CDFs.  Fig. 5 uses the
+    uniform traffic matrix at 100%/50%/10% deployment; Fig. 6 uses the
+    power-law matrix at 50% deployment with alpha in {0.8, 1.0, 1.2}. *)
+module Throughput : sig
+  type curve = {
+    label : string;
+    cdf : (float * float) array;  (** (Mbps, CDF %) — the paper's axes *)
+    at_least_500m : float;  (** fraction of flows attaining >= 500 Mbps *)
+    median_mbps : float;
+    offload : float;
+    mean_completion : float;
+  }
+
+  val fig5 : ?ratios:float list -> Context.t -> (float * curve list) list
+  (** Per deployment ratio (default [1.0; 0.5; 0.1]): BGP, MIRO, MIFO
+      curves. *)
+
+  val fig6 : ?alphas:float list -> Context.t -> (float * curve list) list
+  (** Per alpha (default [0.8; 1.0; 1.2]) at 50% deployment. *)
+
+  val render_fig5 : (float * curve list) list -> string
+  val render_fig6 : (float * curve list) list -> string
+
+  val fig5_to_csv : (float * curve list) list -> (string * string) list
+  (** (file name, contents) per deployment panel. *)
+
+  val fig6_to_csv : (float * curve list) list -> (string * string) list
+end
+
+(** Fig. 8 — share of flows offloaded to alternative paths as MIFO
+    deployment grows 10% ... 100%. *)
+module Fig8 : sig
+  type t = (float * float) array  (** (deployment ratio, offloaded fraction) *)
+
+  val run : ?ratios:float list -> Context.t -> t
+  val render : t -> string
+  val to_csv : t -> string
+end
+
+(** Fig. 9 — stability: distribution of per-flow path-switch counts under
+    MIFO (among flows that switched at least once, 100% deployment). *)
+module Fig9 : sig
+  type t = {
+    fractions : float array;  (** index i = fraction with i+1 switches; last = "5+" *)
+    switched_flows : int;
+    total_flows : int;
+  }
+
+  val run : Context.t -> t
+  val render : t -> string
+  val to_csv : t -> string
+end
+
+(** Fig. 12 — the testbed experiment: aggregate throughput over time and
+    flow-completion-time CDF, BGP vs MIFO. *)
+module Fig12 : sig
+  type t = {
+    bgp : Mifo_testbed.Testbed.result;
+    mifo : Mifo_testbed.Testbed.result;
+    improvement : float;  (** relative aggregate-throughput gain *)
+  }
+
+  val run : ?config:Mifo_testbed.Testbed.config -> unit -> t
+  val render : t -> string
+  val to_csv : t -> (string * string) list
+end

@@ -1,0 +1,29 @@
+(** Cross-validation of the two simulators.
+
+    The AS-scale figures run on the flow-level simulator (max-min fluid
+    model); the testbed runs on the packet-level simulator (real engine,
+    real TCP).  This module runs the {e same} scenario on both — a small
+    AS topology, the same flow set, BGP and full-MIFO — and reports how
+    well they agree:
+
+    + per-flow throughput correlation under BGP (the fluid model should
+      track packet-level TCP closely when nothing adapts);
+    + the MIFO-over-BGP makespan speedup seen by each simulator (the
+      adaptive behaviours should improve both by a similar factor).
+
+    The benchmark harness prints this as the [validate] target, and the
+    test suite asserts the correlation stays high. *)
+
+type t = {
+  flows : int;
+  ases : int;
+  bgp_correlation : float;  (** Pearson, per-flow throughput, flowsim vs packetsim *)
+  bgp_mean_ratio : float;  (** mean (flowsim throughput / packetsim throughput) *)
+  flowsim_speedup : float;  (** BGP makespan / MIFO makespan, flow level *)
+  packetsim_speedup : float;  (** same, packet level *)
+}
+
+val run : ?ases:int -> ?flows:int -> ?flow_bytes:int -> seed:int -> unit -> t
+(** Defaults: 150 ASes, 24 flows of 10 MB.  Deterministic in [seed]. *)
+
+val render : t -> string

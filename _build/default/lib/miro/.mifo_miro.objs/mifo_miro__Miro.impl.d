@@ -1,0 +1,1 @@
+lib/miro/miro.ml: Hashtbl List Mifo_bgp Mifo_core Mifo_topology

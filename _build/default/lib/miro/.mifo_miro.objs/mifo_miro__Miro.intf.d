@@ -1,0 +1,1 @@
+lib/miro/miro.mli: Mifo_bgp Mifo_core

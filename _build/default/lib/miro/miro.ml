@@ -1,0 +1,54 @@
+module Routing = Mifo_bgp.Routing
+module Relationship = Mifo_topology.Relationship
+module Deployment = Mifo_core.Deployment
+
+type config = { cap : int }
+
+let default_config = { cap = 5 }
+
+let candidates ?(config = default_config) rt ~deployment ~src =
+  if src = Routing.dest rt || not (Deployment.capable deployment src) then []
+  else
+    match Routing.rib rt src with
+    | [] -> []
+    | default :: rest ->
+      let same_class (e : Routing.rib_entry) =
+        Relationship.preference_rank e.rel
+        = Relationship.preference_rank default.rel
+        && Deployment.capable deployment e.via
+      in
+      List.filteri (fun i _ -> i < config.cap) (List.filter same_class rest)
+
+let available_path_count ?config rt ~deployment ~src =
+  if src = Routing.dest rt then 1
+  else if not (Routing.reachable rt src) then 0
+  else 1 + List.length (candidates ?config rt ~deployment ~src)
+
+let alternate_paths ?config rt ~deployment ~src =
+  let has_dup path =
+    let seen = Hashtbl.create 16 in
+    List.exists
+      (fun v ->
+        if Hashtbl.mem seen v then true
+        else begin
+          Hashtbl.add seen v ();
+          false
+        end)
+      path
+  in
+  candidates ?config rt ~deployment ~src
+  |> List.filter_map (fun (e : Routing.rib_entry) ->
+         let path = src :: Routing.default_path rt e.via in
+         if has_dup path then None else Some path)
+
+let extra_announcements ?config rt ~deployment =
+  let g_n = Deployment.size deployment in
+  let total = ref 0 in
+  for v = 0 to g_n - 1 do
+    if v <> Routing.dest rt then begin
+      let alternates = candidates ?config rt ~deployment ~src:v in
+      (* each alternate is re-advertised alongside the default route *)
+      total := !total + List.length alternates
+    end
+  done;
+  !total

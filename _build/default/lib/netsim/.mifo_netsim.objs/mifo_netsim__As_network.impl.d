@@ -1,0 +1,1 @@
+lib/netsim/as_network.ml: Array Hashtbl List Mifo_bgp Mifo_core Mifo_topology Packetsim

@@ -1,0 +1,1 @@
+lib/netsim/as_network.mli: Hashtbl Mifo_bgp Mifo_core Packetsim

@@ -1,0 +1,1 @@
+lib/netsim/flowsim.ml: Array Float Hashtbl List Maxmin Mifo_bgp Mifo_core Mifo_miro Mifo_topology Mifo_util

@@ -1,0 +1,1 @@
+lib/netsim/flowsim.mli: Mifo_bgp Mifo_core

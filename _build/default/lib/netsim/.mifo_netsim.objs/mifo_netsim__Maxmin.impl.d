@@ -1,0 +1,1 @@
+lib/netsim/maxmin.ml: Array Float List Mifo_util Stdlib

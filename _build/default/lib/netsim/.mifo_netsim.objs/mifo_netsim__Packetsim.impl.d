@@ -1,0 +1,1 @@
+lib/netsim/packetsim.ml: Array Eventq Float Hashtbl List Mifo_bgp Mifo_core Mifo_util Option Tcp

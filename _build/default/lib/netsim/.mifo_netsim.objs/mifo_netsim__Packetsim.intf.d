@@ -1,0 +1,1 @@
+lib/netsim/packetsim.mli: Mifo_bgp Mifo_core

@@ -1,0 +1,1 @@
+lib/netsim/router_network.ml: Array Hashtbl List Mifo_bgp Mifo_core Mifo_topology Packetsim

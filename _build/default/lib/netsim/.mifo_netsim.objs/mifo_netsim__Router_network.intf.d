@@ -1,0 +1,1 @@
+lib/netsim/router_network.mli: Hashtbl Mifo_bgp Mifo_core Mifo_topology Packetsim

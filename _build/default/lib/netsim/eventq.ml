@@ -1,0 +1,27 @@
+module Heap = Mifo_util.Heap
+
+type 'a item = { time : float; seq : int; payload : 'a }
+type 'a t = { heap : 'a item Heap.t; mutable next_seq : int }
+
+let cmp a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp (); next_seq = 0 }
+
+let schedule t ~time payload =
+  if Float.is_nan time || time < 0. then invalid_arg "Eventq.schedule: bad time";
+  Heap.push t.heap { time; seq = t.next_seq; payload };
+  t.next_seq <- t.next_seq + 1
+
+let next t =
+  match Heap.pop t.heap with
+  | None -> None
+  | Some { time; payload; _ } -> Some (time, payload)
+
+let is_empty t = Heap.is_empty t.heap
+let length t = Heap.length t.heap
+let clear t = Heap.clear t.heap
+
+let peek_time t =
+  match Heap.peek t.heap with None -> None | Some { time; _ } -> Some time

@@ -1,0 +1,19 @@
+(** Simulation event queue.
+
+    A thin wrapper over {!Mifo_util.Heap} keyed by simulated time, with a
+    monotonic sequence number so simultaneous events pop in insertion
+    order (determinism matters: every run must be reproducible). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val schedule : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on NaN or negative time. *)
+
+val next : 'a t -> (float * 'a) option
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val clear : 'a t -> unit
+
+val peek_time : 'a t -> float option
+(** Time of the next event without removing it. *)

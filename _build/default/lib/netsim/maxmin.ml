@@ -1,0 +1,101 @@
+module Heap = Mifo_util.Heap
+
+let dedup_sorted a =
+  let n = Array.length a in
+  if n <= 1 then a
+  else begin
+    let out = Array.make n a.(0) in
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then begin
+        out.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    Array.sub out 0 !k
+  end
+
+let allocate ~capacities ~flow_links =
+  let nlinks = Array.length capacities in
+  let nflows = Array.length flow_links in
+  Array.iter
+    (fun c -> if c < 0. || Float.is_nan c then invalid_arg "Maxmin: bad capacity")
+    capacities;
+  (* Per-flow deduplicated link sets; validate ids. *)
+  let paths =
+    Array.map
+      (fun links ->
+        Array.iter
+          (fun l ->
+            if l < 0 || l >= nlinks then invalid_arg "Maxmin: link id out of range")
+          links;
+        let sorted = Array.copy links in
+        Array.sort compare sorted;
+        dedup_sorted sorted)
+      flow_links
+  in
+  let max_cap = Array.fold_left Stdlib.max 0. capacities in
+  let rates = Array.make nflows max_cap in
+  (* Per-link bookkeeping. *)
+  let unfrozen = Array.make nlinks 0 in
+  let frozen_alloc = Array.make nlinks 0. in
+  let members = Array.make nlinks [] in
+  Array.iteri
+    (fun f links ->
+      Array.iter
+        (fun l ->
+          unfrozen.(l) <- unfrozen.(l) + 1;
+          members.(l) <- f :: members.(l))
+        links)
+    paths;
+  let flow_frozen = Array.make nflows false in
+  let remaining = ref 0 in
+  Array.iter (fun links -> if Array.length links > 0 then incr remaining) paths;
+  let level l = (capacities.(l) -. frozen_alloc.(l)) /. float_of_int unfrozen.(l) in
+  let heap = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) () in
+  for l = 0 to nlinks - 1 do
+    if unfrozen.(l) > 0 then Heap.push heap (level l, l)
+  done;
+  while !remaining > 0 do
+    match Heap.pop heap with
+    | None ->
+      (* cannot happen while flows remain: every unfrozen flow crosses a
+         link that is still in the heap *)
+      assert false
+    | Some (key, l) ->
+      if unfrozen.(l) > 0 then begin
+        let current = level l in
+        if current > key +. (1e-9 *. Float.max 1. current) then
+          (* stale key: the link's level grew since it was pushed *)
+          Heap.push heap (current, l)
+        else begin
+          (* [l] is the next bottleneck: freeze everything unfrozen on it *)
+          let fair = Float.max 0. current in
+          List.iter
+            (fun f ->
+              if not flow_frozen.(f) then begin
+                flow_frozen.(f) <- true;
+                rates.(f) <- fair;
+                decr remaining;
+                Array.iter
+                  (fun m ->
+                    frozen_alloc.(m) <- frozen_alloc.(m) +. fair;
+                    unfrozen.(m) <- unfrozen.(m) - 1)
+                  paths.(f)
+              end)
+            members.(l)
+        end
+      end
+  done;
+  rates
+
+let link_allocation ~capacities ~flow_links ~rates =
+  let alloc = Array.make (Array.length capacities) 0. in
+  Array.iteri
+    (fun f links ->
+      let sorted = Array.copy links in
+      Array.sort compare sorted;
+      let deduped = dedup_sorted sorted in
+      Array.iter (fun l -> alloc.(l) <- alloc.(l) +. rates.(f)) deduped)
+    flow_links;
+  alloc

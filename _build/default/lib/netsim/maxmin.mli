@@ -1,0 +1,32 @@
+(** Max-min fair bandwidth allocation (progressive filling).
+
+    The flow-level simulator models long-lived TCP flows sharing links as
+    a max-min fair allocation, the standard fluid abstraction: all flow
+    rates rise together until a link saturates, the flows bottlenecked
+    there freeze at the fair share, and the rest keep rising.
+
+    The implementation keeps a lazy min-heap of per-link saturation
+    levels.  A link's level (cap - frozen) / unfrozen only grows as flows
+    freeze, so a popped stale key can simply be re-pushed; the run time is
+    O((L + sum of path lengths) log L). *)
+
+val allocate :
+  capacities:float array ->
+  flow_links:int array array ->
+  float array
+(** [allocate ~capacities ~flow_links] returns the max-min rate of each
+    flow.  [flow_links.(f)] lists the link ids flow [f] crosses (may be
+    empty: such a flow is unconstrained and gets the largest link
+    capacity).  Duplicate link ids within one flow are allowed and
+    counted once.
+
+    @raise Invalid_argument on negative capacities or out-of-range link
+    ids. *)
+
+val link_allocation :
+  capacities:float array ->
+  flow_links:int array array ->
+  rates:float array ->
+  float array
+(** Total allocated bandwidth per link under the given rates — the
+    utilization view the adaptive controllers consume. *)

@@ -1,0 +1,487 @@
+module Prefix = Mifo_bgp.Prefix
+module Fib = Mifo_core.Fib
+module Engine = Mifo_core.Engine
+module Daemon = Mifo_core.Daemon
+module Packet = Mifo_core.Packet
+module Vec = Mifo_util.Vec
+
+type node_id = int
+
+type config = {
+  queue_bits : int;
+  daemon_period : float;
+  daemon_config : Daemon.config;
+  engine_congest_ratio : float;
+  mss_bits : int;
+  ack_bits : int;
+  series_interval : float;
+  tag_check : bool;
+  ibgp_encap : bool;
+}
+
+let default_config =
+  {
+    queue_bits = 1_000_000;
+    daemon_period = 0.005;
+    daemon_config = Daemon.default_config;
+    engine_congest_ratio = 0.5;
+    mss_bits = 8_000;
+    ack_bits = 320;
+    series_interval = 0.1;
+    tag_check = true;
+    ibgp_encap = true;
+  }
+
+type link = {
+  rate : float;
+  delay : float;
+  queue_limit : int;
+  mutable next_free : float;
+  mutable bits_carried : float;
+  mutable carried_at_epoch : float;  (* snapshot at last daemon tick *)
+  mutable drops : int;
+}
+
+type port = { link : link; peer : node_id; peer_port : int; kind : Engine.port_kind }
+
+type flow_rec = {
+  id : int;
+  src_host : node_id;
+  dst_host : node_id;
+  src_addr : Prefix.addr;
+  dst_addr : Prefix.addr;
+  bytes : int;
+  start : float;
+  mutable finish : float option;
+}
+
+type sender = {
+  frec : flow_rec;
+  tcp : Tcp.Sender.t;
+  send_times : (int, float) Hashtbl.t;
+      (* first-transmission time per segment; NaN once retransmitted
+         (Karn's rule disables the RTT sample) *)
+}
+
+type router = {
+  as_id : int;
+  r_fib : Fib.t;
+  mutable chooser : (Prefix.t -> Fib.entry -> int option) option;
+  last_egress : (int, int) Hashtbl.t;  (* flow -> egress port *)
+  mutable switches : (int, int) Hashtbl.t;  (* flow -> count *)
+}
+
+type host = {
+  addr : Prefix.addr;
+  senders : (int, sender) Hashtbl.t;
+  receivers : (int, Tcp.Receiver.t) Hashtbl.t;
+}
+
+type node_kind = Router of router | Host of host
+type node = { kind : node_kind; ports : port Vec.t }
+
+type event =
+  | Arrive of { node : node_id; port : int; packet : Packet.t }
+  | Start_flow of int
+  | Timeout of { host : node_id; flow : int; gen : int }
+  | Daemon_tick
+
+type counters = {
+  delivered_packets : int;
+  dropped_queue : int;
+  dropped_ttl : int;
+  dropped_valley : int;
+  dropped_no_route : int;
+  encapsulated : int;
+  deflected : int;
+}
+
+type t = {
+  cfg : config;
+  nodes : node Vec.t;
+  flows : flow_rec Vec.t;
+  events : event Eventq.t;
+  mutable now : float;
+  mutable delivered_packets : int;
+  mutable dropped_queue : int;
+  mutable dropped_ttl : int;
+  mutable dropped_valley : int;
+  mutable dropped_no_route : int;
+  mutable encapsulated : int;
+  mutable deflected : int;
+  goodput_buckets : float Vec.t;  (* bits per series_interval bucket *)
+  mutable daemon_scheduled : bool;
+  mutable last_epoch_time : float;
+  mutable on_complete : (int -> unit) option;
+  mutable tracer : (float -> int -> Packet.t -> Engine.action -> unit) option;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    nodes = Vec.create ();
+    flows = Vec.create ();
+    events = Eventq.create ();
+    now = 0.;
+    delivered_packets = 0;
+    dropped_queue = 0;
+    dropped_ttl = 0;
+    dropped_valley = 0;
+    dropped_no_route = 0;
+    encapsulated = 0;
+    deflected = 0;
+    goodput_buckets = Vec.create ();
+    daemon_scheduled = false;
+    last_epoch_time = 0.;
+    on_complete = None;
+    tracer = None;
+  }
+
+let config t = t.cfg
+let now t = t.now
+
+let add_router t ~as_id =
+  let r =
+    {
+      as_id;
+      r_fib = Fib.create ();
+      chooser = None;
+      last_egress = Hashtbl.create 64;
+      switches = Hashtbl.create 64;
+    }
+  in
+  Vec.push t.nodes { kind = Router r; ports = Vec.create () };
+  Vec.length t.nodes - 1
+
+let add_host t ~addr =
+  let h = { addr; senders = Hashtbl.create 8; receivers = Hashtbl.create 8 } in
+  Vec.push t.nodes { kind = Host h; ports = Vec.create () };
+  Vec.length t.nodes - 1
+
+let node t id = Vec.get t.nodes id
+
+let router_exn t id =
+  match (node t id).kind with
+  | Router r -> r
+  | Host _ -> invalid_arg "Packetsim: expected a router"
+
+let host_exn t id =
+  match (node t id).kind with
+  | Host h -> h
+  | Router _ -> invalid_arg "Packetsim: expected a host"
+
+let connect t ~a ~b ~kind_ab ~kind_ba ~rate ?(delay = 50e-6) ?queue_bits () =
+  if rate <= 0. then invalid_arg "Packetsim.connect: rate must be positive";
+  let queue_limit = match queue_bits with Some q -> q | None -> t.cfg.queue_bits in
+  let mk () =
+    {
+      rate;
+      delay;
+      queue_limit;
+      next_free = 0.;
+      bits_carried = 0.;
+      carried_at_epoch = 0.;
+      drops = 0;
+    }
+  in
+  let na = node t a and nb = node t b in
+  let pa = Vec.length na.ports and pb = Vec.length nb.ports in
+  Vec.push na.ports { link = mk (); peer = b; peer_port = pb; kind = kind_ab };
+  Vec.push nb.ports { link = mk (); peer = a; peer_port = pa; kind = kind_ba };
+  (pa, pb)
+
+let fib t id = (router_exn t id).r_fib
+let set_alt_chooser t id chooser = (router_exn t id).chooser <- Some chooser
+
+let port t id p = Vec.get (node t id).ports p
+
+(* Queue occupancy of a link right now: the backlog implied by next_free. *)
+let queue_bits_now t link =
+  Float.max 0. ((link.next_free -. t.now) *. link.rate)
+
+let queue_ratio t link = queue_bits_now t link /. float_of_int link.queue_limit
+
+let spare_capacity t id p =
+  let link = (port t id p).link in
+  let elapsed = Float.max t.cfg.daemon_period (t.now -. t.last_epoch_time) in
+  let used = (link.bits_carried -. link.carried_at_epoch) /. elapsed in
+  Float.max 0. (link.rate -. used)
+
+(* Transmit a packet out of a node's port: tail-drop FIFO queue, then
+   store-and-forward serialization and propagation. *)
+let transmit t src_node p packet =
+  let { link; peer; peer_port; _ } = port t src_node p in
+  let wire = float_of_int (Packet.wire_size_bits packet) in
+  if queue_bits_now t link +. wire > float_of_int link.queue_limit then begin
+    link.drops <- link.drops + 1;
+    t.dropped_queue <- t.dropped_queue + 1
+  end
+  else begin
+    let start = Float.max t.now link.next_free in
+    let done_tx = start +. (wire /. link.rate) in
+    link.next_free <- done_tx;
+    link.bits_carried <- link.bits_carried +. wire;
+    Eventq.schedule t.events ~time:(done_tx +. link.delay)
+      (Arrive { node = peer; port = peer_port; packet })
+  end
+
+let record_goodput t bits =
+  let bucket = int_of_float (t.now /. t.cfg.series_interval) in
+  while Vec.length t.goodput_buckets <= bucket do
+    Vec.push t.goodput_buckets 0.
+  done;
+  Vec.set t.goodput_buckets bucket (Vec.get t.goodput_buckets bucket +. bits)
+
+let engine_env t id r =
+  {
+    Engine.router_id = id;
+    fib = r.r_fib;
+    port_kind = (fun p -> (port t id p).kind);
+    is_congested =
+      (fun p -> queue_ratio t (port t id p).link >= t.cfg.engine_congest_ratio);
+    next_hop_router =
+      (fun p ->
+        let pt = port t id p in
+        match (node t pt.peer).kind with Router _ -> Some pt.peer | Host _ -> None);
+  }
+
+let note_egress r flow p =
+  match Hashtbl.find_opt r.last_egress flow with
+  | Some prev when prev = p -> ()
+  | Some _ ->
+    Hashtbl.replace r.last_egress flow p;
+    let c = Option.value ~default:0 (Hashtbl.find_opt r.switches flow) in
+    Hashtbl.replace r.switches flow (c + 1)
+  | None -> Hashtbl.replace r.last_egress flow p
+
+let handle_router t id r ~port:ingress packet =
+  let env = engine_env t id r in
+  let action =
+    Engine.forward ~tag_check:t.cfg.tag_check ~ibgp_encap:t.cfg.ibgp_encap env
+      ~ingress:(Some ingress) packet
+  in
+  (match t.tracer with Some f -> f t.now id packet action | None -> ());
+  match action with
+  | Engine.Drop { reason = Engine.Ttl_expired; _ } -> t.dropped_ttl <- t.dropped_ttl + 1
+  | Engine.Drop { reason = Engine.Valley_violation; _ } ->
+    t.dropped_valley <- t.dropped_valley + 1
+  | Engine.Drop { reason = Engine.No_route; _ } ->
+    t.dropped_no_route <- t.dropped_no_route + 1
+  | Engine.Send { port = out; packet = packet' } ->
+    (match Fib.lookup r.r_fib packet'.Packet.dst with
+     | Some entry when out <> entry.Fib.out_port ->
+       t.deflected <- t.deflected + 1;
+       if packet'.Packet.encap <> None && packet.Packet.encap = None then
+         t.encapsulated <- t.encapsulated + 1
+     | Some _ | None -> ());
+    note_egress r packet'.Packet.flow out;
+    transmit t id out packet'
+
+(* Host-side TCP machinery. *)
+let arm_timer t host_id (s : sender) =
+  if Tcp.Sender.timer_needed s.tcp then begin
+    let gen = Tcp.Sender.arm_timer s.tcp in
+    Eventq.schedule t.events
+      ~time:(t.now +. Tcp.Sender.rto s.tcp)
+      (Timeout { host = host_id; flow = s.frec.id; gen })
+  end
+
+let send_segment t host_id (s : sender) seq =
+  (match Hashtbl.find_opt s.send_times seq with
+   | None -> Hashtbl.replace s.send_times seq t.now
+   | Some _ -> Hashtbl.replace s.send_times seq Float.nan);
+  let packet =
+    Packet.make ~kind:Packet.Data ~seq ~size_bits:t.cfg.mss_bits ~src:s.frec.src_addr
+      ~dst:s.frec.dst_addr ~flow:s.frec.id ()
+  in
+  transmit t host_id 0 packet
+
+let pump t host_id (s : sender) =
+  let rec go () =
+    match Tcp.Sender.next_to_send s.tcp with
+    | Some seq ->
+      send_segment t host_id s seq;
+      go ()
+    | None -> ()
+  in
+  go ();
+  arm_timer t host_id s
+
+let total_segments t bytes = ((bytes * 8) + t.cfg.mss_bits - 1) / t.cfg.mss_bits
+
+let add_flow t ~src ~dst ~bytes ~start =
+  if bytes <= 0 then invalid_arg "Packetsim.add_flow: empty flow";
+  let hs = host_exn t src and hd = host_exn t dst in
+  let id = Vec.length t.flows in
+  let frec =
+    {
+      id;
+      src_host = src;
+      dst_host = dst;
+      src_addr = hs.addr;
+      dst_addr = hd.addr;
+      bytes;
+      start;
+      finish = None;
+    }
+  in
+  Vec.push t.flows frec;
+  let tcp = Tcp.Sender.create ~total:(total_segments t bytes) in
+  Hashtbl.replace hs.senders id { frec; tcp; send_times = Hashtbl.create 256 };
+  Hashtbl.replace hd.receivers id (Tcp.Receiver.create ());
+  Eventq.schedule t.events ~time:start (Start_flow id);
+  id
+
+let handle_host t id h ~port:_ packet =
+  match packet.Packet.kind with
+  | Packet.Data -> (
+    match Hashtbl.find_opt h.receivers packet.Packet.flow with
+    | None -> ()
+    | Some rcv ->
+      t.delivered_packets <- t.delivered_packets + 1;
+      record_goodput t (float_of_int packet.Packet.size_bits);
+      let ack = Tcp.Receiver.on_data rcv packet.Packet.seq in
+      let reply =
+        Packet.make ~kind:Packet.Ack ~seq:ack ~size_bits:t.cfg.ack_bits
+          ~src:packet.Packet.dst ~dst:packet.Packet.src ~flow:packet.Packet.flow ()
+      in
+      transmit t id 0 reply)
+  | Packet.Ack -> (
+    match Hashtbl.find_opt h.senders packet.Packet.flow with
+    | None -> ()
+    | Some s ->
+      if s.frec.finish = None then begin
+        let before = Tcp.Sender.snd_una s.tcp in
+        let ack = packet.Packet.seq in
+        if ack > before then begin
+          (* RTT sample from the newest segment this ACK covers *)
+          (match Hashtbl.find_opt s.send_times (ack - 1) with
+           | Some t0 when not (Float.is_nan t0) ->
+             Tcp.Sender.observe_rtt s.tcp (t.now -. t0)
+           | Some _ | None -> ());
+          for seq = before to ack - 1 do
+            Hashtbl.remove s.send_times seq
+          done
+        end;
+        let rtx = Tcp.Sender.on_ack s.tcp packet.Packet.seq in
+        List.iter (send_segment t id s) rtx;
+        if Tcp.Sender.is_done s.tcp then begin
+          s.frec.finish <- Some t.now;
+          match t.on_complete with Some f -> f s.frec.id | None -> ()
+        end
+        else pump t id s
+      end)
+
+let daemon_tick t =
+  for id = 0 to Vec.length t.nodes - 1 do
+    match (node t id).kind with
+    | Host _ -> ()
+    | Router r ->
+      let port_utilization p =
+        let link = (port t id p).link in
+        let elapsed = Float.max 1e-9 (t.now -. t.last_epoch_time) in
+        let used = (link.bits_carried -. link.carried_at_epoch) /. elapsed in
+        Float.min 1. (used /. link.rate)
+      in
+      let choose_alt prefix entry =
+        match r.chooser with
+        | Some f -> f prefix entry
+        | None -> entry.Fib.alt_port
+      in
+      Daemon.epoch ~config:t.cfg.daemon_config ~fib:r.r_fib ~port_utilization
+        ~choose_alt ()
+  done;
+  (* snapshot link counters for the next epoch's utilization window *)
+  for id = 0 to Vec.length t.nodes - 1 do
+    Vec.iter (fun p -> p.link.carried_at_epoch <- p.link.bits_carried) (node t id).ports
+  done;
+  t.last_epoch_time <- t.now
+
+let handle t = function
+  | Arrive { node = id; port = p; packet } -> (
+    match (node t id).kind with
+    | Router r -> handle_router t id r ~port:p packet
+    | Host h -> handle_host t id h ~port:p packet)
+  | Start_flow flow -> (
+    let frec = Vec.get t.flows flow in
+    match Hashtbl.find_opt (host_exn t frec.src_host).senders flow with
+    | Some s -> pump t frec.src_host s
+    | None -> ())
+  | Timeout { host; flow; gen } -> (
+    match Hashtbl.find_opt (host_exn t host).senders flow with
+    | None -> ()
+    | Some s ->
+      if s.frec.finish = None then begin
+        let rtx = Tcp.Sender.on_timeout s.tcp ~gen in
+        if rtx <> [] then begin
+          List.iter (send_segment t host s) rtx;
+          arm_timer t host s
+        end
+      end)
+  | Daemon_tick ->
+    daemon_tick t;
+    if not (Eventq.is_empty t.events) then begin
+      Eventq.schedule t.events ~time:(t.now +. t.cfg.daemon_period) Daemon_tick
+    end
+
+let run ?(until = infinity) t =
+  if not t.daemon_scheduled then begin
+    t.daemon_scheduled <- true;
+    Eventq.schedule t.events ~time:t.cfg.daemon_period Daemon_tick
+  end;
+  let rec loop () =
+    match Eventq.peek_time t.events with
+    | None -> ()
+    | Some time when time > until -> ()
+    | Some _ -> (
+      match Eventq.next t.events with
+      | None -> ()
+      | Some (time, ev) ->
+        t.now <- time;
+        handle t ev;
+        loop ())
+  in
+  loop ()
+
+type flow_result = { flow : int; start : float; finish : float option; bytes : int }
+
+let flow_results t =
+  Array.map
+    (fun (f : flow_rec) ->
+      { flow = f.id; start = f.start; finish = f.finish; bytes = f.bytes })
+    (Vec.to_array t.flows)
+
+let throughput_series t =
+  Array.mapi
+    (fun i bits -> (float_of_int i *. t.cfg.series_interval, bits /. t.cfg.series_interval))
+    (Vec.to_array t.goodput_buckets)
+
+let counters t =
+  {
+    delivered_packets = t.delivered_packets;
+    dropped_queue = t.dropped_queue;
+    dropped_ttl = t.dropped_ttl;
+    dropped_valley = t.dropped_valley;
+    dropped_no_route = t.dropped_no_route;
+    encapsulated = t.encapsulated;
+    deflected = t.deflected;
+  }
+
+let path_switches t =
+  let totals = Hashtbl.create 64 in
+  for id = 0 to Vec.length t.nodes - 1 do
+    match (node t id).kind with
+    | Host _ -> ()
+    | Router r ->
+      Hashtbl.iter
+        (fun flow c ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt totals flow) in
+          Hashtbl.replace totals flow (cur + c))
+        r.switches
+  done;
+  Hashtbl.fold (fun flow c acc -> (flow, c) :: acc) totals []
+  |> List.sort compare
+
+let set_completion_hook t f = t.on_complete <- Some f
+let set_tracer t f = t.tracer <- Some f
+let clear_tracer t = t.tracer <- None

@@ -1,0 +1,121 @@
+(** Packet-level event-driven network simulator.
+
+    The substrate for the prototype/testbed experiments (Section V): real
+    packets with MIFO tags and IP-in-IP headers, FIFO tx queues with tail
+    drop, store-and-forward links, TCP sources ({!Tcp}), routers running
+    the {!Mifo_core.Engine} on every packet, and the {!Mifo_core.Daemon}
+    ticking periodically on every router.  The congestion signal is the
+    tx-queue occupancy ratio, exactly the paper's choice.
+
+    Build a network with [add_router] / [add_host] / [connect], populate
+    FIBs, optionally install an alternative-path chooser per router
+    (otherwise alt ports stay as configured), add flows, then [run].
+
+    Everything is deterministic; there is no randomness anywhere in the
+    simulator. *)
+
+type t
+type node_id = int
+
+type config = {
+  queue_bits : int;  (** default per-link tx queue (1 Mbit ≈ 125 KB) *)
+  daemon_period : float;  (** seconds between daemon epochs *)
+  daemon_config : Mifo_core.Daemon.config;
+  engine_congest_ratio : float;
+      (** tx-queue ratio at/above which the engine sees congestion *)
+  mss_bits : int;  (** data segment size (paper: 1 KB = 8000 bits) *)
+  ack_bits : int;
+  series_interval : float;  (** aggregate-throughput bucket width *)
+  tag_check : bool;  (** disable only for the loop ablation *)
+  ibgp_encap : bool;  (** disable only for the iBGP-cycling ablation *)
+}
+
+val default_config : config
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+
+val add_router : t -> as_id:int -> node_id
+val add_host : t -> addr:Mifo_bgp.Prefix.addr -> node_id
+
+val connect :
+  t ->
+  a:node_id ->
+  b:node_id ->
+  kind_ab:Mifo_core.Engine.port_kind ->
+  kind_ba:Mifo_core.Engine.port_kind ->
+  rate:float ->
+  ?delay:float ->
+  ?queue_bits:int ->
+  unit ->
+  int * int
+(** Full-duplex link; returns (port on [a], port on [b]).  [kind_ab] is
+    how [a] sees the port toward [b].  Default delay 50 µs. *)
+
+val fib : t -> node_id -> Mifo_core.Fib.t
+(** The router's FIB, to be populated by the caller.
+    @raise Invalid_argument on a host node. *)
+
+val set_alt_chooser :
+  t -> node_id -> (Mifo_bgp.Prefix.t -> Mifo_core.Fib.entry -> int option) -> unit
+(** Installed per router; called by the daemon every epoch to refresh
+    [alt_port].  Without a chooser the daemon keeps the configured
+    alternative. *)
+
+val spare_capacity : t -> node_id -> int -> float
+(** Smoothed spare capacity (bits/s) of the link behind a port since the
+    last daemon epoch — the measurement border routers exchange over
+    iBGP; typical input for an alt chooser. *)
+
+val add_flow : t -> src:node_id -> dst:node_id -> bytes:int -> start:float -> int
+(** A TCP transfer between two hosts; returns the flow id.
+    @raise Invalid_argument on non-host endpoints or a bad size. *)
+
+val run : ?until:float -> t -> unit
+(** Process events until the queue drains or simulated [until]
+    (default: drain). *)
+
+val now : t -> float
+
+(** {1 Results} *)
+
+type flow_result = {
+  flow : int;
+  start : float;
+  finish : float option;  (** completion time of the whole transfer *)
+  bytes : int;
+}
+
+val flow_results : t -> flow_result array
+
+val throughput_series : t -> (float * float) array
+(** (bucket start time, aggregate goodput in bits/s) measured at the
+    receiving hosts. *)
+
+type counters = {
+  delivered_packets : int;
+  dropped_queue : int;
+  dropped_ttl : int;
+  dropped_valley : int;
+  dropped_no_route : int;
+  encapsulated : int;  (** packets tunneled between iBGP peers *)
+  deflected : int;  (** packets sent via an alternative (eBGP) port *)
+}
+
+val counters : t -> counters
+val path_switches : t -> (int * int) list
+(** Per flow id, how many times its egress port changed at some router —
+    the testbed view of Fig. 9's switch count. *)
+
+val set_completion_hook : t -> (int -> unit) -> unit
+(** Called (with the flow id) the moment a sender sees its last byte
+    acknowledged; may add new flows — how the testbed chains its
+    back-to-back transfers. *)
+
+val set_tracer :
+  t -> (float -> int -> Mifo_core.Packet.t -> Mifo_core.Engine.action -> unit) -> unit
+(** Install a per-hop trace hook: called with (time, router node, packet
+    as received, engine action) for every packet a router processes.
+    Used by tests and debugging tools to reconstruct packet paths. *)
+
+val clear_tracer : t -> unit

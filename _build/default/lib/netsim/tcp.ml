@@ -1,0 +1,129 @@
+module Sender = struct
+  type t = {
+    total : int;
+    mutable snd_una : int;
+    mutable snd_nxt : int;
+    mutable cwnd : float;  (* segments *)
+    mutable ssthresh : float;
+    mutable dup : int;
+    mutable rto : float;
+    mutable gen : int;
+    mutable srtt : float;  (* smoothed RTT; negative = no sample yet *)
+    mutable rttvar : float;
+  }
+
+  let initial_cwnd = 10.
+  let initial_ssthresh = 64.
+  let min_rto = 0.005
+  let max_rto = 2.0
+
+  let create ~total =
+    if total <= 0 then invalid_arg "Tcp.Sender.create: total must be positive";
+    {
+      total;
+      snd_una = 0;
+      snd_nxt = 0;
+      cwnd = initial_cwnd;
+      ssthresh = initial_ssthresh;
+      dup = 0;
+      rto = 0.05;
+      gen = 0;
+      srtt = -1.;
+      rttvar = 0.;
+    }
+
+  let window t = int_of_float t.cwnd
+
+  let next_to_send t =
+    if t.snd_nxt >= t.total then None
+    else if t.snd_nxt - t.snd_una >= Stdlib.max 1 (window t) then None
+    else begin
+      let seq = t.snd_nxt in
+      t.snd_nxt <- t.snd_nxt + 1;
+      seq |> Option.some
+    end
+
+  let on_ack t ack =
+    if ack > t.snd_una then begin
+      (* new data acknowledged *)
+      t.snd_una <- ack;
+      if t.snd_nxt < ack then t.snd_nxt <- ack;
+      t.dup <- 0;
+      if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1. (* slow start *)
+      else t.cwnd <- t.cwnd +. (1. /. t.cwnd);
+      []
+    end
+    else if ack = t.snd_una && t.snd_una < t.snd_nxt then begin
+      t.dup <- t.dup + 1;
+      if t.dup = 3 then begin
+        (* fast retransmit / simplified fast recovery *)
+        t.ssthresh <- Stdlib.max 2. (t.cwnd /. 2.);
+        t.cwnd <- t.ssthresh;
+        t.dup <- 0;
+        [ t.snd_una ]
+      end
+      else []
+    end
+    else []
+
+  let on_timeout t ~gen =
+    if gen <> t.gen || t.snd_una >= t.total || t.snd_una >= t.snd_nxt then []
+    else begin
+      t.ssthresh <- Stdlib.max 2. (t.cwnd /. 2.);
+      t.cwnd <- 1.;
+      (* go-back-N: the lost head is retransmitted here, everything after
+         it will be resent by the window pump as cwnd regrows *)
+      t.snd_nxt <- t.snd_una + 1;
+      t.dup <- 0;
+      t.rto <- Stdlib.min max_rto (t.rto *. 2.);
+      [ t.snd_una ]
+    end
+
+  (* Jacobson/Karels estimator; the simulator feeds samples for segments
+     that were transmitted exactly once (Karn's rule). *)
+  let observe_rtt t sample =
+    if sample > 0. then begin
+      if t.srtt < 0. then begin
+        t.srtt <- sample;
+        t.rttvar <- sample /. 2.
+      end
+      else begin
+        let err = sample -. t.srtt in
+        t.srtt <- t.srtt +. (0.125 *. err);
+        t.rttvar <- t.rttvar +. (0.25 *. (Float.abs err -. t.rttvar))
+      end;
+      t.rto <-
+        Stdlib.min max_rto
+          (Stdlib.max min_rto (t.srtt +. Stdlib.max (4. *. t.rttvar) 0.004))
+    end
+
+  let arm_timer t =
+    t.gen <- t.gen + 1;
+    t.gen
+
+  let timer_needed t = t.snd_una < t.snd_nxt
+  let rto t = t.rto
+  let cwnd t = t.cwnd
+  let ssthresh t = t.ssthresh
+  let is_done t = t.snd_una >= t.total
+  let snd_una t = t.snd_una
+end
+
+module Receiver = struct
+  type t = { mutable rcv_nxt : int; out_of_order : (int, unit) Hashtbl.t }
+
+  let create () = { rcv_nxt = 0; out_of_order = Hashtbl.create 64 }
+
+  let on_data t seq =
+    if seq = t.rcv_nxt then begin
+      t.rcv_nxt <- t.rcv_nxt + 1;
+      while Hashtbl.mem t.out_of_order t.rcv_nxt do
+        Hashtbl.remove t.out_of_order t.rcv_nxt;
+        t.rcv_nxt <- t.rcv_nxt + 1
+      done
+    end
+    else if seq > t.rcv_nxt then Hashtbl.replace t.out_of_order seq ();
+    t.rcv_nxt
+
+  let expected t = t.rcv_nxt
+end

@@ -1,0 +1,67 @@
+(** A compact TCP Reno-style congestion-control state machine.
+
+    The testbed experiment (Section V) transfers 100 MB TCP flows through
+    the packet-level simulator; this module is the sender/receiver logic:
+    slow start, congestion avoidance, fast retransmit on three duplicate
+    ACKs, and go-back-N on timeout.  It is a pure state machine — the
+    simulator owns time and packet delivery and feeds events in — so the
+    congestion-control arithmetic is testable in isolation.
+
+    Sequence numbers count MSS-sized segments (the paper uses 1 KB
+    packets), starting at 0; an ACK value of [a] acknowledges all
+    segments below [a]. *)
+
+module Sender : sig
+  type t
+
+  val create : total:int -> t
+  (** [total] segments to transfer.  @raise Invalid_argument if
+      nonpositive. *)
+
+  val next_to_send : t -> int option
+  (** The next fresh segment permitted by the window, advancing internal
+      state; [None] when window-limited or finished sending. *)
+
+  val on_ack : t -> int -> int list
+  (** Process a (possibly duplicate) cumulative ACK; returns segment ids
+      to retransmit immediately (fast retransmit). *)
+
+  val on_timeout : t -> gen:int -> int list
+  (** Retransmission timeout for timer generation [gen]; stale
+      generations are ignored and return [].  Otherwise collapses to
+      go-back-N: cwnd to 1 segment, RTO doubled, returns the segment to
+      resend. *)
+
+  val observe_rtt : t -> float -> unit
+  (** Feed an RTT sample (seconds) for a segment transmitted exactly once
+      (Karn's rule); updates the RTO with the Jacobson/Karels
+      estimator. *)
+
+  val arm_timer : t -> int
+  (** Invalidate outstanding timers and return the new generation; call
+      whenever a timer should be (re)started. *)
+
+  val timer_needed : t -> bool
+  (** There is unacknowledged data in flight. *)
+
+  val rto : t -> float
+  val cwnd : t -> float
+  (** Congestion window in segments (for tests and instrumentation). *)
+
+  val ssthresh : t -> float
+  val is_done : t -> bool
+  (** All [total] segments are cumulatively acknowledged. *)
+
+  val snd_una : t -> int
+end
+
+module Receiver : sig
+  type t
+
+  val create : unit -> t
+  val on_data : t -> int -> int
+  (** Receive segment [seq] (duplicates and reordering welcome); returns
+      the cumulative ACK to send back. *)
+
+  val expected : t -> int
+end

@@ -1,0 +1,1 @@
+lib/testbed/testbed.ml: Array Float Hashtbl List Mifo_bgp Mifo_core Mifo_netsim Mifo_topology Option

@@ -1,0 +1,1 @@
+lib/testbed/testbed.mli: Mifo_netsim

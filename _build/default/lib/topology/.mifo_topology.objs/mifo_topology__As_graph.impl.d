@@ -1,0 +1,1 @@
+lib/topology/as_graph.ml: Array Format Hashtbl List Printf Queue Relationship Stdlib

@@ -1,0 +1,1 @@
+lib/topology/as_rel_io.ml: Array As_graph Buffer Hashtbl List Mifo_util Printf String

@@ -1,0 +1,1 @@
+lib/topology/as_rel_io.mli: As_graph

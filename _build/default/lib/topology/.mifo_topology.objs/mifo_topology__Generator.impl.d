@@ -1,0 +1,1 @@
+lib/topology/generator.ml: Array As_graph Hashtbl List Mifo_util Stdlib

@@ -1,0 +1,1 @@
+lib/topology/router_level.ml: Array As_graph Generator Hashtbl List Mifo_util Seq Stdlib

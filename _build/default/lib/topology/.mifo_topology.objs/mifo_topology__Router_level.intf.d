@@ -1,0 +1,1 @@
+lib/topology/router_level.mli: As_graph Generator

@@ -1,0 +1,1 @@
+lib/topology/topo_stats.ml: Array As_graph Float Format List Mifo_util

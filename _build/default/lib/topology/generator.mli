@@ -1,0 +1,54 @@
+(** Synthetic Internet AS topology.
+
+    The paper evaluates on the UCLA IRL AS-topology trace of Nov. 2014
+    (Table I: 44,340 ASes, 109,360 links, 69% provider–customer, 31%
+    peering).  That trace is not redistributable, so this generator
+    produces graphs with the structural properties the evaluation relies
+    on: a tier-1 clique, a shallow multi-level transit hierarchy, a
+    power-law degree distribution grown by preferential attachment,
+    multihomed stubs, heavily-peered content-provider stubs (the Google /
+    Facebook role in the traffic model) and a configurable
+    provider–customer : peering link mix.  Real traces in CAIDA [as-rel]
+    format can be loaded instead through {!As_rel_io}. *)
+
+type role = Tier1 | Transit | Stub
+
+type params = {
+  ases : int;  (** total number of ASes (>= 4) *)
+  tier1 : int;  (** size of the fully-meshed tier-1 clique *)
+  transit_fraction : float;  (** fraction of non-tier-1 ASes that are transit *)
+  transit_levels : int;  (** depth of the transit hierarchy below tier-1 *)
+  mean_providers : float;  (** mean multihoming degree (providers per AS), >= 1 *)
+  peering_ratio : float;  (** target fraction of links that are peering, in \[0, 0.8\] *)
+  content_providers : int;  (** number of heavily-peered content stubs *)
+  content_peer_span : int * int;  (** min/max peer links per content stub *)
+}
+
+val default_params : params
+(** 2,000 ASes, 12 tier-1s, 22% transit over 3 levels, mean 2.8 providers,
+    31% peering, 12 content providers with 20–80 peers each — a
+    laptop-sized graph with the paper's link mix. *)
+
+val paper_scale_params : params
+(** Table I scale: 44,340 ASes. *)
+
+type t = {
+  graph : As_graph.t;
+  roles : role array;
+  content : int array;  (** ids of the content-provider stubs, none elsewhere *)
+}
+
+val generate : ?params:params -> seed:int -> unit -> t
+(** Deterministic in [seed].  The result is connected, its
+    provider–customer links form a DAG, and the peering fraction is within
+    a few percent of [peering_ratio].
+
+    @raise Invalid_argument on nonsensical parameters. *)
+
+val role_to_string : role -> string
+
+val fig2a_gadget : unit -> As_graph.t
+(** The 4-AS topology of the paper's Fig. 2(a): ASes 1, 2, 3 peering
+    pairwise, AS 0 a customer of all three.  Node 0 is the customer.
+    This is the canonical data-plane loop example used in tests and the
+    loop-breaking ablation. *)

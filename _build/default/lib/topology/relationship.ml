@@ -1,0 +1,35 @@
+type t = Customer | Provider | Peer
+
+let equal a b =
+  match (a, b) with
+  | Customer, Customer | Provider, Provider | Peer, Peer -> true
+  | (Customer | Provider | Peer), _ -> false
+
+let inverse = function Customer -> Provider | Provider -> Customer | Peer -> Peer
+let to_string = function Customer -> "customer" | Provider -> "provider" | Peer -> "peer"
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let preference_rank = function Customer -> 0 | Peer -> 1 | Provider -> 2
+
+let transit_allowed ~upstream ~downstream =
+  equal upstream Customer || equal downstream Customer
+
+let exports_to ~route_learned_from ~neighbor =
+  match route_learned_from with
+  | Customer -> true
+  | Peer | Provider -> equal neighbor Customer
+
+type hop = Up | Flat | Down
+
+let hop_of = function Provider -> Up | Peer -> Flat | Customer -> Down
+
+let valley_free hops =
+  (* up* flat? down*: track the automaton state while scanning. *)
+  let rec go state hops =
+    match (state, hops) with
+    | _, [] -> true
+    | `Rising, Up :: rest -> go `Rising rest
+    | `Rising, Flat :: rest -> go `Falling rest
+    | (`Rising | `Falling), Down :: rest -> go `Falling rest
+    | `Falling, (Up | Flat) :: _ -> false
+  in
+  go `Rising hops

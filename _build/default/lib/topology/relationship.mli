@@ -1,0 +1,54 @@
+(** AS business relationships and the Gao–Rexford path algebra.
+
+    An inter-AS link is either a provider–customer link or a mutual
+    peering link.  We store, for each directed adjacency [(u, v)], the
+    role [v] plays {e relative to} [u] ([`v] is [u]'s customer, provider
+    or peer).  Section III-A3 of the paper casts this as an algebra
+    ([u > v] iff [v] is [u]'s customer) whose transit rule (Eq. 3) is the
+    heart of MIFO's loop-freedom proof; this module implements exactly
+    that algebra so both the control plane (export policy) and the data
+    plane (Tag-Check) share one definition. *)
+
+type t =
+  | Customer  (** the neighbor is my customer (I am its provider) *)
+  | Provider  (** the neighbor is my provider (I am its customer) *)
+  | Peer      (** mutual, settlement-free peering *)
+
+val equal : t -> t -> bool
+val inverse : t -> t
+(** How I look from the neighbor's side: [inverse Customer = Provider],
+    [inverse Peer = Peer]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val preference_rank : t -> int
+(** Route-selection class order: routes learned from a [Customer] rank 0
+    (most preferred), [Peer] 1, [Provider] 2 — "customer routes are
+    preferred over peer routes, which in turn are preferred over provider
+    routes". *)
+
+val transit_allowed : upstream:t -> downstream:t -> bool
+(** Eq. 3 — the valley-free transit rule, on the data plane as well as the
+    control plane: an AS may carry a packet received from [upstream]
+    toward [downstream] iff the upstream neighbor is its customer
+    ({i v_(i-1) < v_i}) or the downstream neighbor is its customer
+    ({i v_i > v_(i+1)}). *)
+
+val exports_to : route_learned_from:t -> neighbor:t -> bool
+(** Gao–Rexford export policy: routes learned from customers (and own
+    prefixes) are exported to everyone; routes learned from peers or
+    providers are exported only to customers. *)
+
+type hop = Up | Flat | Down
+(** A hop classified from the sender's perspective: [Up] goes to a
+    provider, [Flat] to a peer, [Down] to a customer. *)
+
+val hop_of : t -> hop
+(** [hop_of rel] classifies a hop toward a neighbor with relationship
+    [rel]: toward my [Provider] is [Up], toward a [Peer] is [Flat],
+    toward my [Customer] is [Down]. *)
+
+val valley_free : hop list -> bool
+(** Whether a hop sequence has the shape [Up* Flat? Down*] — the
+    control-plane notion of a valley-free path. *)

@@ -1,0 +1,40 @@
+(** Router-level expansion of an AS topology.
+
+    The paper's simulation "expands several tier-1 ASes to capture all of
+    their internal topologies at the router level", assuming the border
+    routers of an expanded AS form a full iBGP mesh.  This module
+    computes that expansion: each selected AS is split into several
+    border routers, every inter-AS link is pinned to a specific border
+    router on each side, and full-mesh iBGP links are emitted for every
+    multi-router AS.
+
+    The expansion is pure data — {!Mifo_netsim.Router_network} (or any
+    other consumer) turns it into a running network.  Multi-router ASes
+    are where MIFO's IP-in-IP mechanics matter: the default and the
+    alternative path may exit through {e different} border routers, so a
+    deflection must tunnel across the iBGP mesh (Fig. 2(b)). *)
+
+type t = {
+  graph : As_graph.t;  (** the underlying AS graph *)
+  routers_of_as : int array array;  (** AS id -> its router ids (>= 1 each) *)
+  as_of_router : int array;  (** router id -> AS id *)
+  link_router : (int * int) -> int;
+      (** [(u, v)] (adjacent ASes) -> the router of [u] owning that link *)
+  ibgp_pairs : (int * int) list;  (** full-mesh iBGP links, router id pairs *)
+}
+
+val router_count : t -> int
+
+val expand :
+  ?links_per_router:int -> ?max_routers:int -> seed:int ->
+  As_graph.t -> expand:int list -> t
+(** [expand ~seed g ~expand] splits each AS in [expand] into
+    [ceil (degree / links_per_router)] border routers (at most
+    [max_routers], default 8; [links_per_router] defaults to 8), and
+    assigns its inter-AS links to them in a seeded random round-robin.
+    Every other AS keeps a single router that owns all its links.
+
+    @raise Invalid_argument on out-of-range AS ids. *)
+
+val expand_tier1 : ?links_per_router:int -> ?max_routers:int -> seed:int -> Generator.t -> t
+(** The paper's choice: expand exactly the tier-1 ASes. *)

@@ -1,0 +1,99 @@
+module Table = Mifo_util.Table
+
+type t = {
+  nodes : int;
+  links : int;
+  pc_links : int;
+  peering_links : int;
+  pc_fraction : float;
+  mean_degree : float;
+  max_degree : int;
+  multihomed_fraction : float;
+  stub_fraction : float;
+}
+
+let compute g =
+  let n = As_graph.n g in
+  let links = As_graph.edge_count g in
+  let max_degree = ref 0 and degree_total = ref 0 in
+  let multihomed = ref 0 and stubs = ref 0 in
+  for v = 0 to n - 1 do
+    let d = As_graph.degree g v in
+    degree_total := !degree_total + d;
+    if d > !max_degree then max_degree := d;
+    (* An AS can benefit from multi-neighbor forwarding when more than one
+       neighbor may export it a route: any number of providers/peers plus
+       customers all qualify as RIB sources. *)
+    if d >= 2 then incr multihomed;
+    if As_graph.is_stub g v then incr stubs
+  done;
+  let fn = float_of_int n in
+  {
+    nodes = n;
+    links;
+    pc_links = As_graph.pc_edge_count g;
+    peering_links = As_graph.peer_edge_count g;
+    pc_fraction =
+      (if links = 0 then 0.
+       else float_of_int (As_graph.pc_edge_count g) /. float_of_int links);
+    mean_degree = float_of_int !degree_total /. fn;
+    max_degree = !max_degree;
+    multihomed_fraction = float_of_int !multihomed /. fn;
+    stub_fraction = float_of_int !stubs /. fn;
+  }
+
+let table1_rows t =
+  [
+    [
+      "(generated)";
+      Table.fmt_count t.nodes;
+      Table.fmt_count t.links;
+      Table.fmt_count t.pc_links;
+      Table.fmt_count t.peering_links;
+    ];
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "nodes=%d links=%d P/C=%d (%.0f%%) peering=%d (%.0f%%) mean-degree=%.2f max-degree=%d multihomed=%.0f%% stubs=%.0f%%"
+    t.nodes t.links t.pc_links (100. *. t.pc_fraction) t.peering_links
+    (100. *. (1. -. t.pc_fraction))
+    t.mean_degree t.max_degree
+    (100. *. t.multihomed_fraction)
+    (100. *. t.stub_fraction)
+
+let degree_ccdf g =
+  let n = As_graph.n g in
+  let degrees = Array.init n (As_graph.degree g) in
+  Array.sort compare degrees;
+  let fn = float_of_int n in
+  let out = Mifo_util.Vec.create () in
+  let i = ref 0 in
+  while !i < n do
+    let d = degrees.(!i) in
+    (* fraction of nodes with degree >= d *)
+    Mifo_util.Vec.push out (d, float_of_int (n - !i) /. fn);
+    while !i < n && degrees.(!i) = d do
+      incr i
+    done
+  done;
+  Mifo_util.Vec.to_array out
+
+let powerlaw_exponent g =
+  let points =
+    degree_ccdf g
+    |> Array.to_list
+    |> List.filter (fun (d, p) -> d >= 3 && p > 0.)
+    |> List.map (fun (d, p) -> (log (float_of_int d), log p))
+  in
+  match points with
+  | [] | [ _ ] -> Float.nan
+  | points ->
+    let n = float_of_int (List.length points) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. points in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. points in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. points in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-12 then Float.nan
+    else ((n *. sxy) -. (sx *. sy)) /. denom

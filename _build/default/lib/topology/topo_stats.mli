@@ -1,0 +1,40 @@
+(** Topology attributes — the contents of the paper's Table I.
+
+    Also provides the degree/diversity summaries quoted in the design
+    rationale (Section II-B: "most ASes are able to benefit from
+    multi-neighbor forwarding"). *)
+
+type t = {
+  nodes : int;
+  links : int;
+  pc_links : int;
+  peering_links : int;
+  pc_fraction : float;
+  mean_degree : float;
+  max_degree : int;
+  multihomed_fraction : float;  (** ASes with >= 2 neighbors able to provide a route *)
+  stub_fraction : float;
+}
+
+val compute : As_graph.t -> t
+
+val table1_rows : t -> string list list
+(** Rows shaped like the paper's Table I:
+    [[date; nodes; links; pc; peering]]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Degree distribution}
+
+    The Fig. 7 path diversity depends on the degree power law; these
+    helpers let tests and docs verify the generator actually produces
+    one. *)
+
+val degree_ccdf : As_graph.t -> (int * float) array
+(** [(d, P(degree >= d))] at each distinct degree, ascending. *)
+
+val powerlaw_exponent : As_graph.t -> float
+(** Least-squares slope of log P(degree >= d) against log d over the
+    tail (degrees >= 3) — around -1..-2 for Internet-like graphs.
+    Returns [nan] when the graph is too small or degree-uniform. *)
+

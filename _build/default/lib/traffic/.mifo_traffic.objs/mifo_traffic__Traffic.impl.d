@@ -1,0 +1,1 @@
+lib/traffic/traffic.ml: Array Float Mifo_netsim Mifo_topology Mifo_util Seq Stdlib

@@ -1,0 +1,1 @@
+lib/traffic/traffic.mli: Mifo_netsim Mifo_topology Mifo_util

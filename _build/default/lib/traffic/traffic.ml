@@ -1,0 +1,104 @@
+module Prng = Mifo_util.Prng
+module As_graph = Mifo_topology.As_graph
+
+type spec = Mifo_netsim.Flowsim.flow_spec
+
+let default_size_bits = 8e7 (* 10 MB *)
+
+type size_model = Fixed of float | Pareto of { shape : float; mean_bits : float }
+
+let sample_size rng = function
+  | Fixed bits ->
+    if bits <= 0. then invalid_arg "Traffic.sample_size: nonpositive size";
+    bits
+  | Pareto { shape; mean_bits } ->
+    if shape <= 1. then invalid_arg "Traffic.sample_size: Pareto shape must exceed 1";
+    if mean_bits <= 0. then invalid_arg "Traffic.sample_size: nonpositive mean";
+    (* scale so the (untruncated) mean is [mean_bits] *)
+    let scale = mean_bits *. (shape -. 1.) /. shape in
+    Float.min (100. *. mean_bits) (Prng.pareto rng ~shape ~scale)
+
+let poisson_starts rng ~rate ~count =
+  if rate <= 0. then invalid_arg "Traffic.poisson_starts: rate must be positive";
+  if count < 0 then invalid_arg "Traffic.poisson_starts: negative count";
+  let starts = Array.make count 0. in
+  let t = ref 0. in
+  for i = 0 to count - 1 do
+    t := !t +. Prng.exponential rng ~mean:(1. /. rate);
+    starts.(i) <- !t
+  done;
+  starts
+
+let uniform rng ~n_ases ~count ~rate ?(size_bits = default_size_bits) ?size_model () =
+  if n_ases < 2 then invalid_arg "Traffic.uniform: need at least two ASes";
+  let model = match size_model with Some m -> m | None -> Fixed size_bits in
+  let starts = poisson_starts rng ~rate ~count in
+  Array.init count (fun i ->
+      let src = Prng.int rng n_ases in
+      let rec pick_dst () =
+        let d = Prng.int rng n_ases in
+        if d = src then pick_dst () else d
+      in
+      {
+        Mifo_netsim.Flowsim.src;
+        dst = pick_dst ();
+        size_bits = sample_size rng model;
+        start = starts.(i);
+      })
+
+let content_provider_ranking g =
+  let n = As_graph.n g in
+  let score v = Array.length (As_graph.providers g v) + Array.length (As_graph.peers g v) in
+  let ids = Array.init n (fun v -> v) in
+  Array.sort (fun a b -> compare (-score a, a) (-score b, b)) ids;
+  ids
+
+let zipf_weights ~alpha ~n =
+  if n <= 0 then invalid_arg "Traffic.zipf_weights: n must be positive";
+  let raw = Array.init n (fun i -> Float.pow (float_of_int (i + 1)) (-.alpha)) in
+  let total = Array.fold_left ( +. ) 0. raw in
+  Array.map (fun w -> w /. total) raw
+
+(* Sample an index from cumulative weights by binary search. *)
+let sample_cumulative rng cumulative =
+  let u = Prng.float rng 1.0 in
+  let n = Array.length cumulative in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cumulative.(mid) <= u then search (mid + 1) hi else search lo mid
+  in
+  Stdlib.min (n - 1) (search 0 n)
+
+let power_law rng g ~alpha ~providers ~count ~rate ?(size_bits = default_size_bits)
+    ?size_model () =
+  let model = match size_model with Some m -> m | None -> Fixed size_bits in
+  let np = Array.length providers in
+  if np = 0 then invalid_arg "Traffic.power_law: no content providers";
+  let stubs =
+    Array.of_seq
+      (Seq.filter (fun v -> As_graph.is_stub g v) (Seq.init (As_graph.n g) (fun v -> v)))
+  in
+  if Array.length stubs < 2 then invalid_arg "Traffic.power_law: no stub consumers";
+  let weights = zipf_weights ~alpha ~n:np in
+  let cumulative = Array.make np 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc)
+    weights;
+  let starts = poisson_starts rng ~rate ~count in
+  Array.init count (fun i ->
+      let src = providers.(sample_cumulative rng cumulative) in
+      let rec pick_dst () =
+        let d = Prng.choose rng stubs in
+        if d = src then pick_dst () else d
+      in
+      {
+        Mifo_netsim.Flowsim.src;
+        dst = pick_dst ();
+        size_bits = sample_size rng model;
+        start = starts.(i);
+      })

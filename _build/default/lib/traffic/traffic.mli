@@ -1,0 +1,73 @@
+(** Synthetic interdomain traffic matrices (Section IV).
+
+    A complete interdomain traffic matrix is proprietary, so the paper —
+    and this reproduction — generates traffic two ways:
+
+    + {b uniform}: source and destination ASes drawn uniformly at random
+      ("to analyze MIFO in a generic manner");
+    + {b power-law}: popular content providers produce traffic consumed
+      by stub ASes, with provider [i] (ranked by number of providers and
+      peers) chosen with probability proportional to [i ** -alpha]
+      (Zipf) — the realistic skewed workload of Fig. 6.
+
+    Flow start times follow a Poisson process of a given rate; sizes
+    default to the paper's 10 MB.  All generation is deterministic in the
+    given PRNG. *)
+
+type spec = Mifo_netsim.Flowsim.flow_spec
+
+val default_size_bits : float
+(** 10 MB = 8e7 bits. *)
+
+(** Flow-size models.  The paper fixes sizes at 10 MB; [Pareto] adds the
+    heavy-tailed mix used for robustness checks (mice and elephants with
+    the same offered load). *)
+type size_model =
+  | Fixed of float  (** every flow this many bits *)
+  | Pareto of { shape : float; mean_bits : float }
+      (** heavy-tailed, truncated at 100x the mean; requires shape > 1 *)
+
+val sample_size : Mifo_util.Prng.t -> size_model -> float
+
+val poisson_starts : Mifo_util.Prng.t -> rate:float -> count:int -> float array
+(** [count] arrival times with exponential inter-arrivals of rate [rate]
+    per second, starting at 0. *)
+
+val uniform :
+  Mifo_util.Prng.t ->
+  n_ases:int ->
+  count:int ->
+  rate:float ->
+  ?size_bits:float ->
+  ?size_model:size_model ->
+  unit ->
+  spec array
+(** Uniformly random distinct (src, dst) pairs.  [size_model] overrides
+    [size_bits] when given. *)
+
+val content_provider_ranking : Mifo_topology.As_graph.t -> int array
+(** ASes ranked by descending (providers + peers) degree — the paper's
+    popularity order; ties broken by AS id. *)
+
+val power_law :
+  Mifo_util.Prng.t ->
+  Mifo_topology.As_graph.t ->
+  alpha:float ->
+  providers:int array ->
+  count:int ->
+  rate:float ->
+  ?size_bits:float ->
+  ?size_model:size_model ->
+  unit ->
+  spec array
+(** Sources Zipf(alpha) over [providers] (rank order as given);
+    destinations uniform over stub ASes, never equal to the chosen
+    source.  The paper draws producers from a ranking of the whole AS
+    population ([N] "content providers"), so passing
+    {!content_provider_ranking} reproduces its model; passing a small
+    explicit provider set concentrates the load accordingly.
+    @raise Invalid_argument when [providers] is empty or the graph has
+    fewer than two stubs. *)
+
+val zipf_weights : alpha:float -> n:int -> float array
+(** Normalized Zipf probabilities [i^-alpha / sum], i from 1. *)

@@ -1,0 +1,32 @@
+let escape field =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) field
+  in
+  if not needs_quoting then field
+  else begin
+    let buf = Buffer.create (String.length field + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let line fields = String.concat "," (List.map escape fields) ^ "\n"
+
+let of_table ~header ~rows =
+  String.concat "" (line header :: List.map line rows)
+
+let of_series ~x_label ~columns ~rows =
+  of_table ~header:(x_label :: columns)
+    ~rows:
+      (List.map
+         (fun (x, ys) -> Printf.sprintf "%.6g" x :: List.map (Printf.sprintf "%.6g") ys)
+         rows)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,13 @@
+(** Minimal CSV writing (RFC 4180 quoting) for exporting figure data.
+
+    Every experiment renders to aligned text for the console; the CLI's
+    [--csv] option additionally dumps the raw series with this module so
+    figures can be re-plotted with external tools. *)
+
+val escape : string -> string
+(** Quote a field when it contains a comma, quote or newline. *)
+
+val of_table : header:string list -> rows:string list list -> string
+val of_series : x_label:string -> columns:string list -> rows:(float * float list) list -> string
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

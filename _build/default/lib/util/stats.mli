@@ -1,0 +1,33 @@
+(** Online summary statistics (Welford's algorithm).
+
+    Accumulators are cheap mutable records used by the simulators to track
+    link utilization, flow rates and queue occupancy without storing every
+    sample. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+val merge : t -> t -> t
+(** Combine two accumulators as if all samples were added to one. *)
+
+val pp : Format.formatter -> t -> unit
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length samples; 0 when
+    either is constant.  @raise Invalid_argument on length mismatch. *)

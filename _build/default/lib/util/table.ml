@@ -1,0 +1,64 @@
+let pad cell width = cell ^ String.make (width - String.length cell) ' '
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.make ncols 0 in
+  let measure row = List.iteri (fun i cell ->
+    if i < ncols then widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let render_row row =
+    row
+    |> List.mapi (fun i cell -> pad cell widths.(i))
+    |> String.concat "  "
+    |> String.trim
+    |> fun s -> s ^ "\n"
+  in
+  let sep =
+    Array.to_list widths
+    |> List.map (fun w -> String.make w '-')
+    |> String.concat "  "
+    |> fun s -> s ^ "\n"
+  in
+  String.concat "" (render_row header :: sep :: List.map render_row rows)
+
+let fmt_float ?(decimals = 2) x =
+  let s = Printf.sprintf "%.*f" decimals x in
+  (* trim trailing zeros but keep at least one digit after the point *)
+  if String.contains s '.' then begin
+    let len = String.length s in
+    let rec last_keep i = if i > 0 && s.[i] = '0' then last_keep (i - 1) else i in
+    let i = last_keep (len - 1) in
+    let i = if s.[i] = '.' then i + 1 else i in
+    String.sub s 0 (i + 1)
+  end
+  else s
+
+let fmt_percent x = fmt_float ~decimals:1 (100. *. x) ^ "%"
+
+let fmt_count n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_series ~title ~x_label ~columns ~rows =
+  let header = x_label :: columns in
+  let body =
+    List.map
+      (fun (x, ys) -> fmt_float ~decimals:3 x :: List.map (fmt_float ~decimals:3) ys)
+      rows
+  in
+  Printf.sprintf "== %s ==\n%s" title (render ~header ~rows:body)

@@ -1,0 +1,25 @@
+(** Plain-text rendering of tables and figure series.
+
+    The benchmark harness prints every reproduced table and figure as
+    aligned ASCII, one row per line, matching the rows/series of the
+    paper.  Keeping the renderer here lets tests assert on structured
+    values while the harness owns presentation. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Aligned table with a separator under the header.  Rows shorter than
+    the header are padded with empty cells. *)
+
+val render_series :
+  title:string -> x_label:string -> columns:string list ->
+  rows:(float * float list) list -> string
+(** A figure as a table of series: first column is the x value, then one
+    column per named series. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point with trailing-zero trimming (default 2 decimals). *)
+
+val fmt_percent : float -> string
+(** [fmt_percent 0.417] is ["41.7%"]. *)
+
+val fmt_count : int -> string
+(** Thousands separators: [fmt_count 44340 = "44,340"]. *)

@@ -1,0 +1,22 @@
+(** Growable array (amortized O(1) push).
+
+    OCaml 5.1 predates [Dynarray]; this is the small subset the
+    simulators and the topology generator need. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t
+val swap_remove : 'a t -> int -> 'a
+(** Remove index [i] in O(1) by moving the last element into its slot;
+    returns the removed element. *)

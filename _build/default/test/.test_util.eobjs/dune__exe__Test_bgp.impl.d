@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Array Lazy List Mifo_bgp Mifo_topology Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hashtbl Lazy List Mifo_bgp Mifo_core Mifo_topology Option QCheck2 QCheck_alcotest

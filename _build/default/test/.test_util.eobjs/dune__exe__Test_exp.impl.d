@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Array Lazy List Mifo_exp Mifo_testbed Mifo_topology Mifo_util Printf String

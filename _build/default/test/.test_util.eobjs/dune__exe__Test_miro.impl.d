@@ -1,0 +1,1 @@
+test/test_miro.ml: Alcotest Lazy List Mifo_bgp Mifo_core Mifo_miro Mifo_topology

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Float Fun Lazy List Mifo_bgp Mifo_core Mifo_netsim Mifo_topology Mifo_traffic Mifo_util Option QCheck2 QCheck_alcotest

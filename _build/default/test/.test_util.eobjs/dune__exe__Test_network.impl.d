@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Float List Mifo_bgp Mifo_core Mifo_netsim Mifo_topology Printf

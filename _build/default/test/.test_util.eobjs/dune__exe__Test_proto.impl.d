@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Hashtbl Lazy List Mifo_bgp Mifo_core Mifo_topology Mifo_util Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_testbed.ml: Alcotest Array Mifo_bgp Mifo_core Mifo_netsim Mifo_testbed Printf

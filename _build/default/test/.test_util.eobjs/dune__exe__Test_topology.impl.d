@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Lazy List Mifo_topology Mifo_util Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Hashtbl Lazy List Mifo_netsim Mifo_topology Mifo_traffic Mifo_util Printf

@@ -1,0 +1,356 @@
+(* Unit and property tests for Mifo_bgp: prefixes, the route computation,
+   the RIB, the path-count DP and the routing table cache. *)
+
+module Prefix = Mifo_bgp.Prefix
+module Routing = Mifo_bgp.Routing
+module Routing_table = Mifo_bgp.Routing_table
+module Path_count = Mifo_bgp.Path_count
+module As_graph = Mifo_topology.As_graph
+module Relationship = Mifo_topology.Relationship
+module Generator = Mifo_topology.Generator
+
+(* ---------- Prefix ---------- *)
+
+let test_addr_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Prefix.addr_to_string (Prefix.addr_of_string s)))
+    [ "0.0.0.0"; "10.1.2.3"; "255.255.255.255"; "192.168.0.1" ]
+
+let test_addr_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true
+        (match Prefix.addr_of_string s with
+         | exception Invalid_argument _ -> true
+         | _ -> false))
+    [ "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d"; "-1.0.0.0" ]
+
+let test_prefix_contains () =
+  let p = Prefix.of_string "10.1.2.0/24" in
+  Alcotest.(check bool) "inside" true (Prefix.contains p (Prefix.addr_of_string "10.1.2.77"));
+  Alcotest.(check bool) "outside" false (Prefix.contains p (Prefix.addr_of_string "10.1.3.1"));
+  let default = Prefix.of_string "0.0.0.0/0" in
+  Alcotest.(check bool) "default route matches all" true
+    (Prefix.contains default (Prefix.addr_of_string "203.0.113.9"))
+
+let test_prefix_masks_host_bits () =
+  let p = Prefix.make (Prefix.addr_of_string "10.1.2.77") 24 in
+  Alcotest.(check string) "masked" "10.1.2.0/24" (Prefix.to_string p)
+
+let test_of_as () =
+  let p = Prefix.of_as 258 in
+  Alcotest.(check string) "10.x.y.0/24 encoding" "10.1.2.0/24" (Prefix.to_string p);
+  Alcotest.(check bool) "host inside" true (Prefix.contains p (Prefix.host_of_as 258 1));
+  Alcotest.(check bool) "rejects out of range" true
+    (match Prefix.of_as 70_000 with exception Invalid_argument _ -> true | _ -> false)
+
+(* ---------- Routing on hand-built graphs ---------- *)
+
+(* A chain: 3 (tier1) -> 2 -> 1 -> 0, all provider->customer. *)
+let chain () =
+  As_graph.create ~n:4
+    ~edges:
+      [
+        (3, 2, As_graph.Provider_customer);
+        (2, 1, As_graph.Provider_customer);
+        (1, 0, As_graph.Provider_customer);
+      ]
+
+let test_chain_routing () =
+  let g = chain () in
+  let rt = Routing.compute g 0 in
+  Alcotest.(check (list int)) "3's path descends" [ 3; 2; 1; 0 ] (Routing.default_path rt 3);
+  Alcotest.(check int) "3's length" 3 (Routing.best_len rt 3);
+  Alcotest.(check bool) "3's class is customer" true
+    (Routing.best_class rt 3 = Some Routing.Customer_route);
+  (* and in the other direction everything is a provider route *)
+  let rt3 = Routing.compute g 3 in
+  Alcotest.(check (list int)) "0 climbs" [ 0; 1; 2; 3 ] (Routing.default_path rt3 0);
+  Alcotest.(check bool) "0's class is provider" true
+    (Routing.best_class rt3 0 = Some Routing.Provider_route)
+
+let test_gadget_routing () =
+  let g = Generator.fig2a_gadget () in
+  let rt = Routing.compute g 0 in
+  (* every peer prefers its direct customer link to 0 *)
+  List.iter
+    (fun v ->
+      Alcotest.(check (list int)) "direct customer route" [ v; 0 ] (Routing.default_path rt v);
+      Alcotest.(check bool) "class customer" true
+        (Routing.best_class rt v = Some Routing.Customer_route))
+    [ 1; 2; 3 ];
+  (* each also has two alternative peer routes in its RIB *)
+  List.iter
+    (fun v ->
+      let alts = Routing.alternatives rt v in
+      Alcotest.(check int) "two alternatives" 2 (List.length alts);
+      List.iter
+        (fun (e : Routing.rib_entry) ->
+          Alcotest.(check bool) "peer alternates" true
+            (Relationship.equal e.rel Relationship.Peer);
+          Alcotest.(check int) "length 2" 2 e.len)
+        alts)
+    [ 1; 2; 3 ]
+
+(* Class preference: a longer customer route must beat a shorter peer
+   route.  Graph: dest 0; 1 reaches 0 through a 3-hop customer chain and
+   directly via a peer that is 0's provider. *)
+let test_customer_beats_shorter_peer () =
+  let g =
+    As_graph.create ~n:5
+      ~edges:
+        [
+          (* customer chain 1 > 2 > 3 > 0 *)
+          (1, 2, As_graph.Provider_customer);
+          (2, 3, As_graph.Provider_customer);
+          (3, 0, As_graph.Provider_customer);
+          (* 4 is 0's provider and 1's peer *)
+          (4, 0, As_graph.Provider_customer);
+          (1, 4, As_graph.Peer_peer);
+        ]
+  in
+  let rt = Routing.compute g 0 in
+  Alcotest.(check bool) "customer route selected" true
+    (Routing.best_class rt 1 = Some Routing.Customer_route);
+  Alcotest.(check (list int)) "long way down" [ 1; 2; 3; 0 ] (Routing.default_path rt 1);
+  (* the peer route is still in the RIB as an alternative *)
+  let alts = Routing.alternatives rt 1 in
+  Alcotest.(check bool) "peer alternative present" true
+    (List.exists (fun (e : Routing.rib_entry) -> e.via = 4 && e.len = 2) alts)
+
+(* Export policy through the RIB: a peer that itself has only a provider
+   route exports nothing.  1 - 2 peers; 2's only route to 0 is via its
+   provider 3. *)
+let test_peer_does_not_export_provider_routes () =
+  let g =
+    As_graph.create ~n:4
+      ~edges:
+        [
+          (3, 0, As_graph.Provider_customer);
+          (3, 2, As_graph.Provider_customer);
+          (1, 2, As_graph.Peer_peer);
+          (3, 1, As_graph.Provider_customer);
+        ]
+  in
+  let rt = Routing.compute g 0 in
+  Alcotest.(check bool) "2 reaches via provider" true
+    (Routing.best_class rt 2 = Some Routing.Provider_route);
+  (* 1's RIB must not contain a route via peer 2 *)
+  let rib = Routing.rib rt 1 in
+  Alcotest.(check bool) "no peer-learned entry" false
+    (List.exists (fun (e : Routing.rib_entry) -> e.via = 2) rib);
+  Alcotest.(check int) "only the provider route" 1 (List.length rib)
+
+let test_tie_break_lowest_id () =
+  (* two equal-length provider routes: lowest next-hop id wins *)
+  let g =
+    As_graph.create ~n:4
+      ~edges:
+        [
+          (1, 0, As_graph.Provider_customer);
+          (2, 0, As_graph.Provider_customer);
+          (1, 3, As_graph.Provider_customer);
+          (2, 3, As_graph.Provider_customer);
+        ]
+  in
+  let rt = Routing.compute g 0 in
+  Alcotest.(check (option int)) "lowest id next hop" (Some 1) (Routing.next_hop rt 3)
+
+let test_rib_sorted_best_first () =
+  let g = Generator.fig2a_gadget () in
+  let rt = Routing.compute g 0 in
+  match Routing.rib rt 1 with
+  | best :: rest ->
+    Alcotest.(check int) "default via direct customer" 0 best.Routing.via;
+    let key (e : Routing.rib_entry) =
+      (Relationship.preference_rank e.rel, e.len, e.via)
+    in
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "default is weakly preferred" true (key best <= key e))
+      rest
+  | [] -> Alcotest.fail "empty RIB"
+
+(* ---------- Property tests on generated topologies ---------- *)
+
+let topo = lazy (Generator.generate ~seed:21 ())
+let graph () = (Lazy.force topo).Generator.graph
+
+let prop_default_paths_valley_free =
+  QCheck2.Test.make ~name:"default paths are valley-free and reach the destination"
+    ~count:60
+    QCheck2.Gen.(pair (int_bound 1_999) (int_bound 1_999))
+    (fun (s, d) ->
+      let g = graph () in
+      QCheck2.assume (s <> d);
+      let rt = Routing.compute g d in
+      let path = Routing.default_path rt s in
+      As_graph.path_is_valley_free g path
+      && List.hd path = s
+      && List.hd (List.rev path) = d
+      && List.length path - 1 = Routing.best_len rt s)
+
+let prop_default_paths_simple =
+  QCheck2.Test.make ~name:"default paths never repeat an AS" ~count:60
+    QCheck2.Gen.(pair (int_bound 1_999) (int_bound 1_999))
+    (fun (s, d) ->
+      QCheck2.assume (s <> d);
+      let g = graph () in
+      let rt = Routing.compute g d in
+      let path = Routing.default_path rt s in
+      List.length (List.sort_uniq compare path) = List.length path)
+
+let prop_rib_entries_consistent =
+  QCheck2.Test.make ~name:"every RIB entry is exportable and correctly measured" ~count:30
+    QCheck2.Gen.(pair (int_bound 1_999) (int_bound 1_999))
+    (fun (s, d) ->
+      QCheck2.assume (s <> d);
+      let g = graph () in
+      let rt = Routing.compute g d in
+      List.for_all
+        (fun (e : Routing.rib_entry) ->
+          (* the advertised route length matches the neighbor's state *)
+          match e.rel with
+          | Relationship.Customer | Relationship.Peer ->
+            (* exported only if the neighbor's best route is a customer route *)
+            (match Routing.customer_route_len rt e.via with
+             | Some l -> e.len = l + 1
+             | None -> false)
+          | Relationship.Provider -> (
+            match Routing.export_len rt e.via with
+            | Some l -> e.len = l + 1
+            | None -> false))
+        (Routing.rib rt s))
+
+let prop_everything_reachable =
+  QCheck2.Test.make ~name:"connected topology: every AS reaches every destination"
+    ~count:10 (QCheck2.Gen.int_bound 1_999)
+    (fun d ->
+      let g = graph () in
+      let rt = Routing.compute g d in
+      let ok = ref true in
+      for v = 0 to As_graph.n g - 1 do
+        if not (Routing.reachable rt v) then ok := false
+      done;
+      !ok)
+
+(* ---------- Path_count ---------- *)
+
+let test_gadget_path_count () =
+  let g = Generator.fig2a_gadget () in
+  let rt = Routing.compute g 0 in
+  let counts = Path_count.mifo_counts g rt ~capable:(fun _ -> true) in
+  (* from AS 1: direct, via each peer (2 paths), via peer then peer is
+     valley-forbidden -> 1 + 2 = 3 *)
+  Alcotest.(check (float 1e-9)) "3 paths from each peer" 3.0 counts.(1);
+  Alcotest.(check (float 1e-9)) "dest counts itself once" 1.0 counts.(0)
+
+let test_path_count_matches_enumeration () =
+  let t = Generator.generate
+      ~params:{ Generator.default_params with Generator.ases = 60; tier1 = 4;
+                content_providers = 2; content_peer_span = (2, 5) }
+      ~seed:3 ()
+  in
+  let g = t.Generator.graph in
+  let rt = Routing.compute g 0 in
+  let counts = Path_count.mifo_counts g rt ~capable:(fun _ -> true) in
+  for src = 1 to As_graph.n g - 1 do
+    if counts.(src) <= 500. then begin
+      let paths =
+        Path_count.enumerate_mifo_paths g rt ~capable:(fun _ -> true) ~src ~limit:1000
+      in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "DP count = enumeration at src %d" src)
+        (float_of_int (List.length paths))
+        counts.(src)
+    end
+  done
+
+let test_enumerated_paths_are_valley_free () =
+  let g = Generator.fig2a_gadget () in
+  let rt = Routing.compute g 0 in
+  List.iter
+    (fun src ->
+      let paths = Path_count.enumerate_mifo_paths g rt ~capable:(fun _ -> true) ~src ~limit:100 in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "valley free" true (As_graph.path_is_valley_free g p))
+        paths)
+    [ 1; 2; 3 ]
+
+let test_partial_deployment_counts_fewer () =
+  let g = graph () in
+  let rt = Routing.compute g 0 in
+  let full = Path_count.mifo_counts g rt ~capable:(fun _ -> true) in
+  let none = Path_count.mifo_counts g rt ~capable:(fun _ -> false) in
+  let half = Path_count.mifo_counts g rt ~capable:(fun v -> v mod 2 = 0) in
+  for v = 1 to As_graph.n g - 1 do
+    Alcotest.(check bool) "bgp-only is exactly 1" true (none.(v) = 1.0);
+    Alcotest.(check bool) "partial between" true (half.(v) >= 1.0 && half.(v) <= full.(v))
+  done
+
+let test_bgp_count () =
+  let g = graph () in
+  let rt = Routing.compute g 5 in
+  Alcotest.(check int) "one path" 1 (Path_count.bgp_count rt ~src:100);
+  Alcotest.(check int) "self" 1 (Path_count.bgp_count rt ~src:5)
+
+(* ---------- Routing_table ---------- *)
+
+let test_routing_table_cache () =
+  let g = graph () in
+  let table = Routing_table.create g in
+  let a = Routing_table.get table 3 in
+  let b = Routing_table.get table 3 in
+  Alcotest.(check bool) "cached (physical equality)" true (a == b);
+  Alcotest.(check int) "one destination cached" 1 (Routing_table.cached_count table)
+
+let test_routing_table_eviction () =
+  let g = graph () in
+  let table = Routing_table.create ~max_cached:2 g in
+  ignore (Routing_table.get table 1);
+  ignore (Routing_table.get table 2);
+  ignore (Routing_table.get table 3);
+  Alcotest.(check int) "bounded" 2 (Routing_table.cached_count table)
+
+let () =
+  Alcotest.run "mifo_bgp"
+    [
+      ( "prefix",
+        [
+          Alcotest.test_case "address roundtrip" `Quick test_addr_roundtrip;
+          Alcotest.test_case "invalid addresses" `Quick test_addr_invalid;
+          Alcotest.test_case "contains" `Quick test_prefix_contains;
+          Alcotest.test_case "masks host bits" `Quick test_prefix_masks_host_bits;
+          Alcotest.test_case "of_as encoding" `Quick test_of_as;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "chain" `Quick test_chain_routing;
+          Alcotest.test_case "fig2a gadget" `Quick test_gadget_routing;
+          Alcotest.test_case "customer beats shorter peer" `Quick test_customer_beats_shorter_peer;
+          Alcotest.test_case "peers do not export provider routes" `Quick
+            test_peer_does_not_export_provider_routes;
+          Alcotest.test_case "tie-break on lowest id" `Quick test_tie_break_lowest_id;
+          Alcotest.test_case "rib sorted best-first" `Quick test_rib_sorted_best_first;
+          QCheck_alcotest.to_alcotest prop_default_paths_valley_free;
+          QCheck_alcotest.to_alcotest prop_default_paths_simple;
+          QCheck_alcotest.to_alcotest prop_rib_entries_consistent;
+          QCheck_alcotest.to_alcotest prop_everything_reachable;
+        ] );
+      ( "path_count",
+        [
+          Alcotest.test_case "gadget count" `Quick test_gadget_path_count;
+          Alcotest.test_case "DP matches enumeration" `Quick test_path_count_matches_enumeration;
+          Alcotest.test_case "enumerated paths valley-free" `Quick
+            test_enumerated_paths_are_valley_free;
+          Alcotest.test_case "deployment monotonicity" `Quick test_partial_deployment_counts_fewer;
+          Alcotest.test_case "bgp count" `Quick test_bgp_count;
+        ] );
+      ( "routing_table",
+        [
+          Alcotest.test_case "caching" `Quick test_routing_table_cache;
+          Alcotest.test_case "eviction bound" `Quick test_routing_table_eviction;
+        ] );
+    ]

@@ -1,0 +1,609 @@
+(* Unit and property tests for Mifo_core: the deployment maps, the
+   one-bit policy, packets, the FIB, the Algorithm 1 engine, the daemon,
+   the greedy alternative selection, and the loop-freedom theorem. *)
+
+module Deployment = Mifo_core.Deployment
+module Policy = Mifo_core.Policy
+module Packet = Mifo_core.Packet
+module Fib = Mifo_core.Fib
+module Engine = Mifo_core.Engine
+module Daemon = Mifo_core.Daemon
+module Alt_select = Mifo_core.Alt_select
+module Loop_walk = Mifo_core.Loop_walk
+module Prefix = Mifo_bgp.Prefix
+module Routing = Mifo_bgp.Routing
+module Relationship = Mifo_topology.Relationship
+module As_graph = Mifo_topology.As_graph
+module Generator = Mifo_topology.Generator
+
+(* ---------- Deployment ---------- *)
+
+let test_deployment_full_none () =
+  let f = Deployment.full ~n:10 and z = Deployment.none ~n:10 in
+  Alcotest.(check int) "full count" 10 (Deployment.count f);
+  Alcotest.(check int) "none count" 0 (Deployment.count z);
+  Alcotest.(check bool) "full capable" true (Deployment.capable f 3);
+  Alcotest.(check bool) "none capable" false (Deployment.capable z 3)
+
+let test_deployment_fraction () =
+  let d = Deployment.fraction ~n:1000 ~ratio:0.3 ~seed:5 in
+  Alcotest.(check int) "30%" 300 (Deployment.count d);
+  let d' = Deployment.fraction ~n:1000 ~ratio:0.3 ~seed:5 in
+  Alcotest.(check (list int)) "deterministic" (Deployment.members d) (Deployment.members d');
+  let d2 = Deployment.fraction ~n:1000 ~ratio:0.3 ~seed:6 in
+  Alcotest.(check bool) "seed changes the set" false
+    (Deployment.members d = Deployment.members d2)
+
+let test_deployment_of_list () =
+  let d = Deployment.of_list ~n:5 [ 1; 3; 3 ] in
+  Alcotest.(check int) "dedup" 2 (Deployment.count d);
+  Alcotest.(check (list int)) "members" [ 1; 3 ] (Deployment.members d);
+  Alcotest.check_raises "range check"
+    (Invalid_argument "Deployment.of_list: id out of range") (fun () ->
+      ignore (Deployment.of_list ~n:5 [ 9 ]))
+
+let test_deployment_clamps_ratio () =
+  Alcotest.(check int) "ratio > 1 clamps" 10
+    (Deployment.count (Deployment.fraction ~n:10 ~ratio:2.5 ~seed:1));
+  Alcotest.(check int) "ratio < 0 clamps" 0
+    (Deployment.count (Deployment.fraction ~n:10 ~ratio:(-1.) ~seed:1))
+
+(* ---------- Policy ---------- *)
+
+let test_policy () =
+  Alcotest.(check bool) "customer upstream tags 1" true
+    (Policy.tag_of_upstream Relationship.Customer);
+  Alcotest.(check bool) "peer upstream tags 0" false
+    (Policy.tag_of_upstream Relationship.Peer);
+  Alcotest.(check bool) "provider upstream tags 0" false
+    (Policy.tag_of_upstream Relationship.Provider);
+  Alcotest.(check bool) "tag set allows anything" true
+    (Policy.check ~tag:true ~downstream:Relationship.Provider);
+  Alcotest.(check bool) "tag clear allows customers" true
+    (Policy.check ~tag:false ~downstream:Relationship.Customer);
+  Alcotest.(check bool) "tag clear forbids peers" false
+    (Policy.check ~tag:false ~downstream:Relationship.Peer);
+  Alcotest.(check bool) "source may deflect anywhere" true
+    (Policy.deflection_allowed ~upstream:None ~downstream:Relationship.Provider);
+  Alcotest.(check bool) "peer to peer forbidden" false
+    (Policy.deflection_allowed ~upstream:(Some Relationship.Peer)
+       ~downstream:Relationship.Peer)
+
+(* ---------- Packet ---------- *)
+
+let mk_packet ?ttl () =
+  Packet.make ?ttl ~src:(Prefix.host_of_as 1 1) ~dst:(Prefix.host_of_as 2 1) ~flow:5 ()
+
+let test_packet_encap () =
+  let p = mk_packet () in
+  let e = Packet.encapsulate p ~outer_src:3 ~outer_dst:4 in
+  Alcotest.(check bool) "encapsulated" true (e.Packet.encap <> None);
+  Alcotest.(check int) "outer header on the wire" (p.Packet.size_bits + 160)
+    (Packet.wire_size_bits e);
+  let d = Packet.decapsulate e in
+  Alcotest.(check bool) "decapsulated" true (d.Packet.encap = None);
+  Alcotest.(check bool) "no nested tunnels" true
+    (match Packet.encapsulate e ~outer_src:1 ~outer_dst:2 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_packet_ttl () =
+  let p = mk_packet ~ttl:2 () in
+  (match Packet.decrement_ttl p with
+   | Some p' -> Alcotest.(check int) "decremented" 1 p'.Packet.ttl
+   | None -> Alcotest.fail "should survive");
+  let p1 = mk_packet ~ttl:1 () in
+  Alcotest.(check bool) "expires at 1" true (Packet.decrement_ttl p1 = None)
+
+(* ---------- Fib ---------- *)
+
+let test_fib_lpm () =
+  let fib = Fib.create () in
+  Fib.insert fib (Prefix.of_string "10.0.0.0/8") ~out_port:1 ();
+  Fib.insert fib (Prefix.of_string "10.1.0.0/16") ~out_port:2 ();
+  Fib.insert fib (Prefix.of_string "10.1.2.0/24") ~out_port:3 ~alt_port:9 ();
+  let port addr =
+    match Fib.lookup fib (Prefix.addr_of_string addr) with
+    | Some e -> e.Fib.out_port
+    | None -> -1
+  in
+  Alcotest.(check int) "/24 wins" 3 (port "10.1.2.5");
+  Alcotest.(check int) "/16 wins" 2 (port "10.1.9.5");
+  Alcotest.(check int) "/8 wins" 1 (port "10.9.9.9");
+  Alcotest.(check int) "miss" (-1) (port "11.0.0.1");
+  Alcotest.(check int) "three entries" 3 (Fib.size fib)
+
+let test_fib_set_alt () =
+  let fib = Fib.create () in
+  let p = Prefix.of_string "10.1.2.0/24" in
+  Fib.insert fib p ~out_port:1 ();
+  Fib.set_alt fib p (Some 5);
+  (match Fib.find fib p with
+   | Some e -> Alcotest.(check (option int)) "alt set" (Some 5) e.Fib.alt_port
+   | None -> Alcotest.fail "entry missing");
+  Alcotest.check_raises "unknown prefix" Not_found (fun () ->
+      Fib.set_alt fib (Prefix.of_string "11.0.0.0/8") None)
+
+let test_fib_buckets () =
+  for flow = 0 to 10_000 do
+    let b = Fib.flow_bucket flow in
+    Alcotest.(check bool) "bucket in range" true (b >= 0 && b < Fib.buckets)
+  done;
+  Alcotest.(check int) "deterministic" (Fib.flow_bucket 1234) (Fib.flow_bucket 1234);
+  (* buckets are reasonably spread *)
+  let seen = Array.make Fib.buckets 0 in
+  for flow = 0 to 999 do
+    seen.(Fib.flow_bucket flow) <- seen.(Fib.flow_bucket flow) + 1
+  done;
+  Alcotest.(check bool) "no empty bucket over 1000 flows" true
+    (Array.for_all (fun c -> c > 0) seen)
+
+let test_fib_deflects () =
+  let entry = { Fib.out_port = 0; alt_port = Some 1; deflect_buckets = Fib.buckets } in
+  Alcotest.(check bool) "all buckets deflect" true (Fib.deflects entry ~flow:7);
+  let entry0 = { entry with Fib.deflect_buckets = 0 } in
+  Alcotest.(check bool) "zero buckets never deflect" false (Fib.deflects entry0 ~flow:7);
+  let no_alt = { entry with Fib.alt_port = None } in
+  Alcotest.(check bool) "no alt never deflects" false (Fib.deflects no_alt ~flow:7)
+
+(* ---------- Engine ---------- *)
+
+(* A single-router environment with configurable port kinds and
+   congestion; ports: 0 = default egress, 1 = alternative, 2 = upstream. *)
+let make_env ?(alt_kind = Engine.Ebgp { neighbor_as = 9; rel = Relationship.Peer })
+    ?(upstream_kind = Engine.Ebgp { neighbor_as = 8; rel = Relationship.Customer })
+    ?(congested = fun _ -> false) ?(deflect_buckets = 0) ?(alt = Some 1)
+    ?(next_hop_router = fun _ -> None) () =
+  let fib = Fib.create () in
+  let dst_prefix = Prefix.of_as 2 in
+  Fib.insert fib dst_prefix ~out_port:0 ?alt_port:alt ();
+  (match Fib.find fib dst_prefix with
+   | Some e -> e.Fib.deflect_buckets <- deflect_buckets
+   | None -> assert false);
+  {
+    Engine.router_id = 100;
+    fib;
+    port_kind =
+      (fun p ->
+        if p = 0 then Engine.Ebgp { neighbor_as = 7; rel = Relationship.Provider }
+        else if p = 1 then alt_kind
+        else upstream_kind);
+    is_congested = congested;
+    next_hop_router;
+  }
+
+let packet () = mk_packet ()
+
+let test_engine_default_forward () =
+  let env = make_env () in
+  match Engine.forward env ~ingress:(Some 2) (packet ()) with
+  | Engine.Send { port; packet = p } ->
+    Alcotest.(check int) "default port" 0 port;
+    Alcotest.(check bool) "tagged by customer upstream" true p.Packet.vf_tag;
+    Alcotest.(check int) "ttl decremented" (Packet.default_ttl - 1) p.Packet.ttl
+  | Engine.Drop _ -> Alcotest.fail "dropped"
+
+let test_engine_no_route () =
+  let env = make_env () in
+  let p = Packet.make ~src:(Prefix.host_of_as 1 1) ~dst:(Prefix.host_of_as 999 1) ~flow:1 () in
+  match Engine.forward env ~ingress:(Some 2) p with
+  | Engine.Drop { reason = Engine.No_route; _ } -> ()
+  | _ -> Alcotest.fail "expected no-route drop"
+
+let test_engine_ttl_expiry () =
+  let env = make_env () in
+  let p = mk_packet ~ttl:1 () in
+  match Engine.forward env ~ingress:(Some 2) p with
+  | Engine.Drop { reason = Engine.Ttl_expired; _ } -> ()
+  | _ -> Alcotest.fail "expected ttl drop"
+
+let test_engine_deflects_when_daemon_ramped () =
+  let env = make_env ~deflect_buckets:Fib.buckets () in
+  match Engine.forward env ~ingress:(Some 2) (packet ()) with
+  | Engine.Send { port; packet = p } ->
+    Alcotest.(check int) "alternative port" 1 port;
+    Alcotest.(check bool) "tag carried" true p.Packet.vf_tag
+  | Engine.Drop _ -> Alcotest.fail "dropped"
+
+let test_engine_tag_check_blocks_peer_to_peer () =
+  (* upstream is a peer (tag 0), alternative egress is a peer: the
+     Fig. 2(a) situation - the alternative may not be used; a locally
+     hash-deflected packet falls back to the (loop-free) default. *)
+  let env =
+    make_env ~deflect_buckets:Fib.buckets
+      ~upstream_kind:(Engine.Ebgp { neighbor_as = 8; rel = Relationship.Peer })
+      ()
+  in
+  (match Engine.forward env ~ingress:(Some 2) (packet ()) with
+   | Engine.Send { port; _ } -> Alcotest.(check int) "fell back to default" 0 port
+   | Engine.Drop _ -> Alcotest.fail "local deflection must not drop");
+  (* with the check disabled (ablation) the packet takes the alternative *)
+  match Engine.forward ~tag_check:false env ~ingress:(Some 2) (packet ()) with
+  | Engine.Send { port; _ } -> Alcotest.(check int) "forwarded unchecked" 1 port
+  | Engine.Drop _ -> Alcotest.fail "unexpected drop without tag check"
+
+let test_engine_tag_check_drops_tunneled_packet () =
+  (* the same failing check on a packet tunneled to us by our default
+     next hop: returning it would cycle, so Algorithm 1 line 20 drops *)
+  let env =
+    make_env
+      ~upstream_kind:(Engine.Ibgp { peer_router = 55 })
+      ~next_hop_router:(fun p -> if p = 0 then Some 55 else None)
+      ()
+  in
+  (* arrives tunneled from router 55 with the tag clear; the alternative
+     is an eBGP peer, so the check fails *)
+  let p = Packet.encapsulate (packet ()) ~outer_src:55 ~outer_dst:100 in
+  match Engine.forward env ~ingress:(Some 2) p with
+  | Engine.Drop { reason = Engine.Valley_violation; _ } -> ()
+  | _ -> Alcotest.fail "expected valley drop for the tunneled packet"
+
+let test_engine_deflect_to_customer_always_ok () =
+  let env =
+    make_env ~deflect_buckets:Fib.buckets
+      ~upstream_kind:(Engine.Ebgp { neighbor_as = 8; rel = Relationship.Provider })
+      ~alt_kind:(Engine.Ebgp { neighbor_as = 9; rel = Relationship.Customer })
+      ()
+  in
+  match Engine.forward env ~ingress:(Some 2) (packet ()) with
+  | Engine.Send { port; _ } -> Alcotest.(check int) "customer egress ok" 1 port
+  | Engine.Drop _ -> Alcotest.fail "dropped"
+
+let test_engine_encapsulates_to_ibgp () =
+  let env =
+    make_env ~deflect_buckets:Fib.buckets ~alt_kind:(Engine.Ibgp { peer_router = 55 }) ()
+  in
+  (match Engine.forward env ~ingress:(Some 2) (packet ()) with
+   | Engine.Send { port; packet = p } ->
+     Alcotest.(check int) "ibgp port" 1 port;
+     (match p.Packet.encap with
+      | Some e ->
+        Alcotest.(check int) "outer src" 100 e.Packet.outer_src;
+        Alcotest.(check int) "outer dst" 55 e.Packet.outer_dst
+      | None -> Alcotest.fail "not encapsulated")
+   | Engine.Drop _ -> Alcotest.fail "dropped");
+  (* ablation: without IP-in-IP the packet is sent raw *)
+  match Engine.forward ~ibgp_encap:false env ~ingress:(Some 2) (packet ()) with
+  | Engine.Send { packet = p; _ } ->
+    Alcotest.(check bool) "raw" true (p.Packet.encap = None)
+  | Engine.Drop _ -> Alcotest.fail "dropped"
+
+let test_engine_receives_deflected_packet () =
+  (* this router's default next hop is router 55; the arriving packet was
+     tunneled here BY router 55, so sending it back would cycle: the
+     engine must use the alternative instead (Section III-B). *)
+  let env =
+    make_env
+      ~alt_kind:(Engine.Ebgp { neighbor_as = 9; rel = Relationship.Customer })
+      ~upstream_kind:(Engine.Ibgp { peer_router = 55 })
+      ~next_hop_router:(fun p -> if p = 0 then Some 55 else None)
+      ()
+  in
+  let p = Packet.encapsulate (Packet.with_tag (packet ()) true) ~outer_src:55 ~outer_dst:100 in
+  match Engine.forward env ~ingress:(Some 2) p with
+  | Engine.Send { port; packet = p' } ->
+    Alcotest.(check int) "took the alternative" 1 port;
+    Alcotest.(check bool) "outer header stripped" true (p'.Packet.encap = None)
+  | Engine.Drop _ -> Alcotest.fail "dropped"
+
+let test_engine_foreign_tunnel_passthrough () =
+  (* a tunnel addressed to ANOTHER router is forwarded as-is *)
+  let env = make_env () in
+  let p = Packet.encapsulate (packet ()) ~outer_src:55 ~outer_dst:77 in
+  match Engine.forward env ~ingress:(Some 2) p with
+  | Engine.Send { packet = p'; _ } ->
+    Alcotest.(check bool) "still encapsulated" true (p'.Packet.encap <> None)
+  | Engine.Drop _ -> Alcotest.fail "dropped"
+
+let test_engine_congestion_deflects_first_bucket () =
+  (* instantaneous congestion deflects at least hash bucket 0 before the
+     daemon ramps *)
+  let env = make_env ~congested:(fun p -> p = 0)
+      ~alt_kind:(Engine.Ebgp { neighbor_as = 9; rel = Relationship.Customer }) () in
+  (* find a flow id hashing to bucket 0 *)
+  let flow = ref 0 in
+  while Fib.flow_bucket !flow <> 0 do
+    incr flow
+  done;
+  let p = Packet.make ~src:(Prefix.host_of_as 1 1) ~dst:(Prefix.host_of_as 2 1) ~flow:!flow () in
+  match Engine.forward env ~ingress:(Some 2) p with
+  | Engine.Send { port; _ } -> Alcotest.(check int) "deflected" 1 port
+  | Engine.Drop _ -> Alcotest.fail "dropped"
+
+let test_engine_local_delivery () =
+  let fib = Fib.create () in
+  Fib.insert fib (Prefix.of_as 2) ~out_port:3 ();
+  let env =
+    {
+      Engine.router_id = 1;
+      fib;
+      port_kind = (fun _ -> Engine.Local);
+      is_congested = (fun _ -> false);
+      next_hop_router = (fun _ -> None);
+    }
+  in
+  match Engine.forward env ~ingress:None (packet ()) with
+  | Engine.Send { port; packet = p } ->
+    Alcotest.(check int) "host port" 3 port;
+    Alcotest.(check bool) "source tag" true p.Packet.vf_tag
+  | Engine.Drop _ -> Alcotest.fail "dropped"
+
+(* Property: over random engine environments and packets, the engine
+   preserves its structural invariants - TTL decremented exactly once,
+   encapsulation only toward iBGP ports, valley violations only when the
+   tag-check actually fails, and the output port always one of the FIB
+   entry's two ports. *)
+let engine_env_gen =
+  QCheck2.Gen.(
+    let rel = oneofl [ Relationship.Customer; Relationship.Peer; Relationship.Provider ] in
+    let kind =
+      oneof
+        [
+          map (fun r -> Engine.Ebgp { neighbor_as = 9; rel = r }) rel;
+          return (Engine.Ibgp { peer_router = 55 });
+        ]
+    in
+    let* alt_kind = kind in
+    let* upstream_rel = rel in
+    let* congested = bool in
+    let* buckets = int_bound Fib.buckets in
+    let* has_alt = bool in
+    let* flow = int_bound 10_000 in
+    let* tagged_encap = bool in
+    return (alt_kind, upstream_rel, congested, buckets, has_alt, flow, tagged_encap))
+
+let prop_engine_invariants =
+  QCheck2.Test.make ~name:"engine structural invariants" ~count:500 engine_env_gen
+    (fun (alt_kind, upstream_rel, congested, buckets, has_alt, flow, encapped) ->
+      let env =
+        make_env ~alt_kind
+          ~upstream_kind:(Engine.Ebgp { neighbor_as = 8; rel = upstream_rel })
+          ~congested:(fun p -> congested && p = 0)
+          ~deflect_buckets:buckets
+          ~alt:(if has_alt then Some 1 else None)
+          ~next_hop_router:(fun _ -> None)
+          ()
+      in
+      let base =
+        Packet.make ~src:(Prefix.host_of_as 1 1) ~dst:(Prefix.host_of_as 2 1) ~flow ()
+      in
+      let p = if encapped then Packet.encapsulate base ~outer_src:7 ~outer_dst:99 else base in
+      match Engine.forward env ~ingress:(Some 2) p with
+      | Engine.Send { port; packet = p' } ->
+        (* TTL decremented exactly once *)
+        p'.Packet.ttl = p.Packet.ttl - 1
+        (* output is one of the FIB ports *)
+        && (port = 0 || (has_alt && port = 1))
+        (* new encapsulation only toward iBGP ports *)
+        && (match (p'.Packet.encap, p.Packet.encap) with
+            | Some _, Some _ -> true (* a foreign tunnel passing through *)
+            | Some _, None -> port = 1 && alt_kind = Engine.Ibgp { peer_router = 55 }
+            | None, Some _ -> false (* never decapsulated: not addressed to us *)
+            | None, None -> true)
+        (* the tag always reflects the upstream relationship *)
+        && p'.Packet.vf_tag = Policy.tag_of_upstream upstream_rel
+      | Engine.Drop { reason = Engine.Ttl_expired; _ } -> false
+      | Engine.Drop { reason = Engine.No_route; _ } -> false
+      | Engine.Drop { reason = Engine.Valley_violation; _ } ->
+        (* only possible when tunneled to us - which never happens here
+           (outer_dst is 99, not this router) *)
+        false)
+
+(* ---------- Daemon ---------- *)
+
+let daemon_fib () =
+  let fib = Fib.create () in
+  Fib.insert fib (Prefix.of_as 2) ~out_port:0 ~alt_port:1 ();
+  (fib, fun () -> (Option.get (Fib.find fib (Prefix.of_as 2))).Fib.deflect_buckets)
+
+let run_epoch fib ~out_util ~alt_util =
+  Daemon.epoch ~fib
+    ~port_utilization:(fun p -> if p = 0 then out_util else alt_util)
+    ~choose_alt:(fun _ e -> e.Fib.alt_port)
+    ()
+
+let test_daemon_ramps_up () =
+  let fib, buckets = daemon_fib () in
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  Alcotest.(check int) "ramped" Daemon.default_config.Daemon.ramp_up (buckets ());
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  Alcotest.(check int) "ramped again" (2 * Daemon.default_config.Daemon.ramp_up) (buckets ())
+
+let test_daemon_holds_when_alt_full () =
+  let fib, buckets = daemon_fib () in
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  let level = buckets () in
+  run_epoch fib ~out_util:0.99 ~alt_util:0.95;
+  Alcotest.(check int) "held" level (buckets ())
+
+let test_daemon_ramps_down () =
+  let fib, buckets = daemon_fib () in
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  let level = buckets () in
+  run_epoch fib ~out_util:0.3 ~alt_util:0.3;
+  Alcotest.(check int) "down" (level - Daemon.default_config.Daemon.ramp_down) (buckets ())
+
+let test_daemon_hysteresis_band () =
+  let fib, buckets = daemon_fib () in
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  let level = buckets () in
+  (* between clear and congest thresholds: no change *)
+  run_epoch fib ~out_util:0.75 ~alt_util:0.0;
+  Alcotest.(check int) "unchanged in the band" level (buckets ())
+
+let test_daemon_clears_without_alt () =
+  let fib, buckets = daemon_fib () in
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  Daemon.epoch ~fib
+    ~port_utilization:(fun _ -> 0.99)
+    ~choose_alt:(fun _ _ -> None)
+    ();
+  Alcotest.(check int) "no alt, no deflection" 0 (buckets ())
+
+let test_daemon_is_congested () =
+  Alcotest.(check bool) "above" true (Daemon.is_congested 0.95);
+  Alcotest.(check bool) "below" false (Daemon.is_congested 0.5)
+
+(* ---------- Alt_select ---------- *)
+
+let gadget_rt = lazy (let g = Generator.fig2a_gadget () in (g, Routing.compute g 0))
+
+let test_alt_select_permitted () =
+  let _, rt = Lazy.force gadget_rt in
+  (* at AS 1, traffic from a peer may not be deflected to the peer routes *)
+  let from_peer = Alt_select.permitted rt ~src_as:1 ~upstream:(Some Relationship.Peer) in
+  Alcotest.(check int) "no peer-to-peer alternates" 0 (List.length from_peer);
+  let local = Alt_select.permitted rt ~src_as:1 ~upstream:None in
+  Alcotest.(check int) "source may use both" 2 (List.length local)
+
+let test_alt_select_best () =
+  let _, rt = Lazy.force gadget_rt in
+  let spare nb = if nb = 3 then 100. else 10. in
+  (match Alt_select.best_alternative rt ~src_as:1 ~upstream:None ~spare with
+   | Some e -> Alcotest.(check int) "largest spare wins" 3 e.Routing.via
+   | None -> Alcotest.fail "no alternative");
+  (* ties break to the lower AS id *)
+  (match Alt_select.best_alternative rt ~src_as:1 ~upstream:None ~spare:(fun _ -> 5.) with
+   | Some e -> Alcotest.(check int) "tie to lower id" 2 e.Routing.via
+   | None -> Alcotest.fail "no alternative");
+  (* no positive spare -> nothing *)
+  Alcotest.(check bool) "all full -> none" true
+    (Alt_select.best_alternative rt ~src_as:1 ~upstream:None ~spare:(fun _ -> 0.) = None)
+
+(* ---------- Loop_walk: the theorem ---------- *)
+
+let test_walk_no_congestion_delivers () =
+  let g, rt = Lazy.force gadget_rt in
+  let decide ~as_id:_ ~upstream:_ ~entries:_ = Loop_walk.Default in
+  match Loop_walk.walk g rt ~decide ~src:2 with
+  | Loop_walk.Delivered path -> Alcotest.(check (list int)) "direct" [ 2; 0 ] path
+  | _ -> Alcotest.fail "not delivered"
+
+let test_walk_gadget_loops_without_check () =
+  let g, rt = Lazy.force gadget_rt in
+  let strategy =
+    Loop_walk.congestion_strategy ~congested:(fun _ _ -> true) ~spare:(fun _ _ -> 1.)
+  in
+  (match Loop_walk.walk ~tag_check:false g rt ~decide:strategy ~src:1 with
+   | Loop_walk.Looped _ -> ()
+   | _ -> Alcotest.fail "expected a loop without the check");
+  match Loop_walk.walk ~tag_check:true g rt ~decide:strategy ~src:1 with
+  | Loop_walk.Dropped { reason = Loop_walk.Valley; _ } -> ()
+  | _ -> Alcotest.fail "expected a valley drop with the check"
+
+let test_walk_rejects_unknown_neighbor () =
+  let g, rt = Lazy.force gadget_rt in
+  let decide ~as_id:_ ~upstream:_ ~entries:_ = Loop_walk.Deflect 99 in
+  match Loop_walk.walk g rt ~decide ~src:1 with
+  | Loop_walk.Dropped { reason = Loop_walk.No_route; _ } -> ()
+  | _ -> Alcotest.fail "expected no-route drop"
+
+(* The theorem (Section III-A3): with the valley-free rule on the data
+   plane, NO deflection strategy can loop a packet.  We drive the walker
+   with an adversarial pseudo-random strategy over a generated topology
+   and check every outcome is Delivered or Dropped. *)
+let prop_theorem_no_loops =
+  let topo =
+    lazy
+      (Generator.generate
+         ~params:{ Generator.default_params with Generator.ases = 300; tier1 = 5;
+                   content_providers = 3; content_peer_span = (3, 9) }
+         ~seed:77 ())
+  in
+  QCheck2.Test.make ~name:"theorem: tag-check makes any deflection strategy loop-free"
+    ~count:150
+    QCheck2.Gen.(triple (int_bound 299) (int_bound 299) (int_bound 1_000_000))
+    (fun (src, dst, salt) ->
+      QCheck2.assume (src <> dst);
+      let t = Lazy.force topo in
+      let g = t.Generator.graph in
+      let rt = Routing.compute g dst in
+      (* adversarial strategy: pseudo-randomly deflect to ANY RIB entry *)
+      let decide ~as_id ~upstream:_ ~entries =
+        let h = Hashtbl.hash (as_id, salt) in
+        match entries with
+        | [] -> Loop_walk.Default
+        | entries ->
+          let k = h mod (List.length entries + 1) in
+          if k = 0 then Loop_walk.Default
+          else Loop_walk.Deflect (List.nth entries (k - 1)).Routing.via
+      in
+      match Loop_walk.walk ~tag_check:true g rt ~decide ~src with
+      | Loop_walk.Delivered path ->
+        As_graph.path_is_valley_free g path
+      | Loop_walk.Dropped _ -> true
+      | Loop_walk.Looped _ -> false)
+
+let () =
+  Alcotest.run "mifo_core"
+    [
+      ( "deployment",
+        [
+          Alcotest.test_case "full/none" `Quick test_deployment_full_none;
+          Alcotest.test_case "fraction" `Quick test_deployment_fraction;
+          Alcotest.test_case "of_list" `Quick test_deployment_of_list;
+          Alcotest.test_case "ratio clamping" `Quick test_deployment_clamps_ratio;
+        ] );
+      ("policy", [ Alcotest.test_case "tag and check tables" `Quick test_policy ]);
+      ( "packet",
+        [
+          Alcotest.test_case "encap/decap" `Quick test_packet_encap;
+          Alcotest.test_case "ttl" `Quick test_packet_ttl;
+        ] );
+      ( "fib",
+        [
+          Alcotest.test_case "longest prefix match" `Quick test_fib_lpm;
+          Alcotest.test_case "set_alt" `Quick test_fib_set_alt;
+          Alcotest.test_case "flow buckets" `Quick test_fib_buckets;
+          Alcotest.test_case "deflects" `Quick test_fib_deflects;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "default forwarding + tagging" `Quick test_engine_default_forward;
+          Alcotest.test_case "no route" `Quick test_engine_no_route;
+          Alcotest.test_case "ttl expiry" `Quick test_engine_ttl_expiry;
+          Alcotest.test_case "daemon-ramped deflection" `Quick
+            test_engine_deflects_when_daemon_ramped;
+          Alcotest.test_case "tag-check blocks peer-to-peer" `Quick
+            test_engine_tag_check_blocks_peer_to_peer;
+          Alcotest.test_case "tag-check drops tunneled packets" `Quick
+            test_engine_tag_check_drops_tunneled_packet;
+          Alcotest.test_case "deflect to customer always ok" `Quick
+            test_engine_deflect_to_customer_always_ok;
+          Alcotest.test_case "IP-in-IP to iBGP peer" `Quick test_engine_encapsulates_to_ibgp;
+          Alcotest.test_case "deflected packet uses alternative" `Quick
+            test_engine_receives_deflected_packet;
+          Alcotest.test_case "foreign tunnel passthrough" `Quick
+            test_engine_foreign_tunnel_passthrough;
+          Alcotest.test_case "instant congestion deflects bucket 0" `Quick
+            test_engine_congestion_deflects_first_bucket;
+          Alcotest.test_case "local delivery" `Quick test_engine_local_delivery;
+          QCheck_alcotest.to_alcotest prop_engine_invariants;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "ramps up under congestion" `Quick test_daemon_ramps_up;
+          Alcotest.test_case "holds when alternative is full" `Quick
+            test_daemon_holds_when_alt_full;
+          Alcotest.test_case "ramps down when drained" `Quick test_daemon_ramps_down;
+          Alcotest.test_case "hysteresis band" `Quick test_daemon_hysteresis_band;
+          Alcotest.test_case "no alternative, no deflection" `Quick
+            test_daemon_clears_without_alt;
+          Alcotest.test_case "congestion predicate" `Quick test_daemon_is_congested;
+        ] );
+      ( "alt_select",
+        [
+          Alcotest.test_case "valley filter" `Quick test_alt_select_permitted;
+          Alcotest.test_case "greedy best + tie-break" `Quick test_alt_select_best;
+        ] );
+      ( "loop_walk",
+        [
+          Alcotest.test_case "delivers without congestion" `Quick
+            test_walk_no_congestion_delivers;
+          Alcotest.test_case "fig2a: loop without check, drop with" `Quick
+            test_walk_gadget_loops_without_check;
+          Alcotest.test_case "rejects unknown neighbor" `Quick test_walk_rejects_unknown_neighbor;
+          QCheck_alcotest.to_alcotest prop_theorem_no_loops;
+        ] );
+    ]

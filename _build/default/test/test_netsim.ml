@@ -1,0 +1,463 @@
+(* Unit and property tests for Mifo_netsim: event queue, max-min
+   allocator, TCP state machine, flow-level simulator and packet-level
+   simulator. *)
+
+module Eventq = Mifo_netsim.Eventq
+module Maxmin = Mifo_netsim.Maxmin
+module Tcp = Mifo_netsim.Tcp
+module Flowsim = Mifo_netsim.Flowsim
+module Packetsim = Mifo_netsim.Packetsim
+module Routing_table = Mifo_bgp.Routing_table
+module Prefix = Mifo_bgp.Prefix
+module Fib = Mifo_core.Fib
+module Engine = Mifo_core.Engine
+module Deployment = Mifo_core.Deployment
+module Generator = Mifo_topology.Generator
+module As_graph = Mifo_topology.As_graph
+module Relationship = Mifo_topology.Relationship
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* ---------- Eventq ---------- *)
+
+let test_eventq_order () =
+  let q = Eventq.create () in
+  Eventq.schedule q ~time:3. "c";
+  Eventq.schedule q ~time:1. "a";
+  Eventq.schedule q ~time:2. "b";
+  Alcotest.(check (option (float 1e-9))) "peek" (Some 1.) (Eventq.peek_time q);
+  let order = List.init 3 (fun _ -> snd (Option.get (Eventq.next q))) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
+
+let test_eventq_stable () =
+  let q = Eventq.create () in
+  Eventq.schedule q ~time:1. "first";
+  Eventq.schedule q ~time:1. "second";
+  Alcotest.(check string) "fifo on ties" "first" (snd (Option.get (Eventq.next q)));
+  Alcotest.(check string) "fifo on ties 2" "second" (snd (Option.get (Eventq.next q)))
+
+let test_eventq_rejects_bad_time () =
+  let q = Eventq.create () in
+  Alcotest.(check bool) "negative" true
+    (match Eventq.schedule q ~time:(-1.) () with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "nan" true
+    (match Eventq.schedule q ~time:Float.nan () with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* ---------- Maxmin ---------- *)
+
+let test_maxmin_two_flows_one_link () =
+  let rates = Maxmin.allocate ~capacities:[| 10. |] ~flow_links:[| [| 0 |]; [| 0 |] |] in
+  check_float "fair split" 5. rates.(0);
+  check_float "fair split" 5. rates.(1)
+
+let test_maxmin_classic () =
+  (* classic example: links A(cap 10) and B(cap 4); flow1 on A+B, flow2 on
+     B, flow3 on A.  Max-min: flow1 = flow2 = 2 (B bottleneck), flow3 = 8. *)
+  let rates =
+    Maxmin.allocate ~capacities:[| 10.; 4. |]
+      ~flow_links:[| [| 0; 1 |]; [| 1 |]; [| 0 |] |]
+  in
+  check_float "flow1" 2. rates.(0);
+  check_float "flow2" 2. rates.(1);
+  check_float "flow3" 8. rates.(2)
+
+let test_maxmin_empty_path () =
+  let rates = Maxmin.allocate ~capacities:[| 7. |] ~flow_links:[| [||] |] in
+  check_float "unconstrained gets max capacity" 7. rates.(0)
+
+let test_maxmin_duplicate_links_counted_once () =
+  let rates = Maxmin.allocate ~capacities:[| 6. |] ~flow_links:[| [| 0; 0 |]; [| 0 |] |] in
+  check_float "dedup" 3. rates.(0);
+  check_float "dedup" 3. rates.(1)
+
+let test_maxmin_rejects_bad_input () =
+  Alcotest.(check bool) "bad link id" true
+    (match Maxmin.allocate ~capacities:[| 1. |] ~flow_links:[| [| 3 |] |] with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "negative capacity" true
+    (match Maxmin.allocate ~capacities:[| -1. |] ~flow_links:[||] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* Properties: feasibility and the bottleneck characterization of max-min
+   fairness: every flow crosses a saturated link on which it has the
+   maximal rate. *)
+let maxmin_instance_gen =
+  QCheck2.Gen.(
+    let* nlinks = int_range 1 12 in
+    let* nflows = int_range 1 20 in
+    let* caps = array_size (return nlinks) (float_range 1. 100.) in
+    let* flows =
+      array_size (return nflows)
+        (list_size (int_range 1 5) (int_bound (nlinks - 1)))
+    in
+    return (caps, Array.map Array.of_list flows))
+
+let prop_maxmin_feasible =
+  QCheck2.Test.make ~name:"max-min allocation never exceeds capacity" ~count:300
+    maxmin_instance_gen
+    (fun (caps, flows) ->
+      let rates = Maxmin.allocate ~capacities:caps ~flow_links:flows in
+      let alloc = Maxmin.link_allocation ~capacities:caps ~flow_links:flows ~rates in
+      Array.for_all2 (fun a c -> a <= c +. 1e-6) alloc caps)
+
+let prop_maxmin_bottleneck =
+  QCheck2.Test.make ~name:"every flow has a saturated bottleneck where it is maximal"
+    ~count:300 maxmin_instance_gen
+    (fun (caps, flows) ->
+      let rates = Maxmin.allocate ~capacities:caps ~flow_links:flows in
+      let alloc = Maxmin.link_allocation ~capacities:caps ~flow_links:flows ~rates in
+      let max_rate_on = Array.make (Array.length caps) 0. in
+      Array.iteri
+        (fun f links ->
+          Array.iter (fun l -> max_rate_on.(l) <- Float.max max_rate_on.(l) rates.(f)) links)
+        flows;
+      Array.for_all
+        (fun f ->
+          Array.length flows.(f) = 0
+          || Array.exists
+               (fun l -> alloc.(l) >= caps.(l) -. 1e-6 && rates.(f) >= max_rate_on.(l) -. 1e-6)
+               flows.(f))
+        (Array.init (Array.length flows) Fun.id))
+
+(* ---------- Tcp ---------- *)
+
+let test_tcp_window_pump () =
+  let s = Tcp.Sender.create ~total:100 in
+  let sent = ref [] in
+  let rec pump () =
+    match Tcp.Sender.next_to_send s with
+    | Some seq ->
+      sent := seq :: !sent;
+      pump ()
+    | None -> ()
+  in
+  pump ();
+  (* initial cwnd of 10 segments *)
+  Alcotest.(check (list int)) "initial window" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !sent)
+
+let test_tcp_slow_start_growth () =
+  let s = Tcp.Sender.create ~total:1000 in
+  let before = Tcp.Sender.cwnd s in
+  ignore (Tcp.Sender.next_to_send s);
+  ignore (Tcp.Sender.on_ack s 1);
+  Alcotest.(check bool) "cwnd +1 in slow start" true (Tcp.Sender.cwnd s = before +. 1.)
+
+let test_tcp_fast_retransmit () =
+  let s = Tcp.Sender.create ~total:100 in
+  for _ = 1 to 12 do
+    ignore (Tcp.Sender.next_to_send s)
+  done;
+  ignore (Tcp.Sender.on_ack s 1);
+  (* three duplicate ACKs for 1 *)
+  Alcotest.(check (list int)) "no rtx yet" [] (Tcp.Sender.on_ack s 1);
+  Alcotest.(check (list int)) "no rtx yet" [] (Tcp.Sender.on_ack s 1);
+  Alcotest.(check (list int)) "fast retransmit of 1" [ 1 ] (Tcp.Sender.on_ack s 1);
+  Alcotest.(check bool) "cwnd halved" true (Tcp.Sender.cwnd s <= 6.)
+
+let test_tcp_timeout_gobackn () =
+  let s = Tcp.Sender.create ~total:100 in
+  for _ = 1 to 10 do
+    ignore (Tcp.Sender.next_to_send s)
+  done;
+  let gen = Tcp.Sender.arm_timer s in
+  Alcotest.(check (list int)) "stale generation ignored" []
+    (Tcp.Sender.on_timeout s ~gen:(gen - 1));
+  Alcotest.(check (list int)) "head retransmitted" [ 0 ] (Tcp.Sender.on_timeout s ~gen);
+  Alcotest.(check bool) "cwnd collapsed" true (Tcp.Sender.cwnd s = 1.)
+
+let test_tcp_done () =
+  let s = Tcp.Sender.create ~total:3 in
+  for _ = 1 to 3 do
+    ignore (Tcp.Sender.next_to_send s)
+  done;
+  ignore (Tcp.Sender.on_ack s 3);
+  Alcotest.(check bool) "done" true (Tcp.Sender.is_done s);
+  Alcotest.(check bool) "no more to send" true (Tcp.Sender.next_to_send s = None)
+
+let test_tcp_rtt_estimator () =
+  let s = Tcp.Sender.create ~total:10 in
+  Tcp.Sender.observe_rtt s 0.010;
+  Alcotest.(check bool) "rto above srtt" true (Tcp.Sender.rto s >= 0.010);
+  Tcp.Sender.observe_rtt s 0.010;
+  Tcp.Sender.observe_rtt s 0.010;
+  Alcotest.(check bool) "rto converges near srtt" true (Tcp.Sender.rto s < 0.05)
+
+let test_tcp_receiver_reorder () =
+  let r = Tcp.Receiver.create () in
+  Alcotest.(check int) "in order" 1 (Tcp.Receiver.on_data r 0);
+  Alcotest.(check int) "gap held" 1 (Tcp.Receiver.on_data r 2);
+  Alcotest.(check int) "gap held" 1 (Tcp.Receiver.on_data r 3);
+  Alcotest.(check int) "gap filled advances past buffer" 4 (Tcp.Receiver.on_data r 1);
+  Alcotest.(check int) "duplicate is harmless" 4 (Tcp.Receiver.on_data r 2)
+
+(* ---------- Flowsim ---------- *)
+
+let topo = lazy (Generator.generate ~seed:31 ())
+let table = lazy (Routing_table.create (Lazy.force topo).Generator.graph)
+
+let quick_params =
+  { Flowsim.default_params with Flowsim.max_time = 30. }
+
+let mk_flows specs =
+  Array.of_list
+    (List.map
+       (fun (src, dst, start) ->
+         { Flowsim.src; dst; size_bits = 8e6 (* 1 MB *); start })
+       specs)
+
+let test_flowsim_single_flow () =
+  let table = Lazy.force table in
+  (* 10 MB so the transfer spans many epochs and the average is sharp *)
+  let flows = [| { Flowsim.src = 100; dst = 200; size_bits = 8e7; start = 0. } |] in
+  let r = Flowsim.run ~params:quick_params table Flowsim.Bgp flows in
+  Alcotest.(check int) "one flow" 1 (Array.length r.Flowsim.flows);
+  let s = r.Flowsim.flows.(0) in
+  Alcotest.(check bool) "completed" true s.Flowsim.completed;
+  (* alone in the network: full link rate *)
+  Alcotest.(check bool) "rate ~1Gbps" true (s.Flowsim.throughput > 0.85e9);
+  Alcotest.(check int) "no switches under BGP" 0 s.Flowsim.switches
+
+let test_flowsim_sharing () =
+  let table = Lazy.force table in
+  (* many flows between the same pair share the same default path *)
+  let flows = mk_flows (List.init 4 (fun _ -> (100, 200, 0.))) in
+  let r = Flowsim.run ~params:quick_params table Flowsim.Bgp flows in
+  Array.iter
+    (fun (s : Flowsim.flow_stats) ->
+      Alcotest.(check bool) "quarter of the link each" true
+        (s.Flowsim.throughput < 0.3e9 && s.Flowsim.throughput > 0.15e9))
+    r.Flowsim.flows
+
+let test_flowsim_deterministic () =
+  let table = Lazy.force table in
+  let n = As_graph.n (Routing_table.graph table) in
+  let flows =
+    Mifo_traffic.Traffic.uniform (Mifo_util.Prng.create ~seed:3 ()) ~n_ases:n ~count:150
+      ~rate:2000. ()
+  in
+  let d = Deployment.full ~n in
+  let r1 = Flowsim.run ~params:quick_params table (Flowsim.Mifo d) flows in
+  let r2 = Flowsim.run ~params:quick_params table (Flowsim.Mifo d) flows in
+  Alcotest.(check (array (float 1e-9))) "identical runs"
+    (Flowsim.throughputs r1) (Flowsim.throughputs r2)
+
+let test_flowsim_bgp_never_offloads () =
+  let table = Lazy.force table in
+  let flows = mk_flows (List.init 10 (fun i -> (100 + i, 200, 0.))) in
+  let r = Flowsim.run ~params:quick_params table Flowsim.Bgp flows in
+  check_float "no offload" 0. r.Flowsim.offload_fraction
+
+let test_flowsim_mifo_paths_valley_free () =
+  let table = Lazy.force table in
+  let g = Routing_table.graph table in
+  let n = As_graph.n g in
+  let flows =
+    Mifo_traffic.Traffic.uniform (Mifo_util.Prng.create ~seed:4 ()) ~n_ases:n ~count:300
+      ~rate:4000. ()
+  in
+  let r = Flowsim.run ~params:quick_params table (Flowsim.Mifo (Deployment.full ~n)) flows in
+  let switched = ref 0 in
+  Array.iter
+    (fun (s : Flowsim.flow_stats) ->
+      if s.Flowsim.used_alt then incr switched;
+      Alcotest.(check bool) "final path valley-free" true
+        (As_graph.path_is_valley_free g (Array.to_list s.Flowsim.final_path)))
+    r.Flowsim.flows;
+  Alcotest.(check bool) "some flows actually deflected" true (!switched > 0)
+
+(* Diamond with a link failure: BGP flows stall forever, MIFO routes
+   around within an epoch. *)
+let test_flowsim_link_failure () =
+  let g =
+    As_graph.create ~n:6
+      ~edges:
+        [
+          (1, 0, As_graph.Provider_customer);
+          (2, 0, As_graph.Provider_customer);
+          (3, 1, As_graph.Provider_customer);
+          (3, 2, As_graph.Provider_customer);
+          (3, 4, As_graph.Provider_customer);
+          (3, 5, As_graph.Provider_customer);
+        ]
+  in
+  let table = Routing_table.create g in
+  let flows =
+    [|
+      { Flowsim.src = 4; dst = 0; size_bits = 8e7; start = 0. };
+      { Flowsim.src = 5; dst = 0; size_bits = 8e7; start = 0. };
+    |]
+  in
+  let params = { Flowsim.default_params with Flowsim.max_time = 5. } in
+  (* default paths run 3 -> 1 -> 0; cut (3, 1) at t = 0.05 *)
+  let failures = [ (0.05, (3, 1)) ] in
+  let bgp = Flowsim.run ~params ~failures table Flowsim.Bgp flows in
+  Array.iter
+    (fun (s : Flowsim.flow_stats) ->
+      Alcotest.(check bool) "BGP flow stalls on the dead link" false s.Flowsim.completed)
+    bgp.Flowsim.flows;
+  let mifo = Flowsim.run ~params ~failures table (Flowsim.Mifo (Deployment.full ~n:6)) flows in
+  Array.iter
+    (fun (s : Flowsim.flow_stats) ->
+      Alcotest.(check bool) "MIFO flow routes around" true s.Flowsim.completed;
+      Alcotest.(check bool) "finishes quickly" true (s.Flowsim.finish < 1.0))
+    mifo.Flowsim.flows
+
+let test_flowsim_failure_validation () =
+  let table = Lazy.force table in
+  let flows = mk_flows [ (1, 2, 0.) ] in
+  Alcotest.(check bool) "non-adjacent failure rejected" true
+    (match Flowsim.run ~failures:[ (0., (1, 1)) ] table Flowsim.Bgp flows with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_flowsim_rejects_bad_specs () =
+  let table = Lazy.force table in
+  let bad = [| { Flowsim.src = 1; dst = 1; size_bits = 1.; start = 0. } |] in
+  Alcotest.(check bool) "src=dst rejected" true
+    (match Flowsim.run table Flowsim.Bgp bad with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* ---------- Packetsim ---------- *)
+
+(* Two hosts connected through two routers in a line. *)
+let line_network ?(rate = 1e9) () =
+  let sim = Packetsim.create () in
+  let h1 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 1 1) in
+  let h2 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 2 1) in
+  let r1 = Packetsim.add_router sim ~as_id:1 in
+  let r2 = Packetsim.add_router sim ~as_id:2 in
+  let local = Engine.Local in
+  let _, r1h = Packetsim.connect sim ~a:h1 ~b:r1 ~kind_ab:local ~kind_ba:local ~rate () in
+  let _, r2h = Packetsim.connect sim ~a:h2 ~b:r2 ~kind_ab:local ~kind_ba:local ~rate () in
+  let r1r2, r2r1 =
+    Packetsim.connect sim ~a:r1 ~b:r2
+      ~kind_ab:(Engine.Ebgp { neighbor_as = 2; rel = Relationship.Customer })
+      ~kind_ba:(Engine.Ebgp { neighbor_as = 1; rel = Relationship.Provider })
+      ~rate ()
+  in
+  Fib.insert (Packetsim.fib sim r1) (Prefix.of_as 2) ~out_port:r1r2 ();
+  Fib.insert (Packetsim.fib sim r1) (Prefix.of_as 1) ~out_port:r1h ();
+  Fib.insert (Packetsim.fib sim r2) (Prefix.of_as 2) ~out_port:r2h ();
+  Fib.insert (Packetsim.fib sim r2) (Prefix.of_as 1) ~out_port:r2r1 ();
+  (sim, h1, h2)
+
+let test_packetsim_transfer_completes () =
+  let sim, h1, h2 = line_network () in
+  let _ = Packetsim.add_flow sim ~src:h1 ~dst:h2 ~bytes:1_000_000 ~start:0. in
+  Packetsim.run sim;
+  let results = Packetsim.flow_results sim in
+  Alcotest.(check int) "one flow" 1 (Array.length results);
+  (match results.(0).Packetsim.finish with
+   | Some f ->
+     (* 8 Mbit at ~1 Gbps with ACK overhead: well under 100 ms *)
+     Alcotest.(check bool) "reasonable FCT" true (f > 0.008 && f < 0.1)
+   | None -> Alcotest.fail "did not finish");
+  let c = Packetsim.counters sim in
+  Alcotest.(check int) "all segments delivered" 1000 c.Packetsim.delivered_packets;
+  Alcotest.(check int) "no valley drops" 0 c.Packetsim.dropped_valley
+
+let test_packetsim_goodput_series () =
+  let sim, h1, h2 = line_network () in
+  let _ = Packetsim.add_flow sim ~src:h1 ~dst:h2 ~bytes:2_000_000 ~start:0. in
+  Packetsim.run sim;
+  let series = Packetsim.throughput_series sim in
+  let total_bits =
+    Array.fold_left (fun acc (_, v) -> acc +. (v *. (Packetsim.config sim).Packetsim.series_interval)) 0. series
+  in
+  Alcotest.(check bool) "series accounts for the transfer" true
+    (abs_float (total_bits -. 16e6) < 16e4)
+
+let test_packetsim_two_flows_share () =
+  let sim, h1, h2 = line_network () in
+  let _ = Packetsim.add_flow sim ~src:h1 ~dst:h2 ~bytes:2_000_000 ~start:0. in
+  let _ = Packetsim.add_flow sim ~src:h1 ~dst:h2 ~bytes:2_000_000 ~start:0. in
+  Packetsim.run sim;
+  let results = Packetsim.flow_results sim in
+  Array.iter
+    (fun (r : Packetsim.flow_result) ->
+      match r.Packetsim.finish with
+      | Some f -> Alcotest.(check bool) "both slower than solo" true (f > 0.02)
+      | None -> Alcotest.fail "did not finish")
+    results
+
+let test_packetsim_ttl_on_routing_loop () =
+  (* misconfigured FIBs that point at each other: packets must die by TTL,
+     not hang the simulator *)
+  let sim = Packetsim.create () in
+  let h1 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 1 1) in
+  let r1 = Packetsim.add_router sim ~as_id:1 in
+  let r2 = Packetsim.add_router sim ~as_id:2 in
+  let local = Engine.Local in
+  ignore (Packetsim.connect sim ~a:h1 ~b:r1 ~kind_ab:local ~kind_ba:local ~rate:1e9 ());
+  let r1r2, r2r1 =
+    Packetsim.connect sim ~a:r1 ~b:r2
+      ~kind_ab:(Engine.Ebgp { neighbor_as = 2; rel = Relationship.Peer })
+      ~kind_ba:(Engine.Ebgp { neighbor_as = 1; rel = Relationship.Peer })
+      ~rate:1e9 ()
+  in
+  (* both routers send AS1-destined traffic at each other: a routing loop *)
+  Fib.insert (Packetsim.fib sim r1) (Prefix.of_as 1) ~out_port:r1r2 ();
+  Fib.insert (Packetsim.fib sim r2) (Prefix.of_as 1) ~out_port:r2r1 ();
+  let _ = Packetsim.add_flow sim ~src:h1 ~dst:h1 ~bytes:1000 ~start:0. in
+  Packetsim.run ~until:1.0 sim;
+  let c = Packetsim.counters sim in
+  Alcotest.(check bool) "loop killed by ttl" true (c.Packetsim.dropped_ttl > 0)
+
+let () =
+  Alcotest.run "mifo_netsim"
+    [
+      ( "eventq",
+        [
+          Alcotest.test_case "time order" `Quick test_eventq_order;
+          Alcotest.test_case "stable on ties" `Quick test_eventq_stable;
+          Alcotest.test_case "rejects bad times" `Quick test_eventq_rejects_bad_time;
+        ] );
+      ( "maxmin",
+        [
+          Alcotest.test_case "two flows one link" `Quick test_maxmin_two_flows_one_link;
+          Alcotest.test_case "classic three flows" `Quick test_maxmin_classic;
+          Alcotest.test_case "empty path" `Quick test_maxmin_empty_path;
+          Alcotest.test_case "duplicate links" `Quick test_maxmin_duplicate_links_counted_once;
+          Alcotest.test_case "input validation" `Quick test_maxmin_rejects_bad_input;
+          QCheck_alcotest.to_alcotest prop_maxmin_feasible;
+          QCheck_alcotest.to_alcotest prop_maxmin_bottleneck;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "window pump" `Quick test_tcp_window_pump;
+          Alcotest.test_case "slow start" `Quick test_tcp_slow_start_growth;
+          Alcotest.test_case "fast retransmit" `Quick test_tcp_fast_retransmit;
+          Alcotest.test_case "timeout go-back-n" `Quick test_tcp_timeout_gobackn;
+          Alcotest.test_case "completion" `Quick test_tcp_done;
+          Alcotest.test_case "rtt estimator" `Quick test_tcp_rtt_estimator;
+          Alcotest.test_case "receiver reordering" `Quick test_tcp_receiver_reorder;
+        ] );
+      ( "flowsim",
+        [
+          Alcotest.test_case "single flow at line rate" `Quick test_flowsim_single_flow;
+          Alcotest.test_case "flows share fairly" `Quick test_flowsim_sharing;
+          Alcotest.test_case "deterministic" `Quick test_flowsim_deterministic;
+          Alcotest.test_case "bgp never offloads" `Quick test_flowsim_bgp_never_offloads;
+          Alcotest.test_case "mifo final paths valley-free" `Quick
+            test_flowsim_mifo_paths_valley_free;
+          Alcotest.test_case "spec validation" `Quick test_flowsim_rejects_bad_specs;
+          Alcotest.test_case "link failure: BGP stalls, MIFO survives" `Quick
+            test_flowsim_link_failure;
+          Alcotest.test_case "failure validation" `Quick test_flowsim_failure_validation;
+        ] );
+      ( "packetsim",
+        [
+          Alcotest.test_case "tcp transfer completes" `Quick test_packetsim_transfer_completes;
+          Alcotest.test_case "goodput series conserves bytes" `Quick test_packetsim_goodput_series;
+          Alcotest.test_case "two flows share a link" `Quick test_packetsim_two_flows_share;
+          Alcotest.test_case "routing loop dies by ttl" `Quick test_packetsim_ttl_on_routing_loop;
+        ] );
+    ]

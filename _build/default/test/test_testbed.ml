@@ -1,0 +1,92 @@
+(* Tests for the testbed emulation (Section V / Figs. 11-12), kept small
+   enough for `dune runtest`: short flow chains, 2 MB flows. *)
+
+module Testbed = Mifo_testbed.Testbed
+module Packetsim = Mifo_netsim.Packetsim
+module Fib = Mifo_core.Fib
+module Prefix = Mifo_bgp.Prefix
+
+let small_config =
+  { Testbed.default_config with Testbed.flows_per_source = 3; flow_bytes = 2_000_000 }
+
+let medium_config =
+  { Testbed.default_config with Testbed.flows_per_source = 4; flow_bytes = 10_000_000 }
+
+let test_build_structure () =
+  let net = Testbed.build small_config Testbed.Mifo_routing in
+  (* Rd's FIB toward AS5 must have the iBGP alternative installed *)
+  match Fib.find (Packetsim.fib net.Testbed.sim net.Testbed.rd) (Prefix.of_as 5) with
+  | Some entry -> Alcotest.(check bool) "alt installed" true (entry.Fib.alt_port <> None)
+  | None -> Alcotest.fail "Rd has no route to AS5"
+
+let test_build_bgp_has_no_alt () =
+  let net = Testbed.build small_config Testbed.Bgp_routing in
+  match Fib.find (Packetsim.fib net.Testbed.sim net.Testbed.rd) (Prefix.of_as 5) with
+  | Some entry -> Alcotest.(check bool) "no alt under BGP" true (entry.Fib.alt_port = None)
+  | None -> Alcotest.fail "Rd has no route to AS5"
+
+let test_bgp_run_completes () =
+  let r = Testbed.run ~config:small_config Testbed.Bgp_routing in
+  Alcotest.(check int) "all flows finish" 6 (Array.length r.Testbed.fct);
+  Alcotest.(check bool) "sane makespan" true (r.Testbed.makespan > 0.05 && r.Testbed.makespan < 10.);
+  (* the shared bottleneck caps BGP near 1 Gbps *)
+  Alcotest.(check bool) "bottlenecked aggregate" true (r.Testbed.mean_aggregate < 1.1e9);
+  Alcotest.(check int) "nothing tunneled under BGP" 0
+    r.Testbed.counters.Packetsim.encapsulated
+
+let test_mifo_run_uses_alternative () =
+  let r = Testbed.run ~config:small_config Testbed.Mifo_routing in
+  Alcotest.(check int) "all flows finish" 6 (Array.length r.Testbed.fct);
+  Alcotest.(check bool) "packets tunneled over iBGP" true
+    (r.Testbed.counters.Packetsim.encapsulated > 0);
+  Alcotest.(check int) "no valley drops in the testbed" 0
+    r.Testbed.counters.Packetsim.dropped_valley
+
+let test_mifo_beats_bgp () =
+  (* with longer flows the adaptation amortizes: MIFO must deliver clearly
+     higher aggregate throughput (paper: +81% with 100 MB flows) *)
+  let bgp = Testbed.run ~config:medium_config Testbed.Bgp_routing in
+  let mifo = Testbed.run ~config:medium_config Testbed.Mifo_routing in
+  let gain = mifo.Testbed.mean_aggregate /. bgp.Testbed.mean_aggregate in
+  Alcotest.(check bool)
+    (Printf.sprintf "MIFO/BGP aggregate ratio %.2f > 1.1" gain)
+    true (gain > 1.1);
+  Alcotest.(check bool) "MIFO finishes sooner" true
+    (mifo.Testbed.makespan < bgp.Testbed.makespan)
+
+let test_deterministic () =
+  let a = Testbed.run ~config:small_config Testbed.Mifo_routing in
+  let b = Testbed.run ~config:small_config Testbed.Mifo_routing in
+  Alcotest.(check (array (float 1e-12))) "same FCTs" a.Testbed.fct b.Testbed.fct
+
+let test_encap_ablation_breaks_cycling () =
+  (* without IP-in-IP, deflected packets ping-pong between Rd and Ra and
+     die by TTL - the Fig. 2(b) failure mode *)
+  let config =
+    {
+      small_config with
+      Testbed.sim = { small_config.Testbed.sim with Packetsim.ibgp_encap = false };
+    }
+  in
+  let r = Testbed.run ~config Testbed.Mifo_routing in
+  Alcotest.(check bool) "TTL deaths without encapsulation" true
+    (r.Testbed.counters.Packetsim.dropped_ttl > 0)
+
+let () =
+  Alcotest.run "mifo_testbed"
+    [
+      ( "build",
+        [
+          Alcotest.test_case "MIFO wiring" `Quick test_build_structure;
+          Alcotest.test_case "BGP wiring" `Quick test_build_bgp_has_no_alt;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "BGP completes" `Quick test_bgp_run_completes;
+          Alcotest.test_case "MIFO tunnels over iBGP" `Quick test_mifo_run_uses_alternative;
+          Alcotest.test_case "MIFO beats BGP" `Slow test_mifo_beats_bgp;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "encap ablation: cycling dies by TTL" `Quick
+            test_encap_ablation_breaks_cycling;
+        ] );
+    ]

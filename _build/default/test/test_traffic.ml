@@ -1,0 +1,178 @@
+(* Tests for Mifo_traffic: Poisson arrivals, the uniform matrix and the
+   power-law content-provider matrix. *)
+
+module Traffic = Mifo_traffic.Traffic
+module Flowsim = Mifo_netsim.Flowsim
+module Generator = Mifo_topology.Generator
+module As_graph = Mifo_topology.As_graph
+module Prng = Mifo_util.Prng
+
+let topo = lazy (Generator.generate ~seed:51 ())
+
+let test_poisson_monotone () =
+  let rng = Prng.create ~seed:1 () in
+  let starts = Traffic.poisson_starts rng ~rate:100. ~count:1000 in
+  Alcotest.(check int) "count" 1000 (Array.length starts);
+  for i = 1 to 999 do
+    Alcotest.(check bool) "monotone" true (starts.(i) >= starts.(i - 1))
+  done
+
+let test_poisson_rate () =
+  let rng = Prng.create ~seed:2 () in
+  let starts = Traffic.poisson_starts rng ~rate:50. ~count:20_000 in
+  let span = starts.(19_999) in
+  let measured = 20_000. /. span in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured rate %.1f ~ 50" measured)
+    true
+    (abs_float (measured -. 50.) < 2.5)
+
+let test_poisson_validates () =
+  let rng = Prng.create ~seed:1 () in
+  Alcotest.(check bool) "bad rate" true
+    (match Traffic.poisson_starts rng ~rate:0. ~count:1 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_uniform_endpoints () =
+  let rng = Prng.create ~seed:3 () in
+  let flows = Traffic.uniform rng ~n_ases:50 ~count:2_000 ~rate:100. () in
+  Array.iter
+    (fun (f : Flowsim.flow_spec) ->
+      Alcotest.(check bool) "src in range" true (f.Flowsim.src >= 0 && f.Flowsim.src < 50);
+      Alcotest.(check bool) "dst in range" true (f.Flowsim.dst >= 0 && f.Flowsim.dst < 50);
+      Alcotest.(check bool) "distinct endpoints" true (f.Flowsim.src <> f.Flowsim.dst);
+      Alcotest.(check (float 1e-9)) "paper flow size" Traffic.default_size_bits
+        f.Flowsim.size_bits)
+    flows
+
+let test_uniform_deterministic () =
+  let f1 = Traffic.uniform (Prng.create ~seed:9 ()) ~n_ases:100 ~count:50 ~rate:10. () in
+  let f2 = Traffic.uniform (Prng.create ~seed:9 ()) ~n_ases:100 ~count:50 ~rate:10. () in
+  Alcotest.(check bool) "same flows" true (f1 = f2)
+
+let test_zipf_weights () =
+  let w = Traffic.zipf_weights ~alpha:1.0 ~n:100 in
+  let total = Array.fold_left ( +. ) 0. w in
+  Alcotest.(check (float 1e-9)) "normalized" 1.0 total;
+  for i = 1 to 99 do
+    Alcotest.(check bool) "monotone decreasing" true (w.(i) <= w.(i - 1))
+  done;
+  (* alpha = 0 is uniform *)
+  let u = Traffic.zipf_weights ~alpha:0. ~n:10 in
+  Alcotest.(check (float 1e-9)) "uniform when alpha 0" 0.1 u.(7)
+
+let test_ranking_order () =
+  let t = Lazy.force topo in
+  let g = t.Generator.graph in
+  let ranked = Traffic.content_provider_ranking g in
+  Alcotest.(check int) "every AS ranked" (As_graph.n g) (Array.length ranked);
+  let score v = Array.length (As_graph.providers g v) + Array.length (As_graph.peers g v) in
+  for i = 1 to Array.length ranked - 1 do
+    Alcotest.(check bool) "descending score" true (score ranked.(i - 1) >= score ranked.(i))
+  done
+
+let test_power_law_endpoints () =
+  let t = Lazy.force topo in
+  let g = t.Generator.graph in
+  let rng = Prng.create ~seed:4 () in
+  let providers = Array.sub (Traffic.content_provider_ranking g) 0 50 in
+  let provider_set = Hashtbl.create 50 in
+  Array.iter (fun p -> Hashtbl.replace provider_set p ()) providers;
+  let flows = Traffic.power_law rng g ~alpha:1.0 ~providers ~count:1_000 ~rate:100. () in
+  Array.iter
+    (fun (f : Flowsim.flow_spec) ->
+      Alcotest.(check bool) "src is a ranked provider" true
+        (Hashtbl.mem provider_set f.Flowsim.src);
+      Alcotest.(check bool) "dst is a stub" true (As_graph.is_stub g f.Flowsim.dst);
+      Alcotest.(check bool) "distinct" true (f.Flowsim.src <> f.Flowsim.dst))
+    flows
+
+let test_power_law_skew () =
+  let t = Lazy.force topo in
+  let g = t.Generator.graph in
+  let rng = Prng.create ~seed:5 () in
+  let providers = Array.sub (Traffic.content_provider_ranking g) 0 20 in
+  let flows = Traffic.power_law rng g ~alpha:1.2 ~providers ~count:5_000 ~rate:100. () in
+  let top = providers.(0) in
+  let from_top =
+    Array.fold_left
+      (fun acc (f : Flowsim.flow_spec) -> if f.Flowsim.src = top then acc + 1 else acc)
+      0 flows
+  in
+  (* Zipf(1.2, 20): rank 1 carries ~30% of the mass *)
+  Alcotest.(check bool)
+    (Printf.sprintf "top provider carries %d/5000" from_top)
+    true
+    (from_top > 1_000 && from_top < 2_500)
+
+let test_size_models () =
+  let rng = Prng.create ~seed:8 () in
+  Alcotest.(check (float 1e-9)) "fixed" 42. (Traffic.sample_size rng (Traffic.Fixed 42.));
+  let stats = Mifo_util.Stats.create () in
+  for _ = 1 to 20_000 do
+    Mifo_util.Stats.add stats
+      (Traffic.sample_size rng (Traffic.Pareto { shape = 2.0; mean_bits = 1e6 }))
+  done;
+  let mean = Mifo_util.Stats.mean stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "Pareto mean %.3g near 1e6" mean)
+    true
+    (mean > 0.85e6 && mean < 1.1e6);
+  Alcotest.(check bool) "truncated at 100x" true (Mifo_util.Stats.max stats <= 100e6);
+  Alcotest.(check bool) "bad shape rejected" true
+    (match Traffic.sample_size rng (Traffic.Pareto { shape = 1.0; mean_bits = 1. }) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_size_model_in_generation () =
+  let rng = Prng.create ~seed:9 () in
+  let flows =
+    Traffic.uniform rng ~n_ases:50 ~count:500 ~rate:100.
+      ~size_model:(Traffic.Pareto { shape = 1.5; mean_bits = 8e6 })
+      ()
+  in
+  let distinct =
+    Array.to_list flows
+    |> List.map (fun (f : Flowsim.flow_spec) -> f.Flowsim.size_bits)
+    |> List.sort_uniq compare |> List.length
+  in
+  Alcotest.(check bool) "sizes actually vary" true (distinct > 400)
+
+let test_power_law_validates () =
+  let t = Lazy.force topo in
+  let g = t.Generator.graph in
+  let rng = Prng.create ~seed:6 () in
+  Alcotest.(check bool) "empty providers" true
+    (match Traffic.power_law rng g ~alpha:1.0 ~providers:[||] ~count:1 ~rate:1. () with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let () =
+  Alcotest.run "mifo_traffic"
+    [
+      ( "poisson",
+        [
+          Alcotest.test_case "monotone arrival times" `Quick test_poisson_monotone;
+          Alcotest.test_case "rate" `Slow test_poisson_rate;
+          Alcotest.test_case "validation" `Quick test_poisson_validates;
+        ] );
+      ( "uniform",
+        [
+          Alcotest.test_case "endpoints" `Quick test_uniform_endpoints;
+          Alcotest.test_case "deterministic" `Quick test_uniform_deterministic;
+        ] );
+      ( "power_law",
+        [
+          Alcotest.test_case "zipf weights" `Quick test_zipf_weights;
+          Alcotest.test_case "provider ranking" `Quick test_ranking_order;
+          Alcotest.test_case "endpoints" `Quick test_power_law_endpoints;
+          Alcotest.test_case "skew" `Quick test_power_law_skew;
+          Alcotest.test_case "validation" `Quick test_power_law_validates;
+        ] );
+      ( "size models",
+        [
+          Alcotest.test_case "fixed and Pareto" `Quick test_size_models;
+          Alcotest.test_case "heavy-tailed generation" `Quick test_size_model_in_generation;
+        ] );
+    ]

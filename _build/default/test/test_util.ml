@@ -1,0 +1,301 @@
+(* Unit and property tests for Mifo_util. *)
+
+module Prng = Mifo_util.Prng
+module Stats = Mifo_util.Stats
+module Dist = Mifo_util.Dist
+module Heap = Mifo_util.Heap
+module Union_find = Mifo_util.Union_find
+module Vec = Mifo_util.Vec
+module Table = Mifo_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Prng ---------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123 () and b = Prng.create ~seed:123 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 () and b = Prng.create ~seed:2 () in
+  Alcotest.(check bool) "different streams" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_int_range () =
+  let rng = Prng.create ~seed:7 () in
+  for _ = 1 to 10_000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_in_range () =
+  let rng = Prng.create ~seed:8 () in
+  for _ = 1 to 1_000 do
+    let v = Prng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_int_covers () =
+  let rng = Prng.create ~seed:9 () in
+  let seen = Array.make 6 false in
+  for _ = 1 to 1_000 do
+    seen.(Prng.int rng 6) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float_range () =
+  let rng = Prng.create ~seed:10 () in
+  for _ = 1 to 10_000 do
+    let v = Prng.float rng 3.5 in
+    Alcotest.(check bool) "in [0, 3.5)" true (v >= 0. && v < 3.5)
+  done
+
+let test_prng_bad_args () =
+  let rng = Prng.create ~seed:1 () in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_in: empty range")
+    (fun () -> ignore (Prng.int_in rng 3 2))
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:5 () in
+  let b = Prng.split a in
+  Alcotest.(check bool) "streams differ" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create ~seed:11 () in
+  let stats = Stats.create () in
+  for _ = 1 to 50_000 do
+    Stats.add stats (Prng.exponential rng ~mean:2.0)
+  done;
+  Alcotest.(check bool) "mean close to 2" true (abs_float (Stats.mean stats -. 2.0) < 0.05)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create ~seed:12 () in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let rng = Prng.create ~seed:13 () in
+  let s = Prng.sample_without_replacement rng 10 50 in
+  Alcotest.(check int) "k elements" 10 (Array.length s);
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "in range" true (v >= 0 && v < 50);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem tbl v);
+      Hashtbl.add tbl v ())
+    s
+
+(* ---------- Stats ---------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check_float "mean" 5.0 (Stats.mean s);
+  Alcotest.(check bool) "variance" true (abs_float (Stats.variance s -. 4.571428571) < 1e-6);
+  check_float "min" 2. (Stats.min s);
+  check_float "max" 9. (Stats.max s);
+  check_float "total" 40. (Stats.total s);
+  Alcotest.(check int) "count" 8 (Stats.count s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check_float "mean of empty" 0. (Stats.mean s);
+  check_float "variance of empty" 0. (Stats.variance s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and all = Stats.create () in
+  let xs = [ 1.; 2.; 3. ] and ys = [ 10.; 20.; 30.; 40. ] in
+  List.iter (Stats.add a) xs;
+  List.iter (Stats.add b) ys;
+  List.iter (Stats.add all) (xs @ ys);
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count all) (Stats.count m);
+  Alcotest.(check bool) "mean" true (abs_float (Stats.mean all -. Stats.mean m) < 1e-9);
+  Alcotest.(check bool) "variance" true
+    (abs_float (Stats.variance all -. Stats.variance m) < 1e-9)
+
+(* ---------- Dist ---------- *)
+
+let test_cdf_basic () =
+  let c = Dist.cdf_of_samples [| 1.; 2.; 3.; 4. |] in
+  check_float "P(X<=0)" 0. (Dist.cdf_at c 0.);
+  check_float "P(X<=2)" 0.5 (Dist.cdf_at c 2.);
+  check_float "P(X<=4)" 1. (Dist.cdf_at c 4.);
+  check_float "P(X>=3)" 0.5 (Dist.fraction_at_least c 3.);
+  check_float "P(X>=1)" 1. (Dist.fraction_at_least c 1.);
+  check_float "P(X>=5)" 0. (Dist.fraction_at_least c 5.)
+
+let test_percentile () =
+  let c = Dist.cdf_of_samples (Array.init 100 (fun i -> float_of_int (i + 1))) in
+  check_float "median" 50. (Dist.percentile c 50.);
+  check_float "p100" 100. (Dist.percentile c 100.);
+  check_float "p1" 1. (Dist.percentile c 1.)
+
+let test_percentile_empty () =
+  let c = Dist.cdf_of_samples [||] in
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.percentile: empty sample")
+    (fun () -> ignore (Dist.percentile c 50.))
+
+let test_histogram () =
+  let h = Dist.histogram ~bins:4 ~lo:0. ~hi:4. [| 0.5; 1.5; 1.6; 2.5; 3.5; 9. |] in
+  Alcotest.(check (array int)) "counts (overflow clamped)" [| 1; 2; 1; 2 |]
+    (Dist.histogram_counts h);
+  let lo, hi = Dist.bin_bounds h 1 in
+  check_float "bin lo" 1. lo;
+  check_float "bin hi" 2. hi
+
+let test_counts_of_ints () =
+  let c = Dist.counts_of_ints ~max_value:3 [| 0; 1; 1; 2; 7; 9 |] in
+  Alcotest.(check (array int)) "fold into last" [| 1; 2; 1; 2 |] c
+
+let test_evenly_spaced () =
+  let xs = Dist.evenly_spaced ~lo:0. ~hi:10. ~n:5 in
+  Alcotest.(check (array (float 1e-9))) "5 points" [| 0.; 2.5; 5.; 7.5; 10. |] xs
+
+(* ---------- Heap ---------- *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~cmp:compare () in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 8; 9 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "pop min" 1 (Heap.pop_exn h);
+  Alcotest.(check int) "pop next" 2 (Heap.pop_exn h);
+  Alcotest.(check int) "length" 4 (Heap.length h)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:compare () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop none" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_heap_of_array () =
+  let h = Heap.of_array ~cmp:compare [| 4; 2; 7; 1 |] in
+  Alcotest.(check (list int)) "heapify" [ 1; 2; 4; 7 ] (Heap.to_sorted_list h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck2.Gen.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare () in
+      List.iter (Heap.push h) xs;
+      Heap.to_sorted_list h = List.sort compare xs)
+
+(* ---------- Union_find ---------- *)
+
+let test_union_find () =
+  let uf = Union_find.create 6 in
+  Alcotest.(check int) "initial sets" 6 (Union_find.count_sets uf);
+  Alcotest.(check bool) "union" true (Union_find.union uf 0 1);
+  Alcotest.(check bool) "redundant union" false (Union_find.union uf 1 0);
+  ignore (Union_find.union uf 2 3);
+  ignore (Union_find.union uf 0 3);
+  Alcotest.(check bool) "same" true (Union_find.same uf 1 2);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 1 5);
+  Alcotest.(check int) "sets" 3 (Union_find.count_sets uf)
+
+(* ---------- Vec ---------- *)
+
+let test_vec () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check (option int)) "pop" (Some 99) (Vec.pop v);
+  let removed = Vec.swap_remove v 0 in
+  Alcotest.(check int) "swap_remove returns" 0 removed;
+  Alcotest.(check int) "swap_remove moved last" 98 (Vec.get v 0);
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 2000))
+
+let test_vec_fold_iter () =
+  let v = Vec.of_array [| 1; 2; 3 |] in
+  Alcotest.(check int) "fold" 6 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iter (fun x -> acc := x :: !acc) v;
+  Alcotest.(check (list int)) "iter order" [ 3; 2; 1 ] !acc
+
+(* ---------- Table ---------- *)
+
+let test_fmt_count () =
+  Alcotest.(check string) "thousands" "44,340" (Table.fmt_count 44_340);
+  Alcotest.(check string) "small" "7" (Table.fmt_count 7);
+  Alcotest.(check string) "million" "1,234,567" (Table.fmt_count 1_234_567);
+  Alcotest.(check string) "negative" "-1,000" (Table.fmt_count (-1000))
+
+let test_fmt_float () =
+  Alcotest.(check string) "trim" "1.5" (Table.fmt_float 1.50);
+  Alcotest.(check string) "keep one" "2.0" (Table.fmt_float 2.0);
+  Alcotest.(check string) "decimals" "3.142" (Table.fmt_float ~decimals:3 3.14159)
+
+let test_fmt_percent () =
+  Alcotest.(check string) "percent" "41.7%" (Table.fmt_percent 0.417)
+
+let test_render_shape () =
+  let out = Table.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ] in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines)
+
+let () =
+  Alcotest.run "mifo_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "int_in range" `Quick test_prng_int_in_range;
+          Alcotest.test_case "int covers all values" `Quick test_prng_int_covers;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "bad arguments" `Quick test_prng_bad_args;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "exponential mean" `Slow test_prng_exponential_mean;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance/min/max" `Quick test_stats_basic;
+          Alcotest.test_case "empty accumulator" `Quick test_stats_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "ecdf" `Quick test_cdf_basic;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile of empty raises" `Quick test_percentile_empty;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "counts_of_ints" `Quick test_counts_of_ints;
+          Alcotest.test_case "evenly_spaced" `Quick test_evenly_spaced;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "of_array" `Quick test_heap_of_array;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ("union_find", [ Alcotest.test_case "union/find/count" `Quick test_union_find ]);
+      ( "vec",
+        [
+          Alcotest.test_case "push/get/set/pop/swap_remove" `Quick test_vec;
+          Alcotest.test_case "fold/iter" `Quick test_vec_fold_iter;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "fmt_count" `Quick test_fmt_count;
+          Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+          Alcotest.test_case "fmt_percent" `Quick test_fmt_percent;
+          Alcotest.test_case "render shape" `Quick test_render_shape;
+        ] );
+    ]
