@@ -1,0 +1,19 @@
+.PHONY: all build test ci bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Tier-1 gate: everything compiles and the whole suite passes.
+ci:
+	dune build @all && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

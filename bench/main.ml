@@ -48,11 +48,15 @@ let testbed_config =
 
 let context = lazy (Context.create ~params ~scale ~seed ())
 
+(* Wall time per figure, collected for BENCH_routing.json. *)
+let figure_times : (string * float) list ref = ref []
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
-  Printf.printf "%s\n[%s regenerated in %.1fs]\n\n%!" result name
-    (Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  figure_times := !figure_times @ [ (name, dt) ];
+  Printf.printf "%s\n[%s regenerated in %.1fs]\n\n%!" result name dt
 
 let table1 () = timed "Table I" (fun () -> Exp.Table1.render (Exp.Table1.run (Lazy.force context)))
 let fig5 () = timed "Fig. 5" (fun () -> Exp.Throughput.render_fig5 (Exp.Throughput.fig5 (Lazy.force context)))
@@ -83,6 +87,99 @@ let ablations () =
       Ablations.Failure.render (Ablations.Failure.run ctx));
   timed "Ablation: threshold sweep" (fun () ->
       Ablations.Threshold.render (Ablations.Threshold.run ctx))
+
+(* --- Parallel route-computation benchmark + BENCH_routing.json --------- *)
+
+type precompute_sample = { jobs : int; secs : float; dests_per_sec : float }
+
+type routing_bench = {
+  ases : int;
+  links : int;
+  dests : int;
+  serial : precompute_sample;
+  parallel : precompute_sample;
+}
+
+let routing_bench_result : routing_bench option ref = ref None
+
+(* Throughput of [Routing_table.precompute] over [dests] destinations on
+   a fresh (cold) table, serial vs. the MIFO_JOBS / ncores pool.  The
+   parallel-vs-serial determinism is asserted by the test suite; this
+   measures only the wall clock. *)
+let routing_precompute_bench () =
+  let module Parallel = Mifo_util.Parallel in
+  let module Routing_table = Mifo_bgp.Routing_table in
+  let ctx = Lazy.force context in
+  let g = Context.graph ctx in
+  let n = Mifo_topology.As_graph.n g in
+  let k = Stdlib.min 500 n in
+  let dests = Array.init k (fun i -> i * n / k) in
+  let measure jobs =
+    let pool = Parallel.create ~jobs () in
+    let table = Routing_table.create g in
+    let t0 = Unix.gettimeofday () in
+    Routing_table.precompute ~pool table dests;
+    let secs = Unix.gettimeofday () -. t0 in
+    Parallel.shutdown pool;
+    { jobs; secs; dests_per_sec = float_of_int k /. secs }
+  in
+  let serial = measure 1 in
+  let parallel = measure (Stdlib.max 1 (Parallel.default_jobs ())) in
+  let bench =
+    { ases = n; links = Mifo_topology.As_graph.edge_count g; dests = k; serial; parallel }
+  in
+  routing_bench_result := Some bench;
+  Printf.printf
+    "== Parallel route precompute (%d dests, %d ASes) ==\n\
+     jobs=1: %.2fs (%.0f dests/s)   jobs=%d: %.2fs (%.0f dests/s)   speedup: %.2fx\n\n%!"
+    k n serial.secs serial.dests_per_sec parallel.jobs parallel.secs
+    parallel.dests_per_sec
+    (serial.secs /. parallel.secs)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json path =
+  match !routing_bench_result with
+  | None -> ()
+  | Some b ->
+    let sample s =
+      Printf.sprintf "{\"jobs\": %d, \"secs\": %.6f, \"dests_per_sec\": %.1f}" s.jobs
+        s.secs s.dests_per_sec
+    in
+    let figures =
+      String.concat ", "
+        (List.map
+           (fun (name, dt) -> Printf.sprintf "\"%s\": %.3f" (json_escape name) dt)
+           !figure_times)
+    in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"machine\": {\"cores\": %d},\n\
+      \  \"topology\": {\"ases\": %d, \"links\": %d},\n\
+      \  \"precompute\": {\n\
+      \    \"dests\": %d,\n\
+      \    \"serial\": %s,\n\
+      \    \"parallel\": %s,\n\
+      \    \"speedup\": %.3f\n\
+      \  },\n\
+      \  \"figure_secs\": {%s}\n\
+       }\n"
+      (Domain.recommended_domain_count ())
+      b.ases b.links b.dests (sample b.serial) (sample b.parallel)
+      (b.serial.secs /. b.parallel.secs)
+      figures;
+    close_out oc;
+    Printf.printf "[wrote %s]\n%!" path
 
 (* --- Bechamel microbenchmarks of the hot paths ------------------------- *)
 
@@ -158,6 +255,7 @@ let micro () =
         | Some _ | None -> Printf.printf "%-34s (no estimate)\n%!" name)
       results
   in
+  routing_precompute_bench ();
   Printf.printf "== Microbenchmarks (monotonic clock) ==\n%!";
   List.iter measure tests;
   (* the global-table-sized FIB (the paper's 500K-prefix scale) is
@@ -214,4 +312,6 @@ let () =
         Printf.eprintf "unknown bench %S; available: %s\n" name
           (String.concat ", " (List.map fst registry));
         exit 2)
-    requested
+    requested;
+  (* machine-readable perf trajectory, one file per run (see ISSUE/PRs) *)
+  write_bench_json "BENCH_routing.json"

@@ -36,7 +36,9 @@ let mifo_counts g rt ~capable =
             total := !total +. count nb (next_phase hop)
         in
         if capable v then
-          List.iter (fun (e : Routing.rib_entry) -> consider e.via e.rel) (Routing.rib rt v)
+          Array.iter
+            (fun (e : Routing.rib_entry) -> consider e.via e.rel)
+            (Routing.rib_array rt v)
         else begin
           match Routing.next_hop rt v with
           | Some nb -> consider nb (As_graph.rel_exn g v nb)
@@ -48,6 +50,15 @@ let mifo_counts g rt ~capable =
     end
   in
   Array.init n (fun v -> count v Rose)
+
+let mifo_counts_many ?pool g table ~dests ~capable =
+  let pool = match pool with Some p -> p | None -> Mifo_util.Parallel.get_default () in
+  (* Warm the table first so every domain mapping below takes the cache
+     hit path; then one DP per destination, each on its own Routing.t. *)
+  Routing_table.precompute ~pool table dests;
+  Mifo_util.Parallel.parallel_map pool
+    (fun d -> mifo_counts g (Routing_table.get table d) ~capable)
+    dests
 
 let bgp_count rt ~src =
   if src = Routing.dest rt then 1 else if Routing.reachable rt src then 1 else 0
@@ -67,7 +78,9 @@ let enumerate_mifo_paths g rt ~capable ~src ~limit =
         if hop_allowed phase hop then walk nb (next_phase hop) (v :: acc)
       in
       if capable v then
-        List.iter (fun (e : Routing.rib_entry) -> consider e.via e.rel) (Routing.rib rt v)
+        Array.iter
+          (fun (e : Routing.rib_entry) -> consider e.via e.rel)
+          (Routing.rib_array rt v)
       else
         match Routing.next_hop rt v with
         | Some nb -> consider nb (As_graph.rel_exn g v nb)

@@ -22,6 +22,19 @@ val mifo_counts :
     distinct forwarding paths to [Routing.dest rt].  The destination's own
     entry is 1. *)
 
+val mifo_counts_many :
+  ?pool:Mifo_util.Parallel.pool ->
+  Mifo_topology.As_graph.t ->
+  Routing_table.t ->
+  dests:int array ->
+  capable:(int -> bool) ->
+  float array array
+(** [mifo_counts_many g table ~dests ~capable] is
+    [Array.map (fun d -> mifo_counts g (Routing_table.get table d) ~capable) dests],
+    with both the route computations and the per-destination DPs fanned
+    out across the pool (default {!Mifo_util.Parallel.get_default}).
+    Output is slot-per-destination and independent of scheduling. *)
+
 val bgp_count : Routing.t -> src:int -> int
 (** 1 when reachable (the default path), 0 otherwise. *)
 

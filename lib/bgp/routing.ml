@@ -10,6 +10,8 @@ let class_to_string = function
   | Peer_route -> "peer"
   | Provider_route -> "provider"
 
+type rib_entry = { via : int; rel : Relationship.t; len : int }
+
 type t = {
   graph : As_graph.t;
   dest : int;
@@ -19,11 +21,20 @@ type t = {
   export_len : int array;  (* best route length (selected); -1 = unreachable *)
   best_class : int array;  (* 0/1/2 per class_rank; -1 at dest or unreachable *)
   next : int array;  (* default next hop; -1 at dest or unreachable *)
-  mutable tree_times : (int array * int array) option;
+  tree_times : int array * int array;
       (* DFS entry/exit times of the selected-route tree (parent =
-         default next hop, root = dest), built lazily: [x] lies on [n]'s
-         selected path iff [x] is an ancestor of [n], an O(1) interval
-         test.  Powers the BGP loop filter in [rib]. *)
+         default next hop, root = dest), built at construction: [x] lies
+         on [n]'s selected path iff [x] is an ancestor of [n], an O(1)
+         interval test.  Powers the BGP loop filter in [rib].  Eager so
+         a [t] shared across domains carries no lazily-written state. *)
+  rib_arrays : rib_entry array option array;
+      (* per-node sorted RIB, memoized on first demand.  Idempotent
+         fill: a racing fill writes a structurally identical array, so
+         concurrent readers of a shared [t] are safe (OCaml's memory
+         model guarantees a racy read sees one of the written values). *)
+  rib_lists : rib_entry list option array;
+      (* list view of [rib_arrays.(v)], memoized for the list-returning
+         public API so steady-state [rib] calls allocate nothing *)
 }
 
 let dest t = t.dest
@@ -43,6 +54,34 @@ let best_via candidates route_len =
         end)
     candidates;
   if !best < 0 then None else Some (!best, 1 + !best_len)
+
+(* DFS entry/exit times over the selected-route tree rooted at [d]
+   (parent = default next hop). *)
+let build_tree_times n next d =
+  let children = Array.make n [] in
+  for v = 0 to n - 1 do
+    let p = next.(v) in
+    if p >= 0 then children.(p) <- v :: children.(p)
+  done;
+  let tin = Array.make n (-1) and tout = Array.make n (-1) in
+  let clock = ref 0 in
+  (* iterative DFS: (node, Enter | Exit) *)
+  let stack = Stack.create () in
+  Stack.push (d, true) stack;
+  while not (Stack.is_empty stack) do
+    let v, entering = Stack.pop stack in
+    if entering then begin
+      tin.(v) <- !clock;
+      incr clock;
+      Stack.push (v, false) stack;
+      List.iter (fun c -> Stack.push (c, true) stack) children.(v)
+    end
+    else begin
+      tout.(v) <- !clock;
+      incr clock
+    end
+  done;
+  (tin, tout)
 
 let compute g d =
   let n = As_graph.n g in
@@ -155,7 +194,9 @@ let compute g d =
     export_len;
     best_class;
     next;
-    tree_times = None;
+    tree_times = build_tree_times n next d;
+    rib_arrays = Array.make n None;
+    rib_lists = Array.make n None;
   }
 
 let reachable t v = v = t.dest || t.export_len.(v) >= 0
@@ -193,81 +234,65 @@ let default_path t s =
   in
   follow s [] 0
 
-(* DFS over the selected-route tree rooted at the destination. *)
-let tree_times t =
-  match t.tree_times with
-  | Some times -> times
-  | None ->
-    let n = As_graph.n t.graph in
-    let children = Array.make n [] in
-    for v = 0 to n - 1 do
-      let p = t.next.(v) in
-      if p >= 0 then children.(p) <- v :: children.(p)
-    done;
-    let tin = Array.make n (-1) and tout = Array.make n (-1) in
-    let clock = ref 0 in
-    (* iterative DFS: (node, Enter | Exit) *)
-    let stack = Stack.create () in
-    Stack.push (t.dest, true) stack;
-    while not (Stack.is_empty stack) do
-      let v, entering = Stack.pop stack in
-      if entering then begin
-        tin.(v) <- !clock;
-        incr clock;
-        Stack.push (v, false) stack;
-        List.iter (fun c -> Stack.push (c, true) stack) children.(v)
-      end
-      else begin
-        tout.(v) <- !clock;
-        incr clock
-      end
-    done;
-    let times = (tin, tout) in
-    t.tree_times <- Some times;
-    times
-
 let on_selected_path t ~node x =
   (* is [x] on [node]'s selected default path (including its endpoints)? *)
-  let tin, tout = tree_times t in
+  let tin, tout = t.tree_times in
   tin.(node) >= 0 && tin.(x) >= 0 && tin.(x) <= tin.(node) && tout.(node) <= tout.(x)
-
-type rib_entry = { via : int; rel : Relationship.t; len : int }
 
 let entry_order a b =
   let ka = (Relationship.preference_rank a.rel, a.len, a.via) in
   let kb = (Relationship.preference_rank b.rel, b.len, b.via) in
   compare ka kb
 
+let compute_rib t v =
+  let g = t.graph in
+  let entries = ref [] in
+  let nbrs = As_graph.neighbors g v in
+  Array.iter
+    (fun nb ->
+      let rel = As_graph.rel_exn g v nb in
+      let advertised =
+        match rel with
+        | Relationship.Customer | Relationship.Peer ->
+          (* they export to us (their provider / peer) only customer routes *)
+          if t.dist_cust.(nb) >= 0 then Some t.dist_cust.(nb) else None
+        | Relationship.Provider ->
+          if t.export_len.(nb) >= 0 then Some t.export_len.(nb) else None
+      in
+      match advertised with
+      | Some l ->
+        (* BGP loop filter: reject a route whose AS path contains us.
+           The neighbor's exported path is its selected default path,
+           so the check is an ancestor query on the route tree. *)
+        if not (on_selected_path t ~node:nb v) then
+          entries := { via = nb; rel; len = 1 + l } :: !entries
+      | None -> ())
+    nbrs;
+  let arr = Array.of_list !entries in
+  Array.sort entry_order arr;
+  arr
+
+let rib_array t v =
+  if v = t.dest then [||]
+  else
+    match t.rib_arrays.(v) with
+    | Some arr -> arr
+    | None ->
+      let arr = compute_rib t v in
+      t.rib_arrays.(v) <- Some arr;
+      arr
+
 let rib t v =
   if v = t.dest then []
-  else begin
-    let g = t.graph in
-    let entries = ref [] in
-    let nbrs = As_graph.neighbors g v in
-    Array.iter
-      (fun nb ->
-        let rel = As_graph.rel_exn g v nb in
-        let advertised =
-          match rel with
-          | Relationship.Customer | Relationship.Peer ->
-            (* they export to us (their provider / peer) only customer routes *)
-            if t.dist_cust.(nb) >= 0 then Some t.dist_cust.(nb) else None
-          | Relationship.Provider ->
-            if t.export_len.(nb) >= 0 then Some t.export_len.(nb) else None
-        in
-        match advertised with
-        | Some l ->
-          (* BGP loop filter: reject a route whose AS path contains us.
-             The neighbor's exported path is its selected default path,
-             so the check is an ancestor query on the route tree. *)
-          if not (on_selected_path t ~node:nb v) then
-            entries := { via = nb; rel; len = 1 + l } :: !entries
-        | None -> ())
-      nbrs;
-    List.sort entry_order !entries
-  end
+  else
+    match t.rib_lists.(v) with
+    | Some entries -> entries
+    | None ->
+      let entries = Array.to_list (rib_array t v) in
+      t.rib_lists.(v) <- Some entries;
+      entries
 
 let alternatives t v =
   match rib t v with [] -> [] | _default :: rest -> rest
 
-let rib_size t v = List.length (rib t v)
+let rib_size t v = Array.length (rib_array t v)

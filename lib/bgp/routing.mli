@@ -15,7 +15,16 @@
     The algorithm is the standard three-phase propagation over the
     provider hierarchy (customer routes by BFS up the provider edges,
     peer routes in one step, provider routes down the hierarchy in
-    topological order) and runs in O(V + E) per destination. *)
+    topological order) and runs in O(V + E) per destination.
+
+    {b Thread safety.}  A [t] is immutable except for the per-node RIB
+    memo, whose fill is idempotent: concurrent accessors on a shared [t]
+    from several domains are safe (a racy refill produces a structurally
+    identical value; at worst a node's RIB is computed twice).  The
+    selected-route tree used by {!on_selected_path} is built eagerly at
+    construction, so {!compute} results can be cached and shared across
+    domains freely — which is exactly what
+    {!Routing_table.precompute} does. *)
 
 type route_class = Customer_route | Peer_route | Provider_route
 
@@ -69,7 +78,14 @@ val rib : t -> int -> rib_entry list
 (** All routes in the local RIB of an AS toward [dest t], one per
     exporting neighbor, sorted best-first (class, then length, then
     next-hop id).  The head is the default route.  Empty at the
-    destination. *)
+    destination.  Memoized per node: the first call scans the
+    neighborhood and sorts, every later call returns the same list
+    without allocating — callers in per-epoch loops ({!Mifo_core}'s
+    selectors, the simulators, {!Path_count}) hit the cached value. *)
+
+val rib_array : t -> int -> rib_entry array
+(** The same RIB as an array (shared, memoized — do {b not} mutate).
+    The allocation-free form for hot loops that only iterate. *)
 
 val alternatives : t -> int -> rib_entry list
 (** [rib] minus the default entry — exactly the paths MIFO can deflect
@@ -79,5 +95,6 @@ val rib_size : t -> int -> int
 
 val on_selected_path : t -> node:int -> int -> bool
 (** [on_selected_path t ~node x] — does [x] lie on [node]'s selected
-    default path (endpoints included)?  O(1) after a lazy O(V) pass;
-    this is the predicate behind [rib]'s BGP loop filter. *)
+    default path (endpoints included)?  O(1) against the DFS interval
+    labelling built at construction; this is the predicate behind
+    [rib]'s BGP loop filter. *)

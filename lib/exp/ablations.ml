@@ -48,16 +48,28 @@ module Tag_check = struct
     let g = Context.graph ctx in
     let n = As_graph.n g in
     let rng = Context.rng ctx ~purpose:31 in
-    let rec walks k acc =
-      if k = 0 then acc
+    (* Draw every (destination, source) pair up front — consuming the rng
+       exactly as the old interleaved loop did — so the destinations can
+       be precomputed across the domain pool before the serial walks. *)
+    let rec draw k acc =
+      if k = 0 then List.rev acc
       else begin
         let d = Mifo_util.Prng.int rng n in
         let s = Mifo_util.Prng.int rng n in
-        if s = d then walks k acc
-        else begin
+        if s = d then draw k acc else draw (k - 1) ((d, s) :: acc)
+      end
+    in
+    let pairs = draw sources [] in
+    Routing_table.precompute ctx.Context.table
+      (Array.of_list (List.sort_uniq compare (List.map fst pairs)));
+    let rec walks pairs acc =
+      match pairs with
+      | [] -> acc
+      | (d, s) :: rest ->
+        begin
           let rt = Routing_table.get ctx.Context.table d in
           let partial = run_walks g rt [ s ] in
-          walks (k - 1)
+          walks rest
             {
               with_check =
                 {
@@ -77,9 +89,8 @@ module Tag_check = struct
                 };
             }
         end
-      end
     in
-    walks sources { with_check = empty; without_check = empty }
+    walks pairs { with_check = empty; without_check = empty }
 
   let render ~label t =
     let row name c =
@@ -134,6 +145,7 @@ module Selection = struct
         ~n_ases:(Context.n_ases ctx) ~count:ctx.Context.scale.flows
         ~rate:ctx.Context.scale.arrival_rate ()
     in
+    Experiments.precompute_flow_dests ctx.Context.table flows;
     let deployment = Context.deployment ctx ~ratio:1.0 in
     let one label selection =
       let params = { ctx.Context.scale.sim with Flowsim.alt_selection = selection } in
@@ -175,6 +187,7 @@ module Overhead = struct
     let rng = Context.rng ctx ~purpose:35 in
     let k = Stdlib.min destinations n in
     let dests = Mifo_util.Prng.sample_without_replacement rng k n in
+    Routing_table.precompute ctx.Context.table dests;
     let deployment = Context.deployment ctx ~ratio:1.0 in
     let bgp_total = ref 0 and miro_total = ref 0 in
     Array.iter
@@ -292,6 +305,7 @@ module Failure = struct
         ~n_ases:(Context.n_ases ctx) ~count:ctx.Context.scale.flows
         ~rate:ctx.Context.scale.arrival_rate ()
     in
+    Experiments.precompute_flow_dests ctx.Context.table flows;
     (* fail the busiest transit links of the default paths *)
     let crossings = Hashtbl.create 4096 in
     Array.iter
@@ -377,6 +391,7 @@ module Threshold = struct
         ~n_ases:(Context.n_ases ctx) ~count:ctx.Context.scale.flows
         ~rate:ctx.Context.scale.arrival_rate ()
     in
+    Experiments.precompute_flow_dests ctx.Context.table flows;
     let deployment = Context.deployment ctx ~ratio:1.0 in
     List.map
       (fun threshold ->

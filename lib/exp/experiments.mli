@@ -5,6 +5,14 @@
     harness prints.  See DESIGN.md for the experiment index and
     EXPERIMENTS.md for paper-vs-measured numbers. *)
 
+val precompute_flow_dests :
+  Mifo_bgp.Routing_table.t -> Mifo_netsim.Flowsim.flow_spec array -> unit
+(** Fill the routing cache for every destination the flow set touches,
+    fanned out over the shared {!Mifo_util.Parallel} pool.  The
+    simulators then only ever hit the cache, so their output is
+    independent of [MIFO_JOBS].  Experiments call this before each
+    simulation; exposed for the CLI and external drivers. *)
+
 (** Table I — attributes of the AS topology. *)
 module Table1 : sig
   type t = Mifo_topology.Topo_stats.t

@@ -16,7 +16,7 @@ type t = {
 let host t as_id = Hashtbl.find t.host_of_as as_id
 let router t as_id = t.router_of_as.(as_id)
 
-let build ?config ?(link_rate = 1e9) ?host_rate table ~deployment ~hosts () =
+let build ?config ?pool ?(link_rate = 1e9) ?host_rate table ~deployment ~hosts () =
   let host_rate = match host_rate with Some r -> r | None -> link_rate in
   let g = Routing_table.graph table in
   let n = As_graph.n g in
@@ -24,6 +24,10 @@ let build ?config ?(link_rate = 1e9) ?host_rate table ~deployment ~hosts () =
     (fun v ->
       if v < 0 || v >= n then invalid_arg "As_network.build: host AS out of range")
     hosts;
+  (* One routing state per host prefix; the computations are independent
+     so they fan out across the domain pool before the serial FIB fill. *)
+  Routing_table.precompute ?pool table
+    (Array.of_list (List.sort_uniq compare hosts));
   let sim = Packetsim.create ?config () in
   let router_of_as = Array.init n (fun v -> Packetsim.add_router sim ~as_id:v) in
   (* Inter-AS links; remember the egress port of every directed pair. *)
@@ -79,6 +83,8 @@ let build ?config ?(link_rate = 1e9) ?host_rate table ~deployment ~hosts () =
             let out_port = Hashtbl.find port_of (v, nh) in
             if Deployment.capable deployment v then begin
               let alts =
+                (* memoized RIB: the scan+sort ran at most once per
+                   (destination, AS) pair, not once per call *)
                 Routing.alternatives rt v
                 |> List.map (fun (e : Routing.rib_entry) ->
                        (e.via, Hashtbl.find port_of (v, e.via)))

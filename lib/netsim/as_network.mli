@@ -20,6 +20,7 @@ type t = {
 
 val build :
   ?config:Packetsim.config ->
+  ?pool:Mifo_util.Parallel.pool ->
   ?link_rate:float ->
   ?host_rate:float ->
   Mifo_bgp.Routing_table.t ->
@@ -36,6 +37,10 @@ val build :
     [link_rate] defaults to 1 Gbps (the paper's setting) on every
     inter-AS link; [host_rate] (default [link_rate]) sets the host access
     links — raise it to keep end hosts from being the bottleneck.
+
+    The per-host routing computations are fanned out over [pool]
+    (default {!Mifo_util.Parallel.get_default}) before the serial
+    network wiring; the built network is identical for any pool size.
 
     @raise Invalid_argument if a listed AS id is out of range. *)
 

@@ -87,7 +87,9 @@ let build ?config ?(link_rate = 1e9) ?host_rate table ~expansion ~deployment ~ho
         Hashtbl.replace host_port v router_side
       end)
     hosts;
-  (* FIBs per destination prefix. *)
+  (* FIBs per destination prefix; routing states fanned out over the
+     shared domain pool first, the wiring below stays serial. *)
+  Routing_table.precompute table (Array.of_list (List.sort_uniq compare hosts));
   let alt_candidates = Hashtbl.create 1024 in
   (* (router, dest network) -> (owner router, port on this router,
      owner's ebgp port) candidates; for a local (same-router) candidate

@@ -314,6 +314,56 @@ let test_routing_table_eviction () =
   ignore (Routing_table.get table 3);
   Alcotest.(check int) "bounded" 2 (Routing_table.cached_count table)
 
+let test_routing_table_lru_refresh () =
+  let g = graph () in
+  (* max_cached 32 -> 16 shards of capacity 2; 1, 17 and 33 share a
+     shard, so inserting 33 must evict that shard's LRU entry. *)
+  let table = Routing_table.create ~max_cached:32 g in
+  let a1 = Routing_table.get table 1 in
+  let a17 = Routing_table.get table 17 in
+  ignore (Routing_table.get table 1);
+  (* hit refreshes 1's recency *)
+  ignore (Routing_table.get table 33);
+  (* shard full: 17 is now least recent *)
+  Alcotest.(check bool) "refreshed entry survives eviction" true
+    (Routing_table.get table 1 == a1);
+  Alcotest.(check bool) "least-recently-used entry was evicted" false
+    (Routing_table.get table 17 == a17)
+
+let test_precompute_parallel_determinism () =
+  let g = graph () in
+  let n = As_graph.n g in
+  let dests = Array.init 40 (fun i -> i * n / 40) in
+  let serial = Routing_table.create g in
+  let parallel = Routing_table.create g in
+  let pool1 = Mifo_util.Parallel.create ~jobs:1 () in
+  let pool4 = Mifo_util.Parallel.create ~jobs:4 () in
+  Routing_table.precompute ~pool:pool1 serial dests;
+  Routing_table.precompute ~pool:pool4 parallel dests;
+  Mifo_util.Parallel.shutdown pool1;
+  Mifo_util.Parallel.shutdown pool4;
+  Array.iter
+    (fun d ->
+      let rs = Routing_table.get serial d and rp = Routing_table.get parallel d in
+      for v = 0 to n - 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "identical RIB at (d=%d, v=%d)" d v)
+          true
+          (Routing.rib rs v = Routing.rib rp v);
+        Alcotest.(check (option int))
+          (Printf.sprintf "identical next hop at (d=%d, v=%d)" d v)
+          (Routing.next_hop rs v) (Routing.next_hop rp v)
+      done;
+      (* spot-check full default paths from a few sources *)
+      List.iter
+        (fun s ->
+          if s <> d then
+            Alcotest.(check (list int))
+              (Printf.sprintf "identical path %d -> %d" s d)
+              (Routing.default_path rs s) (Routing.default_path rp s))
+        [ 0; 7; n / 2; n - 1 ])
+    dests
+
 let () =
   Alcotest.run "mifo_bgp"
     [
@@ -352,5 +402,8 @@ let () =
         [
           Alcotest.test_case "caching" `Quick test_routing_table_cache;
           Alcotest.test_case "eviction bound" `Quick test_routing_table_eviction;
+          Alcotest.test_case "LRU refresh" `Quick test_routing_table_lru_refresh;
+          Alcotest.test_case "parallel precompute deterministic" `Quick
+            test_precompute_parallel_determinism;
         ] );
     ]

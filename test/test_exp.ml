@@ -198,6 +198,41 @@ let test_failure_ablation () =
     true
     (t.Ablations.Failure.mifo_completed > t.Ablations.Failure.bgp_completed)
 
+(* The multicore layer must not change any result: runs with a 4-way
+   pool and with the serial pool must produce structurally identical
+   figures (slot-indexed accumulation, serial flattening). *)
+let test_mifo_jobs_determinism () =
+  let params =
+    {
+      Generator.default_params with
+      Generator.ases = 300;
+      tier1 = 6;
+      content_providers = 4;
+      content_peer_span = (4, 12);
+    }
+  in
+  let scale = { Context.quick_scale with Context.flows = 200; arrival_rate = 1_000. } in
+  let run_at jobs =
+    Mifo_util.Parallel.set_default_jobs jobs;
+    let ctx = Context.create ~params ~scale ~seed:11 () in
+    let fig7 = Exp.Fig7.run ctx in
+    let fig8 = Exp.Fig8.run ~ratios:[ 0.5; 1.0 ] ctx in
+    (fig7, fig8)
+  in
+  let serial = run_at 1 in
+  let parallel = run_at 4 in
+  Mifo_util.Parallel.set_default_jobs (Mifo_util.Parallel.default_jobs ());
+  let (f7s, f8s) = serial and (f7p, f8p) = parallel in
+  List.iter2
+    (fun (a : Exp.Fig7.series) (b : Exp.Fig7.series) ->
+      Alcotest.(check string) "series label" a.Exp.Fig7.label b.Exp.Fig7.label;
+      Alcotest.(check bool)
+        (Printf.sprintf "series %S identical" a.Exp.Fig7.label)
+        true
+        (a.Exp.Fig7.percentile_counts = b.Exp.Fig7.percentile_counts))
+    f7s.Exp.Fig7.series f7p.Exp.Fig7.series;
+  Alcotest.(check bool) "fig8 identical" true (f8s = f8p)
+
 let test_overhead_ablation () =
   let ctx = Lazy.force ctx in
   let t = Ablations.Overhead.run ~destinations:4 ctx in
@@ -214,6 +249,8 @@ let () =
       ("fig6", [ Alcotest.test_case "power-law panels" `Slow test_fig6_structure ]);
       ("fig8", [ Alcotest.test_case "offload trend" `Slow test_fig8_monotone_trend ]);
       ("fig9", [ Alcotest.test_case "switch distribution" `Slow test_fig9_distribution ]);
+      ( "determinism",
+        [ Alcotest.test_case "MIFO_JOBS=4 matches serial" `Quick test_mifo_jobs_determinism ] );
       ("fig12", [ Alcotest.test_case "testbed quick" `Slow test_fig12_quick ]);
       ( "ablations",
         [

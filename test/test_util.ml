@@ -1,6 +1,7 @@
 (* Unit and property tests for Mifo_util. *)
 
 module Prng = Mifo_util.Prng
+module Parallel = Mifo_util.Parallel
 module Stats = Mifo_util.Stats
 module Dist = Mifo_util.Dist
 module Heap = Mifo_util.Heap
@@ -246,6 +247,71 @@ let test_render_shape () =
   let lines = String.split_on_char '\n' (String.trim out) in
   Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines)
 
+(* ---------- Parallel ---------- *)
+
+let with_pool jobs f =
+  let pool = Parallel.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) (fun () -> f pool)
+
+let test_parallel_map_empty () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          Alcotest.(check (array int)) "empty" [||] (Parallel.parallel_map pool (fun x -> x) [||])))
+    [ 1; 4 ]
+
+let test_parallel_map_matches_serial () =
+  (* sizes straddling the chunking boundaries: < jobs, = jobs, around
+     4*jobs (the chunk count), and a big non-multiple *)
+  List.iter
+    (fun n ->
+      let input = Array.init n (fun i -> i) in
+      let expected = Array.map (fun x -> (x * x) + 1) input in
+      with_pool 4 (fun pool ->
+          let got = Parallel.parallel_map pool (fun x -> (x * x) + 1) input in
+          Alcotest.(check (array int)) (Printf.sprintf "n=%d" n) expected got))
+    [ 1; 2; 3; 4; 5; 15; 16; 17; 33; 1000 ]
+
+let test_parallel_for_covers_range () =
+  with_pool 3 (fun pool ->
+      let n = 101 in
+      let hits = Array.make n 0 in
+      Parallel.parallel_for pool ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool) "each index exactly once" true
+        (Array.for_all (fun h -> h = 1) hits);
+      (* empty and reversed ranges are no-ops *)
+      Parallel.parallel_for pool ~lo:5 ~hi:5 (fun _ -> Alcotest.fail "ran on empty range");
+      Parallel.parallel_for pool ~lo:5 ~hi:0 (fun _ -> Alcotest.fail "ran on empty range"))
+
+exception Boom of int
+
+let test_parallel_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let raised =
+            try
+              ignore
+                (Parallel.parallel_map pool
+                   (fun x -> if x = 37 then raise (Boom x) else x)
+                   (Array.init 100 (fun i -> i)));
+              false
+            with Boom 37 -> true
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "worker exception reaches caller (jobs=%d)" jobs)
+            true raised))
+    [ 1; 4 ]
+
+let test_parallel_pool_reuse () =
+  (* several batches through one pool; workers must survive batches *)
+  with_pool 4 (fun pool ->
+      for round = 1 to 5 do
+        let got = Parallel.parallel_map pool (fun x -> x + round) (Array.init 64 (fun i -> i)) in
+        Alcotest.(check int) "first" round got.(0);
+        Alcotest.(check int) "last" (63 + round) got.(63)
+      done)
+
 let () =
   Alcotest.run "mifo_util"
     [
@@ -297,5 +363,16 @@ let () =
           Alcotest.test_case "fmt_float" `Quick test_fmt_float;
           Alcotest.test_case "fmt_percent" `Quick test_fmt_percent;
           Alcotest.test_case "render shape" `Quick test_render_shape;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "map empty input" `Quick test_parallel_map_empty;
+          Alcotest.test_case "map matches serial across chunk boundaries" `Quick
+            test_parallel_map_matches_serial;
+          Alcotest.test_case "for covers the range exactly once" `Quick
+            test_parallel_for_covers_range;
+          Alcotest.test_case "worker exception propagates" `Quick
+            test_parallel_exception_propagates;
+          Alcotest.test_case "pool reuse across batches" `Quick test_parallel_pool_reuse;
         ] );
     ]
