@@ -210,6 +210,7 @@ let micro () =
               { neighbor_as = p; rel = Mifo_topology.Relationship.Customer });
       is_congested = (fun p -> p = 1);
       next_hop_router = (fun _ -> None);
+      route_to_peer = (fun _ -> None);
     }
   in
   let packet = Mifo_core.Packet.make ~src:(Mifo_bgp.Prefix.host_of_as 1 1) ~dst ~flow:7 () in

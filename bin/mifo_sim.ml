@@ -14,6 +14,7 @@ module Exp = Mifo_exp.Experiments
 module Ablations = Mifo_exp.Ablations
 module Context = Mifo_exp.Context
 module Generator = Mifo_topology.Generator
+module Obs = Mifo_util.Obs
 
 (* ---- common options ---------------------------------------------------- *)
 
@@ -101,19 +102,64 @@ let write_csv dir files =
 
 let run_and_print render = print_string render
 
+(* ---- observability ----------------------------------------------------- *)
+
+let obs_t =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON snapshot of all counters, gauges and histograms to $(docv) \
+             when the command finishes.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record forwarding/daemon events in a bounded ring and write them as JSONL \
+             to $(docv) when the command finishes.")
+  in
+  Term.(const (fun m t -> (m, t)) $ metrics $ trace)
+
+(* Runs [f] with tracing enabled if requested, then flushes the metrics
+   snapshot and trace to the requested files. *)
+let with_obs (metrics, trace) f =
+  (match trace with Some _ -> Obs.set_trace_capacity 65536 | None -> ());
+  let finally () =
+    (match metrics with
+    | Some path ->
+      Obs.write_metrics path;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    match trace with
+    | Some path ->
+      Obs.write_trace path;
+      Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  Fun.protect ~finally f
+
 (* ---- subcommands ------------------------------------------------------- *)
 
 let cmd_of name ~doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const (fun ctx -> run_and_print (f ctx)) $ context_t)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun obs ctx -> with_obs obs (fun () -> run_and_print (f ctx)))
+      $ obs_t $ context_t)
 
 (* a figure command with CSV export: [f ctx] returns (rendered, csv files) *)
 let fig_cmd name ~doc f =
-  let run ctx csv =
+  let run obs ctx csv =
+    with_obs obs @@ fun () ->
     let rendered, files = f ctx in
     print_string rendered;
     write_csv csv files
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ context_t $ csv_t)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ obs_t $ context_t $ csv_t)
 
 let table1_cmd =
   cmd_of "table1" ~doc:"Regenerate Table I (topology attributes)." (fun ctx ->
@@ -154,7 +200,8 @@ let fig12_cmd =
       value & opt int 30
       & info [ "flows-per-source" ] ~docv:"N" ~doc:"Back-to-back flows per source (paper: 30).")
   in
-  let run mb fps csv =
+  let run obs mb fps csv =
+    with_obs obs @@ fun () ->
     let config =
       {
         Mifo_testbed.Testbed.default_config with
@@ -168,7 +215,7 @@ let fig12_cmd =
   in
   Cmd.v
     (Cmd.info "fig12" ~doc:"Regenerate Fig. 12 (testbed: aggregate throughput and FCT).")
-    Term.(const run $ mb_t $ fps_t $ csv_t)
+    Term.(const run $ obs_t $ mb_t $ fps_t $ csv_t)
 
 let ablations_cmd =
   cmd_of "ablations" ~doc:"Run the design-choice ablation benches." (fun ctx ->
@@ -184,16 +231,20 @@ let ablations_cmd =
         ])
 
 let validate_cmd =
-  let run seed ases flows =
-    print_string
-      (Mifo_exp.Validation.render (Mifo_exp.Validation.run ~ases ~flows ~seed ()))
+  let run obs seed ases flows =
+    with_obs obs @@ fun () ->
+    let v = Mifo_exp.Validation.run ~ases ~flows ~seed () in
+    print_string (Mifo_exp.Validation.render v);
+    if List.exists (fun (_, ok) -> not ok) v.Mifo_exp.Validation.invariants then exit 1
   in
   let v_ases = Arg.(value & opt int 150 & info [ "ases" ] ~docv:"N" ~doc:"Topology size.") in
   let v_flows = Arg.(value & opt int 24 & info [ "flows" ] ~docv:"N" ~doc:"Flows.") in
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Cross-validate the flow-level and packet-level simulators on one scenario.")
-    Term.(const run $ seed_t $ v_ases $ v_flows)
+       ~doc:
+         "Cross-validate the flow-level and packet-level simulators on one scenario. \
+          Exits non-zero if a forwarding invariant is violated.")
+    Term.(const run $ obs_t $ seed_t $ v_ases $ v_flows)
 
 let topo_cmd =
   let out_t =

@@ -66,6 +66,7 @@ let () =
           else Engine.Ebgp { neighbor_as = 8; rel = Relationship.Provider });
       is_congested = (fun p -> p = default_port);
       next_hop_router = (fun _ -> None);
+      route_to_peer = (fun _ -> None);
     }
   in
   let packet =

@@ -1,3 +1,5 @@
+module Obs = Mifo_util.Obs
+
 type config = {
   congest_threshold : float;
   clear_threshold : float;
@@ -10,21 +12,52 @@ let default_config =
 
 let is_congested ?(config = default_config) util = util >= config.congest_threshold
 
+let c_alt_changed = Obs.counter "daemon.alt_changed"
+let c_buckets_reset = Obs.counter "daemon.buckets_reset"
+let c_ramp_up = Obs.counter "daemon.ramp_up_buckets"
+let c_ramp_down = Obs.counter "daemon.ramp_down_buckets"
+let h_util_out = Obs.histogram "daemon.port_util.out"
+let h_util_alt = Obs.histogram "daemon.port_util.alt"
+
 let epoch ?(config = default_config) ~fib ~port_utilization ~choose_alt () =
   Fib.iter fib (fun prefix entry ->
+      let old_alt = entry.Fib.alt_port in
       entry.Fib.alt_port <- choose_alt prefix entry;
+      if entry.Fib.alt_port <> old_alt then begin
+        Obs.incr c_alt_changed;
+        (* A freshly chosen alternative is cold — possibly slower than
+           the one just dropped — so it must not inherit the deflected
+           share accumulated against the old one.  Restart the ramp. *)
+        if entry.Fib.deflect_buckets > 0 then begin
+          Obs.incr c_buckets_reset;
+          Obs.event "alt_changed"
+            [
+              ("prefix", Obs.Str (Mifo_bgp.Prefix.to_string prefix));
+              ("buckets_dropped", Obs.Int entry.Fib.deflect_buckets);
+            ];
+          entry.Fib.deflect_buckets <- 0
+        end
+      end;
       match entry.Fib.alt_port with
       | None -> entry.Fib.deflect_buckets <- 0
       | Some alt ->
         let util = port_utilization entry.Fib.out_port in
         let alt_util = port_utilization alt in
+        Obs.observe h_util_out util;
+        Obs.observe h_util_alt alt_util;
         (* Shift more flows onto the alternative only while it still has
            headroom; when both egresses run hot the split is where we want
            it (hold), and when the default drains we shift back. *)
         if util >= config.congest_threshold && alt_util < config.congest_threshold
-        then
+        then begin
+          let before = entry.Fib.deflect_buckets in
           entry.Fib.deflect_buckets <-
-            Stdlib.min Fib.buckets (entry.Fib.deflect_buckets + config.ramp_up)
-        else if util <= config.clear_threshold then
+            Stdlib.min Fib.buckets (entry.Fib.deflect_buckets + config.ramp_up);
+          Obs.add c_ramp_up (entry.Fib.deflect_buckets - before)
+        end
+        else if util <= config.clear_threshold then begin
+          let before = entry.Fib.deflect_buckets in
           entry.Fib.deflect_buckets <-
-            Stdlib.max 0 (entry.Fib.deflect_buckets - config.ramp_down))
+            Stdlib.max 0 (entry.Fib.deflect_buckets - config.ramp_down);
+          Obs.add c_ramp_down (before - entry.Fib.deflect_buckets)
+        end)

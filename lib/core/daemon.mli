@@ -10,11 +10,21 @@
 
     Each epoch, for every FIB entry the daemon
     + refreshes the alternative port (best spare capacity, greedy rule);
+      when the refresh {e changes} the alternative, the accumulated
+      deflection level is reset to zero — the new egress is cold and
+      possibly slower, so it must not inherit the share ramped up
+      against the old one;
     + ramps the deflection level up while the default egress stays above
       the congestion threshold {e and the alternative still has headroom}
       — once both run hot the split is held, and it ramps back down when
       the default drains below the clear threshold (hysteresis keeps path
-      switching rare — Fig. 9). *)
+      switching rare — Fig. 9).
+
+    The epoch is accounted in {!Mifo_util.Obs}: [daemon.alt_changed],
+    [daemon.buckets_reset], [daemon.ramp_up_buckets] /
+    [daemon.ramp_down_buckets] (total buckets shifted) and the
+    [daemon.port_util.out] / [daemon.port_util.alt] utilization
+    histograms. *)
 
 type config = {
   congest_threshold : float;  (** egress utilization >= this = congested (default 0.9) *)

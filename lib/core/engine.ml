@@ -1,3 +1,5 @@
+module Obs = Mifo_util.Obs
+
 type port_kind =
   | Ebgp of { neighbor_as : int; rel : Mifo_topology.Relationship.t }
   | Ibgp of { peer_router : int }
@@ -9,6 +11,7 @@ type env = {
   port_kind : int -> port_kind;
   is_congested : int -> bool;
   next_hop_router : int -> int option;
+  route_to_peer : int -> int option;
 }
 
 type drop_reason = No_route | Valley_violation | Ttl_expired
@@ -22,15 +25,47 @@ let drop_reason_to_string = function
   | Valley_violation -> "valley-violation"
   | Ttl_expired -> "ttl-expired"
 
+(* Metric handles are resolved once at module initialisation; the hot
+   path only touches atomics. *)
+let c_drop_no_route = Obs.counter "engine.drop.no_route"
+let c_drop_valley = Obs.counter "engine.drop.valley_violation"
+let c_drop_ttl = Obs.counter "engine.drop.ttl_expired"
+let c_decap = Obs.counter "engine.decap"
+let c_encap = Obs.counter "engine.encap"
+let c_deflect_ibgp = Obs.counter "engine.deflect.ibgp"
+let c_deflect_ebgp = Obs.counter "engine.deflect.ebgp"
+let c_deflect_sender = Obs.counter "engine.deflect.from_sender"
+let c_tag_fallback = Obs.counter "engine.tag_check.fallback"
+let c_transit_routed = Obs.counter "engine.transit.routed"
+let c_transit_fib = Obs.counter "engine.transit.fib_fallback"
+
+let ev name env packet fields =
+  if Obs.trace_enabled () then
+    Obs.event name
+      (("router", Obs.Int env.router_id)
+      :: ("flow", Obs.Int packet.Packet.flow)
+      :: fields)
+
+let drop env packet reason =
+  (match reason with
+  | No_route -> Obs.incr c_drop_no_route
+  | Valley_violation ->
+    Obs.incr c_drop_valley;
+    ev "drop" env packet [ ("reason", Obs.Str "valley-violation") ]
+  | Ttl_expired -> Obs.incr c_drop_ttl);
+  Drop { packet; reason }
+
 let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
   match Packet.decrement_ttl packet with
-  | None -> Drop { packet; reason = Ttl_expired }
+  | None -> drop env packet Ttl_expired
   | Some packet ->
     (* Lines 1-3: strip the outer header of a tunnel terminating here and
        remember which iBGP peer deflected the packet to us. *)
     let sender, packet =
       match packet.Packet.encap with
       | Some e when e.Packet.outer_dst = env.router_id ->
+        Obs.incr c_decap;
+        ev "decap" env packet [ ("outer_src", Obs.Int e.Packet.outer_src) ];
         (Some e.Packet.outer_src, Packet.decapsulate packet)
       | Some _ | None -> (None, packet)
     in
@@ -43,72 +78,103 @@ let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
         | Ebgp { rel; _ } -> Packet.with_tag packet (Policy.tag_of_upstream rel)
         | Ibgp _ | Local -> packet)
     in
-    (* Line 4: FIB lookup. *)
-    match Fib.lookup env.fib packet.Packet.dst with
-    | None -> Drop { packet; reason = No_route }
-    | Some entry -> (
-      match env.port_kind entry.Fib.out_port with
-      | Local ->
-        (* destination network attached here: hand the packet to the
-           host-facing port, no deflection logic applies *)
-        Send { port = entry.Fib.out_port; packet }
-      | Ebgp _ | Ibgp _ ->
-        (* Line 11: use the alternative when this flow is being deflected
-           (daemon-driven hash buckets over the congestion signal), or when
-           the deflecting sender is exactly our default next hop - sending
-           the packet back would cycle between iBGP peers (Fig. 2(b)). *)
-        let deflected_to_me =
-          match (sender, env.next_hop_router entry.Fib.out_port) with
-          | Some s, Some nh -> s = nh
-          | _ -> false
-        in
-        (* The daemon ramps [deflect_buckets] with hysteresis; on top of
-           that, a congested egress immediately deflects at least the
-           first hash bucket so the reaction starts at line speed, before
-           the next daemon epoch. *)
-        let effective_buckets =
-          if env.is_congested entry.Fib.out_port then
-            Stdlib.max 1 entry.Fib.deflect_buckets
-          else entry.Fib.deflect_buckets
-        in
-        let flow_deflected =
-          entry.Fib.alt_port <> None
-          && Fib.flow_bucket packet.Packet.flow < effective_buckets
-        in
-        let want_alt = deflected_to_me || flow_deflected in
-        match (want_alt, entry.Fib.alt_port) with
-        | false, _ | _, None -> Send { port = entry.Fib.out_port; packet }
-        | true, Some alt -> (
-          match env.port_kind alt with
-          | Ibgp { peer_router } ->
-            (* Lines 12-15: tunnel to the iBGP peer that owns the
-               alternative path.  A packet already inside someone else's
-               tunnel cannot be tunneled again (MIFO never nests
-               IP-in-IP), so it stays on the default port.
-               [ibgp_encap:false] is the Fig. 2(b) ablation: the peer
-               cannot tell a deflected packet from a normal one and
-               bounces it straight back. *)
-            if packet.Packet.encap <> None then
-              Send { port = entry.Fib.out_port; packet }
-            else begin
+    match packet.Packet.encap with
+    | Some e ->
+      (* In-transit tunnel: the packet is inside another router's
+         IP-in-IP and not addressed to us, so it must be routed on the
+         {e outer} header — toward the tunnel endpoint — and must never
+         be deflected: hash-deflecting it out an eBGP port would let it
+         leave the AS still encapsulated, never terminating its
+         tunnel. *)
+      (match env.route_to_peer e.Packet.outer_dst with
+       | Some port ->
+         Obs.incr c_transit_routed;
+         ev "transit" env packet [ ("outer_dst", Obs.Int e.Packet.outer_dst) ];
+         Send { port; packet }
+       | None -> (
+         (* No known iBGP route to the endpoint (degenerate wiring, e.g.
+            a unit-test env): fall back to the default route for the
+            inner destination, still without deflection. *)
+         match Fib.lookup env.fib packet.Packet.dst with
+         | None -> drop env packet No_route
+         | Some entry ->
+           Obs.incr c_transit_fib;
+           Send { port = entry.Fib.out_port; packet }))
+    | None -> (
+      (* Line 4: FIB lookup. *)
+      match Fib.lookup env.fib packet.Packet.dst with
+      | None -> drop env packet No_route
+      | Some entry -> (
+        match env.port_kind entry.Fib.out_port with
+        | Local ->
+          (* destination network attached here: hand the packet to the
+             host-facing port, no deflection logic applies *)
+          Send { port = entry.Fib.out_port; packet }
+        | Ebgp _ | Ibgp _ ->
+          (* Line 11: use the alternative when this flow is being deflected
+             (daemon-driven hash buckets over the congestion signal), or when
+             the deflecting sender is exactly our default next hop - sending
+             the packet back would cycle between iBGP peers (Fig. 2(b)). *)
+          let deflected_to_me =
+            match (sender, env.next_hop_router entry.Fib.out_port) with
+            | Some s, Some nh -> s = nh
+            | _ -> false
+          in
+          (* The daemon ramps [deflect_buckets] with hysteresis; on top of
+             that, a congested egress immediately deflects at least the
+             first hash bucket so the reaction starts at line speed, before
+             the next daemon epoch. *)
+          let effective_buckets =
+            if env.is_congested entry.Fib.out_port then
+              Stdlib.max 1 entry.Fib.deflect_buckets
+            else entry.Fib.deflect_buckets
+          in
+          let flow_deflected =
+            entry.Fib.alt_port <> None
+            && Fib.flow_bucket packet.Packet.flow < effective_buckets
+          in
+          let want_alt = deflected_to_me || flow_deflected in
+          match (want_alt, entry.Fib.alt_port) with
+          | false, _ | _, None -> Send { port = entry.Fib.out_port; packet }
+          | true, Some alt -> (
+            if deflected_to_me then Obs.incr c_deflect_sender;
+            match env.port_kind alt with
+            | Ibgp { peer_router } ->
+              (* Lines 12-15: tunnel to the iBGP peer that owns the
+                 alternative path.  [ibgp_encap:false] is the Fig. 2(b)
+                 ablation: the peer cannot tell a deflected packet from
+                 a normal one and bounces it straight back. *)
               let packet =
-                if ibgp_encap then
+                if ibgp_encap then begin
+                  Obs.incr c_encap;
+                  ev "encap" env packet [ ("outer_dst", Obs.Int peer_router) ];
                   Packet.encapsulate packet ~outer_src:env.router_id
                     ~outer_dst:peer_router
+                end
                 else packet
               in
+              Obs.incr c_deflect_ibgp;
               Send { port = alt; packet }
-            end
-          | Ebgp { rel = downstream; _ } ->
-            (* Lines 16-20: Tag-Check before leaving the AS sideways.  A
-               failing check means this packet may not use the
-               alternative.  If it was tunneled to us by the default
-               next hop, returning it would cycle, so it is dropped
-               (the pseudocode's line 20); a locally hash-deflected
-               packet instead falls back to the default port, which is
-               congested but always loop-free. *)
-            if (not tag_check) || Policy.check ~tag:packet.Packet.vf_tag ~downstream
-            then Send { port = alt; packet }
-            else if deflected_to_me then Drop { packet; reason = Valley_violation }
-            else Send { port = entry.Fib.out_port; packet }
-          | Local -> Send { port = entry.Fib.out_port; packet }))
+            | Ebgp { rel = downstream; _ } ->
+              (* Lines 16-20: Tag-Check before leaving the AS sideways.  A
+                 failing check means this packet may not use the
+                 alternative.  If it was tunneled to us by the default
+                 next hop, returning it would cycle, so it is dropped
+                 (the pseudocode's line 20); a locally hash-deflected
+                 packet instead falls back to the default port, which is
+                 congested but always loop-free. *)
+              if (not tag_check) || Policy.check ~tag:packet.Packet.vf_tag ~downstream
+              then begin
+                Obs.incr c_deflect_ebgp;
+                Send { port = alt; packet }
+              end
+              else if deflected_to_me then begin
+                ev "tag_check_fail" env packet [ ("fate", Obs.Str "drop") ];
+                drop env packet Valley_violation
+              end
+              else begin
+                Obs.incr c_tag_fallback;
+                ev "tag_check_fail" env packet [ ("fate", Obs.Str "fallback") ];
+                Send { port = entry.Fib.out_port; packet }
+              end
+            | Local -> Send { port = entry.Fib.out_port; packet })))

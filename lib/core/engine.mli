@@ -8,6 +8,13 @@
     Behaviour, following the pseudocode line by line:
     - an IP-in-IP packet addressed to this router is decapsulated and its
       sender (the deflecting iBGP peer) remembered (lines 1–3);
+    - an IP-in-IP packet addressed to {e another} router is in transit
+      through this AS: it is routed on its outer header toward the
+      tunnel endpoint ([env.route_to_peer]) and is never deflected —
+      deflecting it out an eBGP port would carry it out of the AS still
+      encapsulated, so its tunnel would never terminate.  When no route
+      to the endpoint is known the packet follows the default port for
+      its inner destination, still without deflection;
     - the FIB gives default and alternative ports (line 4);
     - a packet entering from an eBGP peer is (re)tagged: bit set iff the
       upstream neighbor is a customer (lines 5–10);
@@ -32,7 +39,17 @@
     given flow sees a stable path between daemon updates (no reordering).
 
     The engine also decrements the TTL; [tag_check:false] disables the
-    valley-free check (the loop ablation of Section III). *)
+    valley-free check (the loop ablation of Section III).
+
+    Every decision is accounted in {!Mifo_util.Obs} under the
+    [engine.*] names: per-reason drop counters ([engine.drop.no_route],
+    [engine.drop.valley_violation], [engine.drop.ttl_expired]),
+    deflection counters ([engine.deflect.ibgp], [engine.deflect.ebgp],
+    [engine.deflect.from_sender]), tunnel counters ([engine.encap],
+    [engine.decap], [engine.transit.routed],
+    [engine.transit.fib_fallback]) and the Tag-Check fallback
+    ([engine.tag_check.fallback]).  With tracing enabled the engine also
+    records [decap]/[encap]/[transit]/[tag_check_fail]/[drop] events. *)
 
 type port_kind =
   | Ebgp of { neighbor_as : int; rel : Mifo_topology.Relationship.t }
@@ -50,6 +67,10 @@ type env = {
   next_hop_router : int -> int option;
       (** router at the far end of a port, when known ([None] for eBGP /
           host ports) *)
+  route_to_peer : int -> int option;
+      (** port carrying the iBGP session toward the given router id, used
+          to route in-transit tunnels on their outer header; [None] when
+          this router has no session to that peer *)
 }
 
 type drop_reason = No_route | Valley_violation | Ttl_expired

@@ -16,8 +16,21 @@ let create () = { by_len = Array.init 33 (fun _ -> Hashtbl.create 16) }
 
 let insert t prefix ~out_port ?alt_port () =
   let table = t.by_len.(prefix.Prefix.length) in
-  Hashtbl.replace table prefix.Prefix.network
-    { out_port; alt_port; deflect_buckets = 0 }
+  match Hashtbl.find_opt table prefix.Prefix.network with
+  | Some e when e.out_port = out_port ->
+    (* Route refresh with an unchanged default egress: the deflection
+       state ([alt_port] / [deflect_buckets]) is live, daemon-owned
+       congestion response — clobbering it mid-congestion would snap
+       every deflected flow back onto the congested default.  Keep it;
+       adopt the caller's alternative hint only when none is set. *)
+    if e.alt_port = None then e.alt_port <- alt_port
+  | Some e ->
+    e.out_port <- out_port;
+    e.alt_port <- alt_port;
+    e.deflect_buckets <- 0
+  | None ->
+    Hashtbl.replace table prefix.Prefix.network
+      { out_port; alt_port; deflect_buckets = 0 }
 
 let lookup t addr =
   let rec scan len =

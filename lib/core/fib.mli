@@ -24,7 +24,12 @@ val buckets : int
 
 val create : unit -> t
 val insert : t -> Mifo_bgp.Prefix.t -> out_port:int -> ?alt_port:int -> unit -> unit
-(** Replaces any previous entry for the same prefix. *)
+(** Installs or refreshes the entry for a prefix.  A re-insert whose
+    [out_port] matches the existing entry is a route refresh: the live
+    deflection state ([alt_port], [deflect_buckets]) is daemon-owned and
+    preserved, and [alt_port] is taken from the call only when the entry
+    has none yet.  A re-insert with a different [out_port] is a route
+    change: the entry is replaced and the deflection level reset. *)
 
 val lookup : t -> Mifo_bgp.Prefix.addr -> entry option
 (** Longest-prefix match. *)

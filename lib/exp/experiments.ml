@@ -11,6 +11,7 @@ module Testbed = Mifo_testbed.Testbed
 module Table = Mifo_util.Table
 module Dist = Mifo_util.Dist
 module Parallel = Mifo_util.Parallel
+module Obs = Mifo_util.Obs
 
 (* Warm the routing cache for every destination a flow set touches: the
    per-destination computations are independent, so they fan out across
@@ -25,7 +26,7 @@ let precompute_flow_dests table (flows : Flowsim.flow_spec array) =
 module Table1 = struct
   type t = Topo_stats.t
 
-  let run ctx = Topo_stats.compute (Context.graph ctx)
+  let run ctx = Obs.time_phase "table1" (fun () -> Topo_stats.compute (Context.graph ctx))
 
   let render stats =
     let header = [ "Date"; "# of Nodes"; "# of Links"; "P/C Links"; "Peering Links" ] in
@@ -55,6 +56,7 @@ module Fig7 = struct
       percentiles
 
   let run ctx =
+    Obs.time_phase "fig7" @@ fun () ->
     let g = Context.graph ctx in
     let n = As_graph.n g in
     let rng = Context.rng ctx ~purpose:7 in
@@ -189,6 +191,7 @@ module Throughput = struct
       (protocols ctx ~ratio)
 
   let fig5 ?(ratios = [ 1.0; 0.5; 0.1 ]) ctx =
+    Obs.time_phase "fig5" @@ fun () ->
     let flows =
       Traffic.uniform
         (Context.rng ctx ~purpose:5)
@@ -198,6 +201,7 @@ module Throughput = struct
     List.map (fun ratio -> (ratio, run_traffic ctx flows ~ratio)) ratios
 
   let fig6 ?(alphas = [ 0.8; 1.0; 1.2 ]) ctx =
+    Obs.time_phase "fig6" @@ fun () ->
     let g = Context.graph ctx in
     let providers = Traffic.content_provider_ranking g in
     List.map
@@ -278,6 +282,7 @@ module Fig8 = struct
   type t = (float * float) array
 
   let run ?(ratios = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]) ctx =
+    Obs.time_phase "fig8" @@ fun () ->
     let flows =
       Traffic.uniform
         (Context.rng ctx ~purpose:8)
@@ -312,6 +317,7 @@ module Fig9 = struct
   let max_bucket = 5
 
   let run ctx =
+    Obs.time_phase "fig9" @@ fun () ->
     let flows =
       Traffic.uniform
         (Context.rng ctx ~purpose:9)
@@ -372,6 +378,7 @@ module Fig12 = struct
   type t = { bgp : Testbed.result; mifo : Testbed.result; improvement : float }
 
   let run ?(config = Testbed.default_config) () =
+    Obs.time_phase "fig12" @@ fun () ->
     let bgp = Testbed.run ~config Testbed.Bgp_routing in
     let mifo = Testbed.run ~config Testbed.Mifo_routing in
     let improvement =

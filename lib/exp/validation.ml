@@ -6,6 +6,7 @@ module Flowsim = Mifo_netsim.Flowsim
 module Packetsim = Mifo_netsim.Packetsim
 module As_network = Mifo_netsim.As_network
 module Table = Mifo_util.Table
+module Obs = Mifo_util.Obs
 
 type t = {
   flows : int;
@@ -14,6 +15,7 @@ type t = {
   bgp_mean_ratio : float;
   flowsim_speedup : float;
   packetsim_speedup : float;
+  invariants : (string * bool) list;
 }
 
 let makespan results =
@@ -76,8 +78,42 @@ let run ?(ases = 150) ?(flows = 24) ?(flow_bytes = 10_000_000) ~seed () =
     As_network.run net;
     net
   in
+  (* Engine counter deltas around the packet-level runs turn the global
+     drop accounting into checkable invariants of this scenario. *)
+  let engine_snap () =
+    ( Obs.counter_value "engine.drop.valley_violation",
+      Obs.counter_value "engine.drop.no_route",
+      Obs.counter_value "engine.drop.ttl_expired",
+      Obs.counter_value "engine.encap" )
+  in
+  let v0, n0, t0, e0 = engine_snap () in
   let pk_bgp = packet_run (Deployment.none ~n:ases) in
   let pk_mifo = packet_run (Deployment.full ~n:ases) in
+  let v1, n1, t1, e1 = engine_snap () in
+  let c_bgp = Packetsim.counters pk_bgp.As_network.sim in
+  let c_mifo = Packetsim.counters pk_mifo.As_network.sim in
+  let invariants =
+    [
+      (* tag-check on, alternatives are eBGP ports chosen from the RIB:
+         no packet may ever die to a valley violation *)
+      ( "no valley-violation drops (tag-check on)",
+        v1 - v0 = 0
+        && c_bgp.Packetsim.dropped_valley = 0
+        && c_mifo.Packetsim.dropped_valley = 0 );
+      (* the AS-level network has one router per AS and no iBGP ports,
+         so nothing can be tunneled *)
+      ("no tunnels in an AS-level network", e1 - e0 = 0);
+      (* FIBs are complete and forwarding is loop-free *)
+      ( "no ttl or no-route drops",
+        t1 - t0 = 0 && c_bgp.Packetsim.dropped_no_route = 0
+        && c_mifo.Packetsim.dropped_no_route = 0 );
+      (* the engine's global drop counters agree with the per-simulation
+         accounting: every drop is attributed exactly once *)
+      ( "engine drop accounting matches simulator counters",
+        n1 - n0 = c_bgp.Packetsim.dropped_no_route + c_mifo.Packetsim.dropped_no_route
+        && v1 - v0 = c_bgp.Packetsim.dropped_valley + c_mifo.Packetsim.dropped_valley );
+    ]
+  in
   (* per-flow throughput comparison under BGP: packetsim flows were added
      in spec order, flowsim reports in spec order too *)
   let pk_tputs net =
@@ -122,6 +158,7 @@ let run ?(ases = 150) ?(flows = 24) ?(flow_bytes = 10_000_000) ~seed () =
     bgp_mean_ratio = Mifo_util.Stats.mean ratio;
     flowsim_speedup;
     packetsim_speedup;
+    invariants;
   }
 
 let render t =
@@ -137,3 +174,8 @@ let render t =
           [ "MIFO speedup, flow-level sim"; Table.fmt_float ~decimals:2 t.flowsim_speedup ^ "x" ];
           [ "MIFO speedup, packet-level sim"; Table.fmt_float ~decimals:2 t.packetsim_speedup ^ "x" ];
         ]
+  ^ String.concat ""
+      (List.map
+         (fun (name, ok) ->
+           Printf.sprintf "  invariant: %-48s %s\n" name (if ok then "ok" else "VIOLATED"))
+         t.invariants)

@@ -21,6 +21,13 @@ type t = {
   bgp_mean_ratio : float;  (** mean (flowsim throughput / packetsim throughput) *)
   flowsim_speedup : float;  (** BGP makespan / MIFO makespan, flow level *)
   packetsim_speedup : float;  (** same, packet level *)
+  invariants : (string * bool) list;
+      (** Named forwarding invariants checked from {!Mifo_util.Obs}
+          counter deltas around the packet-level runs — e.g. no
+          valley-violation drops with the tag-check on, no tunnels in a
+          network without iBGP ports, engine drop accounting agreeing
+          with the simulator's own counters.  All [true] on a healthy
+          build; {!render} prints any violation. *)
 }
 
 val run : ?ases:int -> ?flows:int -> ?flow_bytes:int -> seed:int -> unit -> t

@@ -128,6 +128,13 @@ let splice rt path i nb =
 (* a failed link keeps a hair of capacity so utilization stays defined *)
 let dead_capacity = 1.0
 
+module Obs = Mifo_util.Obs
+
+let c_epochs = Obs.counter "flowsim.epochs"
+let c_switches = Obs.counter "flowsim.path_switches"
+let c_completed = Obs.counter "flowsim.completed"
+let c_resumed = Obs.counter "flowsim.resumed_default"
+
 let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
   let g = Routing_table.graph table in
   let n = As_graph.n g in
@@ -209,13 +216,22 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
         && util l +. (planned.(l) /. capacities.(l)) <= params.clear_threshold)
       links
   in
+  let time = ref 0. in
   let switch_to f path =
     f.path <- path;
     f.links <- path_links links_reg path;
     f.switches <- f.switches + 1;
+    Obs.incr c_switches;
     let is_default = path == f.default_path || path = f.default_path in
     f.on_default <- is_default;
-    if not is_default then f.used_alt <- true;
+    if is_default then Obs.incr c_resumed else f.used_alt <- true;
+    if Obs.trace_enabled () then
+      Obs.event ~t:!time "flow_switch"
+        [
+          ("flow", Obs.Int f.idx);
+          ("on_default", Obs.Bool is_default);
+          ("path_len", Obs.Int (Array.length path));
+        ];
     Array.iter (fun l -> planned.(l) <- planned.(l) +. f.rate) f.links
   in
   let adapt_mifo deployment f =
@@ -337,7 +353,6 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
     | Mifo deployment -> adapt_mifo deployment
     | Miro { deployment; cap } -> adapt_miro deployment cap
   in
-  let time = ref 0. in
   let epochs = ref 0 in
   let completed = ref 0 in
   let last_sample = ref neg_infinity in
@@ -345,6 +360,7 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
   if total > 0 then time := flows.(0).spec.start;
   while !completed < total && !time <= params.max_time do
     incr epochs;
+    Obs.incr c_epochs;
     apply_due_failures !time;
     (* arrivals *)
     while
@@ -386,7 +402,8 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
           f.finish <- !time +. (f.remaining /. f.rate);
           f.remaining <- 0.;
           f.completed <- true;
-          incr completed
+          incr completed;
+          Obs.incr c_completed
         end
         else f.remaining <- f.remaining -. transferred)
       active_arr;

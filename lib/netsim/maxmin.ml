@@ -34,8 +34,12 @@ let allocate ~capacities ~flow_links =
         dedup_sorted sorted)
       flow_links
   in
-  let max_cap = Array.fold_left Stdlib.max 0. capacities in
-  let rates = Array.make nflows max_cap in
+  (* A flow crossing no link is unconstrained: its rate is [infinity],
+     explicitly.  (It used to inherit the largest link capacity as an
+     artifact of the initial fill — a value that depended on unrelated
+     links.)  Every flow with at least one link is frozen by the loop
+     below, so the initial fill only ever survives for empty flows. *)
+  let rates = Array.make nflows Float.infinity in
   (* Per-link bookkeeping. *)
   let unfrozen = Array.make nlinks 0 in
   let frozen_alloc = Array.make nlinks 0. in

@@ -15,10 +15,12 @@ val allocate :
   flow_links:int array array ->
   float array
 (** [allocate ~capacities ~flow_links] returns the max-min rate of each
-    flow.  [flow_links.(f)] lists the link ids flow [f] crosses (may be
-    empty: such a flow is unconstrained and gets the largest link
-    capacity).  Duplicate link ids within one flow are allowed and
-    counted once.
+    flow.  [flow_links.(f)] lists the link ids flow [f] crosses.  An
+    empty link set means the flow is unconstrained and its rate is
+    [Float.infinity] — the caller decides what cap to apply (the flow
+    simulator never produces such flows: every flow crosses at least
+    its access links).  Duplicate link ids within one flow are allowed
+    and counted once.
 
     @raise Invalid_argument on negative capacities or out-of-range link
     ids. *)

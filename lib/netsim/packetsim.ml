@@ -4,6 +4,7 @@ module Engine = Mifo_core.Engine
 module Daemon = Mifo_core.Daemon
 module Packet = Mifo_core.Packet
 module Vec = Mifo_util.Vec
+module Obs = Mifo_util.Obs
 
 type node_id = int
 
@@ -69,6 +70,9 @@ type router = {
   mutable chooser : (Prefix.t -> Fib.entry -> int option) option;
   last_egress : (int, int) Hashtbl.t;  (* flow -> egress port *)
   mutable switches : (int, int) Hashtbl.t;  (* flow -> count *)
+  ibgp_peers : (int, int) Hashtbl.t;
+      (* peer router (node id named in the port's Ibgp kind) -> local
+         port carrying that session; the engine's route_to_peer *)
 }
 
 type host = {
@@ -140,6 +144,17 @@ let create ?(config = default_config) () =
 let config t = t.cfg
 let now t = t.now
 
+(* Process-wide observability mirrors of the per-sim counters, plus the
+   queue-depth view only the transmit path can see. *)
+let c_delivered = Obs.counter "packetsim.delivered"
+let c_drop_queue = Obs.counter "packetsim.dropped.queue"
+let c_drop_ttl = Obs.counter "packetsim.dropped.ttl"
+let c_drop_valley = Obs.counter "packetsim.dropped.valley"
+let c_drop_no_route = Obs.counter "packetsim.dropped.no_route"
+let c_deflected = Obs.counter "packetsim.deflected"
+let c_encapsulated = Obs.counter "packetsim.encapsulated"
+let h_queue_ratio = Obs.histogram "packetsim.queue_ratio"
+
 let add_router t ~as_id =
   let r =
     {
@@ -148,6 +163,7 @@ let add_router t ~as_id =
       chooser = None;
       last_egress = Hashtbl.create 64;
       switches = Hashtbl.create 64;
+      ibgp_peers = Hashtbl.create 8;
     }
   in
   Vec.push t.nodes { kind = Router r; ports = Vec.create () };
@@ -188,6 +204,13 @@ let connect t ~a ~b ~kind_ab ~kind_ba ~rate ?(delay = 50e-6) ?queue_bits () =
   let pa = Vec.length na.ports and pb = Vec.length nb.ports in
   Vec.push na.ports { link = mk (); peer = b; peer_port = pb; kind = kind_ab };
   Vec.push nb.ports { link = mk (); peer = a; peer_port = pa; kind = kind_ba };
+  let note_ibgp n kind p =
+    match (n.kind, kind) with
+    | Router r, Engine.Ibgp { peer_router } -> Hashtbl.replace r.ibgp_peers peer_router p
+    | _ -> ()
+  in
+  note_ibgp na kind_ab pa;
+  note_ibgp nb kind_ba pb;
   (pa, pb)
 
 let fib t id = (router_exn t id).r_fib
@@ -212,9 +235,18 @@ let spare_capacity t id p =
 let transmit t src_node p packet =
   let { link; peer; peer_port; _ } = port t src_node p in
   let wire = float_of_int (Packet.wire_size_bits packet) in
+  Obs.observe h_queue_ratio (queue_ratio t link);
   if queue_bits_now t link +. wire > float_of_int link.queue_limit then begin
     link.drops <- link.drops + 1;
-    t.dropped_queue <- t.dropped_queue + 1
+    t.dropped_queue <- t.dropped_queue + 1;
+    Obs.incr c_drop_queue;
+    if Obs.trace_enabled () then
+      Obs.event ~t:t.now "queue_drop"
+        [
+          ("node", Obs.Int src_node);
+          ("port", Obs.Int p);
+          ("flow", Obs.Int packet.Packet.flow);
+        ]
   end
   else begin
     let start = Float.max t.now link.next_free in
@@ -243,6 +275,7 @@ let engine_env t id r =
       (fun p ->
         let pt = port t id p in
         match (node t pt.peer).kind with Router _ -> Some pt.peer | Host _ -> None);
+    route_to_peer = (fun peer -> Hashtbl.find_opt r.ibgp_peers peer);
   }
 
 let note_egress r flow p =
@@ -262,17 +295,28 @@ let handle_router t id r ~port:ingress packet =
   in
   (match t.tracer with Some f -> f t.now id packet action | None -> ());
   match action with
-  | Engine.Drop { reason = Engine.Ttl_expired; _ } -> t.dropped_ttl <- t.dropped_ttl + 1
+  | Engine.Drop { reason = Engine.Ttl_expired; _ } ->
+    t.dropped_ttl <- t.dropped_ttl + 1;
+    Obs.incr c_drop_ttl
   | Engine.Drop { reason = Engine.Valley_violation; _ } ->
-    t.dropped_valley <- t.dropped_valley + 1
+    t.dropped_valley <- t.dropped_valley + 1;
+    Obs.incr c_drop_valley
   | Engine.Drop { reason = Engine.No_route; _ } ->
-    t.dropped_no_route <- t.dropped_no_route + 1
+    t.dropped_no_route <- t.dropped_no_route + 1;
+    Obs.incr c_drop_no_route
   | Engine.Send { port = out; packet = packet' } ->
+    (* A packet that arrived encapsulated and leaves still encapsulated
+       is an in-transit tunnel routed on its outer header — not a
+       deflection decision of this router. *)
+    let in_transit = packet.Packet.encap <> None && packet'.Packet.encap <> None in
     (match Fib.lookup r.r_fib packet'.Packet.dst with
-     | Some entry when out <> entry.Fib.out_port ->
+     | Some entry when out <> entry.Fib.out_port && not in_transit ->
        t.deflected <- t.deflected + 1;
-       if packet'.Packet.encap <> None && packet.Packet.encap = None then
-         t.encapsulated <- t.encapsulated + 1
+       Obs.incr c_deflected;
+       if packet'.Packet.encap <> None && packet.Packet.encap = None then begin
+         t.encapsulated <- t.encapsulated + 1;
+         Obs.incr c_encapsulated
+       end
      | Some _ | None -> ());
     note_egress r packet'.Packet.flow out;
     transmit t id out packet'
@@ -339,6 +383,7 @@ let handle_host t id h ~port:_ packet =
     | None -> ()
     | Some rcv ->
       t.delivered_packets <- t.delivered_packets + 1;
+      Obs.incr c_delivered;
       record_goodput t (float_of_int packet.Packet.size_bits);
       let ack = Tcp.Receiver.on_data rcv packet.Packet.seq in
       let reply =

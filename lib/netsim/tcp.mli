@@ -44,6 +44,11 @@ module Sender : sig
   val timer_needed : t -> bool
   (** There is unacknowledged data in flight. *)
 
+  val min_rto : float
+  val max_rto : float
+  (** The RTO clamp: {!rto} always lies within [[min_rto, max_rto]],
+      whatever RTT samples and timeout backoffs the sender has seen. *)
+
   val rto : t -> float
   val cwnd : t -> float
   (** Congestion window in segments (for tests and instrumentation). *)

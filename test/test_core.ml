@@ -10,6 +10,7 @@ module Engine = Mifo_core.Engine
 module Daemon = Mifo_core.Daemon
 module Alt_select = Mifo_core.Alt_select
 module Loop_walk = Mifo_core.Loop_walk
+module Obs = Mifo_util.Obs
 module Prefix = Mifo_bgp.Prefix
 module Routing = Mifo_bgp.Routing
 module Relationship = Mifo_topology.Relationship
@@ -138,6 +139,38 @@ let test_fib_buckets () =
   Alcotest.(check bool) "no empty bucket over 1000 flows" true
     (Array.for_all (fun c -> c > 0) seen)
 
+let test_fib_reinsert_preserves_deflection () =
+  (* Regression (deflection-state bug): a BGP route refresh re-inserts
+     the same prefix.  With the default egress unchanged it must not
+     clobber the daemon's live deflection state. *)
+  let fib = Fib.create () in
+  let p = Prefix.of_as 2 in
+  Fib.insert fib p ~out_port:0 ~alt_port:1 ();
+  let e = Option.get (Fib.find fib p) in
+  e.Fib.deflect_buckets <- 17;
+  (* refresh: same default egress, no alternative hint *)
+  Fib.insert fib p ~out_port:0 ();
+  let e = Option.get (Fib.find fib p) in
+  Alcotest.(check (option int)) "alt preserved" (Some 1) e.Fib.alt_port;
+  Alcotest.(check int) "buckets preserved" 17 e.Fib.deflect_buckets;
+  (* refresh with an alternative hint: the live choice wins *)
+  Fib.insert fib p ~out_port:0 ~alt_port:9 ();
+  Alcotest.(check (option int)) "live alt wins over the hint" (Some 1)
+    (Option.get (Fib.find fib p)).Fib.alt_port;
+  (* the hint is adopted when no alternative is set *)
+  let q = Prefix.of_as 3 in
+  Fib.insert fib q ~out_port:4 ();
+  Fib.insert fib q ~out_port:4 ~alt_port:6 ();
+  Alcotest.(check (option int)) "hint adopted when alt unset" (Some 6)
+    (Option.get (Fib.find fib q)).Fib.alt_port;
+  (* a genuine route change resets everything *)
+  Fib.insert fib p ~out_port:5 ~alt_port:9 ();
+  let e = Option.get (Fib.find fib p) in
+  Alcotest.(check int) "new default egress" 5 e.Fib.out_port;
+  Alcotest.(check (option int)) "new alternative" (Some 9) e.Fib.alt_port;
+  Alcotest.(check int) "buckets reset on route change" 0 e.Fib.deflect_buckets;
+  Alcotest.(check int) "still two entries" 2 (Fib.size fib)
+
 let test_fib_deflects () =
   let entry = { Fib.out_port = 0; alt_port = Some 1; deflect_buckets = Fib.buckets } in
   Alcotest.(check bool) "all buckets deflect" true (Fib.deflects entry ~flow:7);
@@ -153,7 +186,7 @@ let test_fib_deflects () =
 let make_env ?(alt_kind = Engine.Ebgp { neighbor_as = 9; rel = Relationship.Peer })
     ?(upstream_kind = Engine.Ebgp { neighbor_as = 8; rel = Relationship.Customer })
     ?(congested = fun _ -> false) ?(deflect_buckets = 0) ?(alt = Some 1)
-    ?(next_hop_router = fun _ -> None) () =
+    ?(next_hop_router = fun _ -> None) ?(route_to_peer = fun _ -> None) () =
   let fib = Fib.create () in
   let dst_prefix = Prefix.of_as 2 in
   Fib.insert fib dst_prefix ~out_port:0 ?alt_port:alt ();
@@ -170,6 +203,7 @@ let make_env ?(alt_kind = Engine.Ebgp { neighbor_as = 9; rel = Relationship.Peer
         else upstream_kind);
     is_congested = congested;
     next_hop_router;
+    route_to_peer;
   }
 
 let packet () = mk_packet ()
@@ -295,6 +329,113 @@ let test_engine_foreign_tunnel_passthrough () =
     Alcotest.(check bool) "still encapsulated" true (p'.Packet.encap <> None)
   | Engine.Drop _ -> Alcotest.fail "dropped"
 
+let test_engine_transit_tunnel () =
+  (* Regression (tunnel-transit bug): a tunnel addressed to another
+     router crosses this one in transit.  It must be routed on its OUTER
+     header toward the endpoint — not looked up by inner destination and
+     hash-deflected out the eBGP alternative, which would carry it out
+     of the AS still encapsulated. *)
+  let transit0 = Obs.counter_value "engine.transit.routed" in
+  let env =
+    make_env ~deflect_buckets:Fib.buckets
+      ~alt_kind:(Engine.Ebgp { neighbor_as = 9; rel = Relationship.Customer })
+      ~route_to_peer:(fun r -> if r = 77 then Some 5 else None)
+      ()
+  in
+  let p = Packet.encapsulate (packet ()) ~outer_src:55 ~outer_dst:77 in
+  (match Engine.forward env ~ingress:(Some 2) p with
+   | Engine.Send { port; packet = p' } ->
+     Alcotest.(check int) "routed toward the tunnel endpoint" 5 port;
+     Alcotest.(check bool) "still encapsulated" true (p'.Packet.encap <> None)
+   | Engine.Drop _ -> Alcotest.fail "dropped");
+  Alcotest.(check int) "transit counted" (transit0 + 1)
+    (Obs.counter_value "engine.transit.routed")
+
+let test_engine_transit_never_deflected () =
+  (* Same in-transit tunnel but no iBGP route to the endpoint: the
+     packet falls back to the default port for its inner destination.
+     Even with every hash bucket deflecting, it must NOT take the eBGP
+     alternative. *)
+  let env =
+    make_env ~deflect_buckets:Fib.buckets
+      ~alt_kind:(Engine.Ebgp { neighbor_as = 9; rel = Relationship.Customer })
+      ()
+  in
+  let p = Packet.encapsulate (packet ()) ~outer_src:55 ~outer_dst:77 in
+  match Engine.forward env ~ingress:(Some 2) p with
+  | Engine.Send { port; packet = p' } ->
+    Alcotest.(check int) "default port, never the eBGP alternative" 0 port;
+    Alcotest.(check bool) "still encapsulated" true (p'.Packet.encap <> None)
+  | Engine.Drop _ -> Alcotest.fail "dropped"
+
+let test_engine_drop_counters () =
+  let v0 = Obs.counter_value "engine.drop.valley_violation" in
+  let t0 = Obs.counter_value "engine.drop.ttl_expired" in
+  let n0 = Obs.counter_value "engine.drop.no_route" in
+  (* valley drop: tunneled to us by our default next hop, failing check *)
+  let env =
+    make_env
+      ~upstream_kind:(Engine.Ibgp { peer_router = 55 })
+      ~next_hop_router:(fun p -> if p = 0 then Some 55 else None)
+      ()
+  in
+  let p = Packet.encapsulate (packet ()) ~outer_src:55 ~outer_dst:100 in
+  (match Engine.forward env ~ingress:(Some 2) p with
+   | Engine.Drop { reason = Engine.Valley_violation; _ } -> ()
+   | _ -> Alcotest.fail "expected valley drop");
+  (match Engine.forward (make_env ()) ~ingress:(Some 2) (mk_packet ~ttl:1 ()) with
+   | Engine.Drop { reason = Engine.Ttl_expired; _ } -> ()
+   | _ -> Alcotest.fail "expected ttl drop");
+  let stray =
+    Packet.make ~src:(Prefix.host_of_as 1 1) ~dst:(Prefix.host_of_as 999 1) ~flow:1 ()
+  in
+  (match Engine.forward (make_env ()) ~ingress:(Some 2) stray with
+   | Engine.Drop { reason = Engine.No_route; _ } -> ()
+   | _ -> Alcotest.fail "expected no-route drop");
+  Alcotest.(check int) "valley drop counted" (v0 + 1)
+    (Obs.counter_value "engine.drop.valley_violation");
+  Alcotest.(check int) "ttl drop counted" (t0 + 1)
+    (Obs.counter_value "engine.drop.ttl_expired");
+  Alcotest.(check int) "no-route drop counted" (n0 + 1)
+    (Obs.counter_value "engine.drop.no_route")
+
+let test_engine_deflection_counters () =
+  let ibgp0 = Obs.counter_value "engine.deflect.ibgp" in
+  let encap0 = Obs.counter_value "engine.encap" in
+  let ebgp0 = Obs.counter_value "engine.deflect.ebgp" in
+  let fb0 = Obs.counter_value "engine.tag_check.fallback" in
+  let env =
+    make_env ~deflect_buckets:Fib.buckets ~alt_kind:(Engine.Ibgp { peer_router = 55 }) ()
+  in
+  (match Engine.forward env ~ingress:(Some 2) (packet ()) with
+   | Engine.Send { port = 1; _ } -> ()
+   | _ -> Alcotest.fail "expected an iBGP deflection");
+  let env =
+    make_env ~deflect_buckets:Fib.buckets
+      ~alt_kind:(Engine.Ebgp { neighbor_as = 9; rel = Relationship.Customer })
+      ()
+  in
+  (match Engine.forward env ~ingress:(Some 2) (packet ()) with
+   | Engine.Send { port = 1; _ } -> ()
+   | _ -> Alcotest.fail "expected an eBGP deflection");
+  (* failing tag-check on a local deflection: counted as a fallback *)
+  let env =
+    make_env ~deflect_buckets:Fib.buckets
+      ~upstream_kind:(Engine.Ebgp { neighbor_as = 8; rel = Relationship.Peer })
+      ()
+  in
+  (match Engine.forward env ~ingress:(Some 2) (packet ()) with
+   | Engine.Send { port = 0; _ } -> ()
+   | _ -> Alcotest.fail "expected the default-port fallback");
+  Alcotest.(check int) "ibgp deflection counted" (ibgp0 + 1)
+    (Obs.counter_value "engine.deflect.ibgp");
+  Alcotest.(check int) "encapsulation counted" (encap0 + 1)
+    (Obs.counter_value "engine.encap");
+  Alcotest.(check int) "ebgp deflection counted" (ebgp0 + 1)
+    (Obs.counter_value "engine.deflect.ebgp");
+  Alcotest.(check int) "tag-check fallback counted" (fb0 + 1)
+    (Obs.counter_value "engine.tag_check.fallback")
+
 let test_engine_congestion_deflects_first_bucket () =
   (* instantaneous congestion deflects at least hash bucket 0 before the
      daemon ramps *)
@@ -320,6 +461,7 @@ let test_engine_local_delivery () =
       port_kind = (fun _ -> Engine.Local);
       is_congested = (fun _ -> false);
       next_hop_router = (fun _ -> None);
+      route_to_peer = (fun _ -> None);
     }
   in
   match Engine.forward env ~ingress:None (packet ()) with
@@ -445,6 +587,38 @@ let test_daemon_is_congested () =
   Alcotest.(check bool) "above" true (Daemon.is_congested 0.95);
   Alcotest.(check bool) "below" false (Daemon.is_congested 0.5)
 
+let test_daemon_alt_change_resets_buckets () =
+  (* Regression (deflection-state bug): when the daemon switches the
+     alternative mid-congestion, the accumulated split belonged to the
+     OLD alternative; the cold one must restart the ramp from zero. *)
+  let fib, buckets = daemon_fib () in
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  Alcotest.(check int) "ramped against the old alternative"
+    (2 * Daemon.default_config.Daemon.ramp_up)
+    (buckets ());
+  let changes0 = Obs.counter_value "daemon.alt_changed" in
+  let resets0 = Obs.counter_value "daemon.buckets_reset" in
+  Daemon.epoch ~fib
+    ~port_utilization:(fun p -> if p = 0 then 0.99 else 0.0)
+    ~choose_alt:(fun _ _ -> Some 2)
+    ();
+  (* reset to zero on the switch, then the same epoch starts the fresh
+     ramp: pre-fix the new alternative inherited 2*ramp_up + ramp_up *)
+  Alcotest.(check int) "cold alternative restarts the ramp"
+    Daemon.default_config.Daemon.ramp_up (buckets ());
+  Alcotest.(check (option int)) "alternative switched" (Some 2)
+    (Option.get (Fib.find fib (Prefix.of_as 2))).Fib.alt_port;
+  Alcotest.(check int) "switch counted" (changes0 + 1)
+    (Obs.counter_value "daemon.alt_changed");
+  Alcotest.(check int) "reset counted" (resets0 + 1)
+    (Obs.counter_value "daemon.buckets_reset");
+  (* keeping the same alternative is NOT a switch: no reset *)
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  Alcotest.(check int) "stable alternative keeps ramping"
+    (2 * Daemon.default_config.Daemon.ramp_up)
+    (buckets ())
+
 (* ---------- Alt_select ---------- *)
 
 let gadget_rt = lazy (let g = Generator.fig2a_gadget () in (g, Routing.compute g 0))
@@ -556,6 +730,8 @@ let () =
           Alcotest.test_case "longest prefix match" `Quick test_fib_lpm;
           Alcotest.test_case "set_alt" `Quick test_fib_set_alt;
           Alcotest.test_case "flow buckets" `Quick test_fib_buckets;
+          Alcotest.test_case "re-insert preserves deflection state" `Quick
+            test_fib_reinsert_preserves_deflection;
           Alcotest.test_case "deflects" `Quick test_fib_deflects;
         ] );
       ( "engine",
@@ -576,6 +752,12 @@ let () =
             test_engine_receives_deflected_packet;
           Alcotest.test_case "foreign tunnel passthrough" `Quick
             test_engine_foreign_tunnel_passthrough;
+          Alcotest.test_case "in-transit tunnel routed on outer header" `Quick
+            test_engine_transit_tunnel;
+          Alcotest.test_case "in-transit tunnel never deflected" `Quick
+            test_engine_transit_never_deflected;
+          Alcotest.test_case "drop-reason counters" `Quick test_engine_drop_counters;
+          Alcotest.test_case "deflection counters" `Quick test_engine_deflection_counters;
           Alcotest.test_case "instant congestion deflects bucket 0" `Quick
             test_engine_congestion_deflects_first_bucket;
           Alcotest.test_case "local delivery" `Quick test_engine_local_delivery;
@@ -591,6 +773,8 @@ let () =
           Alcotest.test_case "no alternative, no deflection" `Quick
             test_daemon_clears_without_alt;
           Alcotest.test_case "congestion predicate" `Quick test_daemon_is_congested;
+          Alcotest.test_case "alt change resets the ramp" `Quick
+            test_daemon_alt_change_resets_buckets;
         ] );
       ( "alt_select",
         [

@@ -179,7 +179,12 @@ let test_validation_agreement () =
   Alcotest.(check bool)
     (Printf.sprintf "mean ratio %.2f within 0.7..1.3" v.Mifo_exp.Validation.bgp_mean_ratio)
     true
-    (v.Mifo_exp.Validation.bgp_mean_ratio > 0.7 && v.Mifo_exp.Validation.bgp_mean_ratio < 1.3)
+    (v.Mifo_exp.Validation.bgp_mean_ratio > 0.7 && v.Mifo_exp.Validation.bgp_mean_ratio < 1.3);
+  Alcotest.(check bool) "invariants reported" true
+    (v.Mifo_exp.Validation.invariants <> []);
+  List.iter
+    (fun (name, ok) -> Alcotest.(check bool) ("invariant: " ^ name) true ok)
+    v.Mifo_exp.Validation.invariants
 
 let test_convergence_ablation () =
   let ctx = Lazy.force ctx in

@@ -47,6 +47,27 @@ let test_eventq_rejects_bad_time () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+(* Property: equal timestamps pop in insertion order whatever the
+   schedule interleaving - the simulators rely on this for
+   determinism. *)
+let prop_eventq_fifo_ties =
+  QCheck2.Test.make ~name:"eventq: FIFO among equal timestamps" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (int_bound 3))
+    (fun times ->
+      let q = Eventq.create () in
+      List.iteri (fun i t -> Eventq.schedule q ~time:(float_of_int t) (t, i)) times;
+      let rec drain acc =
+        match Eventq.next q with
+        | None -> List.rev acc
+        | Some (_, payload) -> drain (payload :: acc)
+      in
+      let rec ordered = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+          (t1 < t2 || (t1 = t2 && i1 < i2)) && ordered rest
+        | _ -> true
+      in
+      ordered (drain []))
+
 (* ---------- Maxmin ---------- *)
 
 let test_maxmin_two_flows_one_link () =
@@ -66,8 +87,34 @@ let test_maxmin_classic () =
   check_float "flow3" 8. rates.(2)
 
 let test_maxmin_empty_path () =
+  (* A flow crossing no link is unconstrained: infinity, explicitly —
+     not the largest capacity of links it never touches. *)
   let rates = Maxmin.allocate ~capacities:[| 7. |] ~flow_links:[| [||] |] in
-  check_float "unconstrained gets max capacity" 7. rates.(0)
+  Alcotest.(check bool) "unconstrained is infinite" true (rates.(0) = Float.infinity);
+  (* and it must not rob constrained flows of anything *)
+  let rates =
+    Maxmin.allocate ~capacities:[| 7. |] ~flow_links:[| [||]; [| 0 |]; [| 0 |] |]
+  in
+  Alcotest.(check bool) "still infinite beside others" true
+    (rates.(0) = Float.infinity);
+  check_float "others unaffected" 3.5 rates.(1);
+  check_float "others unaffected" 3.5 rates.(2)
+
+let test_maxmin_all_empty_flows () =
+  let rates = Maxmin.allocate ~capacities:[| 5.; 2. |] ~flow_links:[| [||]; [||] |] in
+  Array.iter
+    (fun r -> Alcotest.(check bool) "all unconstrained" true (r = Float.infinity))
+    rates;
+  (* no links at all: same answer, no division by a fold over nothing *)
+  let rates = Maxmin.allocate ~capacities:[||] ~flow_links:[| [||] |] in
+  Alcotest.(check bool) "no links" true (rates.(0) = Float.infinity);
+  let alloc =
+    Maxmin.link_allocation ~capacities:[| 5.; 2. |]
+      ~flow_links:[| [||]; [||] |]
+      ~rates:(Maxmin.allocate ~capacities:[| 5.; 2. |] ~flow_links:[| [||]; [||] |])
+  in
+  check_float "nothing allocated" 0. alloc.(0);
+  check_float "nothing allocated" 0. alloc.(1)
 
 let test_maxmin_duplicate_links_counted_once () =
   let rates = Maxmin.allocate ~capacities:[| 6. |] ~flow_links:[| [| 0; 0 |]; [| 0 |] |] in
@@ -196,6 +243,45 @@ let test_tcp_receiver_reorder () =
   Alcotest.(check int) "gap held" 1 (Tcp.Receiver.on_data r 3);
   Alcotest.(check int) "gap filled advances past buffer" 4 (Tcp.Receiver.on_data r 1);
   Alcotest.(check int) "duplicate is harmless" 4 (Tcp.Receiver.on_data r 2)
+
+(* Property: whatever event sequence the network throws at a sender -
+   spurious ACKs beyond what was sent, timeouts, adversarial RTT samples
+   (zero, negative, nan, huge) - the core safety invariants hold:
+   snd_una never regresses, cwnd stays >= 1 segment, and the RTO stays
+   inside its clamp. *)
+let tcp_op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        return `Send;
+        map (fun a -> `Ack a) (int_bound 60);
+        return `Timeout;
+        map
+          (fun r -> `Rtt r)
+          (oneofl [ -1.; 0.; Float.nan; 1e-9; 1e-6; 0.004; 0.05; 1.; 10.; 1000. ]);
+      ])
+
+let prop_tcp_sender_invariants =
+  QCheck2.Test.make ~name:"tcp sender: snd_una monotone, cwnd >= 1, rto clamped"
+    ~count:500
+    QCheck2.Gen.(list_size (int_range 1 200) tcp_op_gen)
+    (fun ops ->
+      let s = Tcp.Sender.create ~total:50 in
+      List.for_all
+        (fun op ->
+          let una0 = Tcp.Sender.snd_una s in
+          (match op with
+           | `Send -> ignore (Tcp.Sender.next_to_send s)
+           | `Ack a -> ignore (Tcp.Sender.on_ack s a)
+           | `Timeout ->
+             let gen = Tcp.Sender.arm_timer s in
+             ignore (Tcp.Sender.on_timeout s ~gen)
+           | `Rtt r -> Tcp.Sender.observe_rtt s r);
+          Tcp.Sender.snd_una s >= una0
+          && Tcp.Sender.cwnd s >= 1.
+          && Tcp.Sender.rto s >= Tcp.Sender.min_rto
+          && Tcp.Sender.rto s <= Tcp.Sender.max_rto)
+        ops)
 
 (* ---------- Flowsim ---------- *)
 
@@ -411,6 +497,94 @@ let test_packetsim_ttl_on_routing_loop () =
   let c = Packetsim.counters sim in
   Alcotest.(check bool) "loop killed by ttl" true (c.Packetsim.dropped_ttl > 0)
 
+let test_packetsim_tunnel_transit () =
+  (* Regression (tunnel-transit bug).  AS 1 has three border routers
+     r1 -- r2 -- r3 in a line (non-full-mesh iBGP, so r1's tunnel to r3
+     transits r2) plus an eBGP neighbor rx.  r1's default egress for the
+     destination is congested-by-decree (deflect_buckets pinned at max),
+     so every packet is tunneled to r3 and crosses r2 IN TRANSIT.  r2
+     itself also deflects the destination prefix toward its eBGP
+     alternative.  Pre-fix, r2 looked the tunneled packet up by its
+     INNER destination, hash-deflected it out the eBGP port still
+     encapsulated, and the transfer stalled at a no-route neighbor;
+     post-fix it is routed on the outer header to r3, decapsulated there
+     and delivered. *)
+  let sim = Packetsim.create () in
+  let h1 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 1 1) in
+  let h2 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 2 1) in
+  let r1 = Packetsim.add_router sim ~as_id:1 in
+  let r2 = Packetsim.add_router sim ~as_id:1 in
+  let r3 = Packetsim.add_router sim ~as_id:1 in
+  let rx = Packetsim.add_router sim ~as_id:3 in
+  let local = Engine.Local in
+  let rate = 1e9 in
+  let _, r1h = Packetsim.connect sim ~a:h1 ~b:r1 ~kind_ab:local ~kind_ba:local ~rate () in
+  let _, r3h = Packetsim.connect sim ~a:h2 ~b:r3 ~kind_ab:local ~kind_ba:local ~rate () in
+  (* r1 reaches iBGP peer r3 through r2: the port toward r2 is how r1
+     sees the path to r3, and r2 in turn owns a direct port to r3 *)
+  let r1_r2, r2_r1 =
+    Packetsim.connect sim ~a:r1 ~b:r2
+      ~kind_ab:(Engine.Ibgp { peer_router = r3 })
+      ~kind_ba:(Engine.Ibgp { peer_router = r1 })
+      ~rate ()
+  in
+  let r2_r3, r3_r2 =
+    Packetsim.connect sim ~a:r2 ~b:r3
+      ~kind_ab:(Engine.Ibgp { peer_router = r3 })
+      ~kind_ba:(Engine.Ibgp { peer_router = r2 })
+      ~rate ()
+  in
+  (* eBGP customer rx: r1's default egress and r2's tempting alternative.
+     A CUSTOMER, so the tag-check alone would not stop the leak. *)
+  let r1_rx, _ =
+    Packetsim.connect sim ~a:r1 ~b:rx
+      ~kind_ab:(Engine.Ebgp { neighbor_as = 3; rel = Relationship.Customer })
+      ~kind_ba:(Engine.Ebgp { neighbor_as = 1; rel = Relationship.Provider })
+      ~rate ()
+  in
+  let r2_rx, _ =
+    Packetsim.connect sim ~a:r2 ~b:rx
+      ~kind_ab:(Engine.Ebgp { neighbor_as = 3; rel = Relationship.Customer })
+      ~kind_ba:(Engine.Ebgp { neighbor_as = 1; rel = Relationship.Provider })
+      ~rate ()
+  in
+  let pin fib prefix ~out_port ~alt_port =
+    Fib.insert fib prefix ~out_port ~alt_port ();
+    (Option.get (Fib.find fib prefix)).Fib.deflect_buckets <- Fib.buckets
+  in
+  let dst = Prefix.of_as 2 and back = Prefix.of_as 1 in
+  (* r1: default egress rx (a dead end), alternative = tunnel to r3 *)
+  pin (Packetsim.fib sim r1) dst ~out_port:r1_rx ~alt_port:r1_r2;
+  Fib.insert (Packetsim.fib sim r1) back ~out_port:r1h ();
+  (* r2: also deflecting the destination prefix toward its eBGP port *)
+  pin (Packetsim.fib sim r2) dst ~out_port:r2_r3 ~alt_port:r2_rx;
+  Fib.insert (Packetsim.fib sim r2) back ~out_port:r2_r1 ();
+  Fib.insert (Packetsim.fib sim r3) dst ~out_port:r3h ();
+  Fib.insert (Packetsim.fib sim r3) back ~out_port:r3_r2 ();
+  (* rx: no route anywhere - a leaked tunnel dies here *)
+  let transit0 = Mifo_util.Obs.counter_value "engine.transit.routed" in
+  let transits = ref 0 and leaked = ref 0 in
+  Packetsim.set_tracer sim (fun _ node p action ->
+      match action with
+      | Engine.Send { port; packet = p' } ->
+        if node = r2 && p.Mifo_core.Packet.encap <> None then begin
+          incr transits;
+          if port <> r2_r3 || p'.Mifo_core.Packet.encap = None then incr leaked
+        end
+      | Engine.Drop _ -> ());
+  let _ = Packetsim.add_flow sim ~src:h1 ~dst:h2 ~bytes:100_000 ~start:0. in
+  Packetsim.run ~until:1.0 sim;
+  Alcotest.(check bool) "tunneled packets crossed r2" true (!transits > 0);
+  Alcotest.(check int) "none deflected off the tunnel path" 0 !leaked;
+  (match (Packetsim.flow_results sim).(0).Packetsim.finish with
+   | Some _ -> ()
+   | None -> Alcotest.fail "transfer stalled: tunnel leaked out of the AS");
+  let c = Packetsim.counters sim in
+  Alcotest.(check int) "all segments delivered" 100 c.Packetsim.delivered_packets;
+  Alcotest.(check int) "nothing lost to no-route" 0 c.Packetsim.dropped_no_route;
+  Alcotest.(check bool) "transit hops counted" true
+    (Mifo_util.Obs.counter_value "engine.transit.routed" > transit0)
+
 let () =
   Alcotest.run "mifo_netsim"
     [
@@ -419,12 +593,14 @@ let () =
           Alcotest.test_case "time order" `Quick test_eventq_order;
           Alcotest.test_case "stable on ties" `Quick test_eventq_stable;
           Alcotest.test_case "rejects bad times" `Quick test_eventq_rejects_bad_time;
+          QCheck_alcotest.to_alcotest prop_eventq_fifo_ties;
         ] );
       ( "maxmin",
         [
           Alcotest.test_case "two flows one link" `Quick test_maxmin_two_flows_one_link;
           Alcotest.test_case "classic three flows" `Quick test_maxmin_classic;
           Alcotest.test_case "empty path" `Quick test_maxmin_empty_path;
+          Alcotest.test_case "all flows empty" `Quick test_maxmin_all_empty_flows;
           Alcotest.test_case "duplicate links" `Quick test_maxmin_duplicate_links_counted_once;
           Alcotest.test_case "input validation" `Quick test_maxmin_rejects_bad_input;
           QCheck_alcotest.to_alcotest prop_maxmin_feasible;
@@ -439,6 +615,7 @@ let () =
           Alcotest.test_case "completion" `Quick test_tcp_done;
           Alcotest.test_case "rtt estimator" `Quick test_tcp_rtt_estimator;
           Alcotest.test_case "receiver reordering" `Quick test_tcp_receiver_reorder;
+          QCheck_alcotest.to_alcotest prop_tcp_sender_invariants;
         ] );
       ( "flowsim",
         [
@@ -459,5 +636,7 @@ let () =
           Alcotest.test_case "goodput series conserves bytes" `Quick test_packetsim_goodput_series;
           Alcotest.test_case "two flows share a link" `Quick test_packetsim_two_flows_share;
           Alcotest.test_case "routing loop dies by ttl" `Quick test_packetsim_ttl_on_routing_loop;
+          Alcotest.test_case "tunnel transits an intermediate router" `Quick
+            test_packetsim_tunnel_transit;
         ] );
     ]

@@ -8,6 +8,7 @@ module Heap = Mifo_util.Heap
 module Union_find = Mifo_util.Union_find
 module Vec = Mifo_util.Vec
 module Table = Mifo_util.Table
+module Obs = Mifo_util.Obs
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -247,6 +248,128 @@ let test_render_shape () =
   let lines = String.split_on_char '\n' (String.trim out) in
   Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines)
 
+(* ---------- Obs ---------- *)
+
+let test_obs_counters_gauges () =
+  let c = Obs.counter "test.obs.counter" in
+  let v0 = Obs.value c in
+  Obs.incr c;
+  Obs.add c 4;
+  Alcotest.(check int) "incr + add" (v0 + 5) (Obs.value c);
+  Alcotest.(check int) "readable by name" (v0 + 5) (Obs.counter_value "test.obs.counter");
+  Alcotest.(check int) "unknown counter reads 0" 0 (Obs.counter_value "test.obs.nope");
+  Alcotest.(check bool) "same name, same cell" true (Obs.counter "test.obs.counter" == c);
+  let g = Obs.gauge "test.obs.gauge" in
+  Alcotest.(check bool) "fresh gauge is nan" true
+    (Float.is_nan (Obs.gauge_value "test.obs.gauge"));
+  Obs.add_gauge g 1.5;
+  Obs.add_gauge g 1.0;
+  check_float "accumulates from zero" 2.5 (Obs.gauge_value "test.obs.gauge");
+  Obs.set_gauge g 7.0;
+  check_float "set overrides" 7.0 (Obs.gauge_value "test.obs.gauge")
+
+let test_obs_histogram () =
+  let h = Obs.histogram ~bounds:[| 1.; 2.; 4. |] "test.obs.hist" in
+  List.iter (Obs.observe h) [ 0.5; 1.; 1.5; 3.; 100. ];
+  Alcotest.(check int) "count" 5 (Obs.histogram_count "test.obs.hist");
+  (* bucket placement visible in the snapshot: bounds are inclusive upper
+     bounds plus an overflow bucket *)
+  let j = Obs.Json.parse (Obs.snapshot_json ()) in
+  (match Obs.Json.member "histograms" j with
+   | Some (Obs.Json.Obj kvs) ->
+     (match List.assoc_opt "test.obs.hist" kvs with
+      | Some hj ->
+        (match Obs.Json.member "counts" hj with
+         | Some (Obs.Json.Arr counts) ->
+           Alcotest.(check (list (float 1e-9))) "bucket placement" [ 2.; 1.; 1.; 1. ]
+             (List.map (function Obs.Json.Num x -> x | _ -> Float.nan) counts)
+         | _ -> Alcotest.fail "no counts array")
+      | None -> Alcotest.fail "histogram missing from snapshot")
+   | _ -> Alcotest.fail "no histograms object");
+  Alcotest.(check bool) "non-increasing bounds rejected" true
+    (match Obs.histogram ~bounds:[| 2.; 1. |] "test.obs.hist2" with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_obs_trace_ring () =
+  Obs.set_trace_capacity 3;
+  Alcotest.(check bool) "enabled" true (Obs.trace_enabled ());
+  for i = 0 to 4 do
+    Obs.event ~t:(float_of_int i) "tick" [ ("i", Obs.Int i) ]
+  done;
+  let evs = Obs.events () in
+  Alcotest.(check int) "ring bounds retention" 3 (List.length evs);
+  (match evs with
+   | (seq, Some t, "tick", [ ("i", Obs.Int i) ]) :: _ ->
+     Alcotest.(check int) "oldest kept is #2" 2 seq;
+     check_float "time carried" 2. t;
+     Alcotest.(check int) "field carried" 2 i
+   | _ -> Alcotest.fail "unexpected event shape");
+  let lines = String.split_on_char '\n' (String.trim (Obs.trace_jsonl ())) in
+  Alcotest.(check int) "three JSONL lines" 3 (List.length lines);
+  List.iteri
+    (fun k line ->
+      match Obs.Json.member "seq" (Obs.Json.parse line) with
+      | Some (Obs.Json.Num s) ->
+        Alcotest.(check int) "seq ascending" (2 + k) (int_of_float s)
+      | _ -> Alcotest.fail "seq missing")
+    lines;
+  Obs.set_trace_capacity 0;
+  Alcotest.(check bool) "disabled" false (Obs.trace_enabled ());
+  Obs.event "ignored" [];
+  Alcotest.(check int) "no events when disabled" 0 (List.length (Obs.events ()))
+
+let test_obs_snapshot_parses () =
+  let c = Obs.counter "test.obs.snap" in
+  Obs.incr c;
+  let j = Obs.Json.parse (Obs.snapshot_json ()) in
+  match Obs.Json.member "counters" j with
+  | Some (Obs.Json.Obj kvs) ->
+    Alcotest.(check bool) "counter present with its value" true
+      (match List.assoc_opt "test.obs.snap" kvs with
+       | Some (Obs.Json.Num v) -> v >= 1.
+       | _ -> false);
+    let names = List.map fst kvs in
+    Alcotest.(check (list string)) "names sorted (deterministic output)"
+      (List.sort compare names) names
+  | _ -> Alcotest.fail "no counters object"
+
+let test_obs_json_roundtrip () =
+  let open Obs.Json in
+  let j =
+    Obj
+      [
+        ("a", Num 1.);
+        ("b", Str "x\"y\n");
+        ("c", Arr [ Bool true; Null; Num 2.5 ]);
+        ("d", Obj []);
+      ]
+  in
+  Alcotest.(check bool) "round trip" true (parse (to_string j) = j);
+  Alcotest.(check bool) "whitespace and escapes" true
+    (parse "  { \"k\" : [ 1 , -2.5e1 , \"\\u0041\" ] }  "
+     = Obj [ ("k", Arr [ Num 1.; Num (-25.); Str "A" ]) ]);
+  Alcotest.(check string) "non-finite floats emit null" "null" (to_string (Num Float.nan));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" s) true
+        (match parse s with
+         | exception Failure _ -> true
+         | _ -> false))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_obs_time_phase () =
+  let r = Obs.time_phase "testphase" (fun () -> 42) in
+  Alcotest.(check int) "result passed through" 42 r;
+  Alcotest.(check int) "run counted" 1 (Obs.counter_value "phase.testphase.runs");
+  Alcotest.(check bool) "seconds recorded" true
+    (Obs.gauge_value "phase.testphase.seconds" >= 0.);
+  (match Obs.time_phase "testphase" (fun () -> failwith "boom") with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check int) "raising run still counted" 2
+    (Obs.counter_value "phase.testphase.runs")
+
 (* ---------- Parallel ---------- *)
 
 let with_pool jobs f =
@@ -363,6 +486,15 @@ let () =
           Alcotest.test_case "fmt_float" `Quick test_fmt_float;
           Alcotest.test_case "fmt_percent" `Quick test_fmt_percent;
           Alcotest.test_case "render shape" `Quick test_render_shape;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_obs_counters_gauges;
+          Alcotest.test_case "histogram buckets" `Quick test_obs_histogram;
+          Alcotest.test_case "trace ring buffer" `Quick test_obs_trace_ring;
+          Alcotest.test_case "snapshot is valid sorted JSON" `Quick test_obs_snapshot_parses;
+          Alcotest.test_case "json round trip + rejection" `Quick test_obs_json_roundtrip;
+          Alcotest.test_case "phase timing" `Quick test_obs_time_phase;
         ] );
       ( "parallel",
         [
