@@ -1,4 +1,4 @@
-.PHONY: all build test fmt-check metrics-smoke ci bench clean
+.PHONY: all build test fmt-check metrics-smoke lint static-check ci bench clean
 
 all: build
 
@@ -32,9 +32,28 @@ metrics-smoke:
 		echo "metrics-smoke: python3 not installed, skipping JSON parse check"; \
 	fi
 
+# Determinism / domain-safety lint over the sources (bench/ is exempt).
+lint:
+	dune exec bin/mifo_lint.exe
+
+# Static data-plane verifier gate: the default configuration must verify
+# clean, and the Tag-Check ablation must fail WITH a concrete loop
+# counterexample (exit 1 + a forwarding-loop violation in the JSON).
+static-check:
+	dune exec bin/mifo_sim.exe -- check --ases 150 --seed 42 >/dev/null
+	@out=$$(dune exec bin/mifo_sim.exe -- check --gadget --no-tag-check 2>/dev/null); \
+	if [ $$? -eq 0 ]; then \
+		echo "static-check: ablated gadget unexpectedly verified clean"; exit 1; \
+	fi; \
+	case "$$out" in \
+	*forwarding-loop*) echo "static-check: ablation fails with a machine-checked loop";; \
+	*) echo "static-check: ablation failed without a loop counterexample"; exit 1;; \
+	esac
+
 # Tier-1 gate: everything compiles, the whole suite passes, formatting is
-# clean (when ocamlformat is available) and the metrics surface works.
-ci: build test fmt-check metrics-smoke
+# clean (when ocamlformat is available), the metrics surface works, the
+# sources pass the determinism lint and the static verifier gate holds.
+ci: build test fmt-check metrics-smoke lint static-check
 
 bench:
 	dune exec bench/main.exe

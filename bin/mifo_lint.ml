@@ -1,0 +1,96 @@
+(* mifo-lint: determinism and domain-safety gate, stdlib only.
+
+   Two rule families, enforced over every .ml file under the given
+   directories (default: lib bin test examples — bench/ is exempt, its
+   wall-clock timing is the point):
+
+   - Determinism: the simulators must be bit-reproducible from their
+     seeds, so wall-clock reads ([Unix.gettimeofday]) and the global
+     self-seeded PRNG ([Random.self_init], unseeded [Random.int] & co.)
+     are banned; randomness goes through the seeded [Mifo_util.Prng].
+
+   - Domain safety: modules whose values are shared across domains by
+     design (Routing, Routing_table, Obs) may not use a bare [Hashtbl]
+     without a [Mutex] in the same file — the OCaml runtime does not
+     make [Hashtbl] atomic, and a silent race there corrupts routing
+     state under the multicore fan-out.
+
+   A finding can be waived for one line with a [lint:allow] marker.
+   Exit status: 0 clean, 1 findings. *)
+
+let banned_substrings =
+  [
+    ("Unix.gettimeofday", "wall-clock read breaks seeded determinism");
+    ("Unix.time", "wall-clock read breaks seeded determinism");
+    ("Random.self_init", "self-seeded global PRNG is nondeterministic");
+    ("Random.State.make_self_init", "self-seeded PRNG state is nondeterministic");
+    ("Random.int", "unseeded global PRNG; use Mifo_util.Prng");
+    ("Random.float", "unseeded global PRNG; use Mifo_util.Prng");
+    ("Random.bool", "unseeded global PRNG; use Mifo_util.Prng");
+    ("Random.bits", "unseeded global PRNG; use Mifo_util.Prng");
+    ("Random.full_int", "unseeded global PRNG; use Mifo_util.Prng");
+    ("Random.nativeint", "unseeded global PRNG; use Mifo_util.Prng");
+  ]
+
+(* Files shared across domains: a bare Hashtbl here needs a Mutex. *)
+let domain_shared = [ "routing.ml"; "routing_table.ml"; "obs.ml" ]
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let findings = ref 0
+
+let report path line_no line msg =
+  incr findings;
+  Printf.printf "%s:%d: %s\n  %s\n" path line_no msg (String.trim line)
+
+let lint_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = Array.of_list (List.rev !lines) in
+  Array.iteri
+    (fun i line ->
+      if not (contains ~sub:"lint:allow" line) then
+        List.iter
+          (fun (sub, msg) ->
+            if contains ~sub line then report path (i + 1) line (sub ^ ": " ^ msg))
+          banned_substrings)
+    lines;
+  if List.mem (Filename.basename path) domain_shared then begin
+    let whole = String.concat "\n" (Array.to_list lines) in
+    if contains ~sub:"Hashtbl." whole && not (contains ~sub:"Mutex" whole) then begin
+      incr findings;
+      Printf.printf "%s: bare Hashtbl in a domain-shared module without a Mutex\n" path
+    end
+  end
+
+let rec walk path =
+  if Sys.is_directory path then
+    Array.iter
+      (fun entry ->
+        if entry <> "_build" && entry <> "bench" then walk (Filename.concat path entry))
+      (Sys.readdir path)
+  else if
+    Filename.check_suffix path ".ml" && Filename.basename path <> "mifo_lint.ml"
+    (* the rule table above would match itself *)
+  then lint_file path
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "lib"; "bin"; "test"; "examples" ]
+  in
+  List.iter (fun d -> if Sys.file_exists d then walk d) dirs;
+  if !findings > 0 then begin
+    Printf.printf "mifo-lint: %d finding(s)\n" !findings;
+    exit 1
+  end
+  else print_endline "mifo-lint: clean"

@@ -24,8 +24,10 @@ let describe = function
        | Loop_walk.No_route -> "no route"
        | Loop_walk.Dead_end -> "dead end")
       (String.concat " -> " (List.map string_of_int path))
-  | Loop_walk.Looped path ->
-    Printf.sprintf "LOOPED: %s ..." (String.concat " -> " (List.map string_of_int path))
+  | Loop_walk.Looped { path; cycle } ->
+    Printf.sprintf "LOOPED: %s (cycle %s)"
+      (String.concat " -> " (List.map string_of_int path))
+      (String.concat " -> " (List.map string_of_int cycle))
 
 let () =
   let g = Generator.fig2a_gadget () in

@@ -1,0 +1,181 @@
+module As_graph = Mifo_topology.As_graph
+module Routing = Mifo_bgp.Routing
+module Policy = Mifo_core.Policy
+module Loop_walk = Mifo_core.Loop_walk
+
+type move = { at : int; tag : bool; via : int; deflected : bool }
+
+type counterexample = {
+  dest : int;
+  entry : int list;
+  cycle : int list;
+  entry_moves : move list;
+  cycle_moves : move list;
+}
+
+type loop_result = { counterexample : counterexample option; states_explored : int }
+
+(* Tag carried after the hop [from -> w]: rewritten at the entering
+   point of [w] to "the upstream neighbor is my customer". *)
+let tag_after g ~from w = Policy.tag_of_upstream (As_graph.rel_exn g w from)
+
+(* Outgoing transitions of product state (v, tag): the default route is
+   always available and never checked; every other RIB entry is a
+   deflection gated by the exit-point Tag-Check. *)
+let edges ~tag_check g rt v tag =
+  if v = Routing.dest rt then []
+  else
+    match Routing.rib rt v with
+    | [] -> []
+    | default :: alts ->
+      let edge deflected (e : Routing.rib_entry) =
+        ({ at = v; tag; via = e.via; deflected }, e.via, tag_after g ~from:v e.via)
+      in
+      edge false default
+      :: List.filter_map
+           (fun (e : Routing.rib_entry) ->
+             if (not tag_check) || Policy.check ~tag ~downstream:e.rel then
+               Some (edge true e)
+             else None)
+           alts
+
+type frame = {
+  v : int;
+  tag : bool;
+  entered_by : move option;  (* the move taken at the parent frame *)
+  mutable rest : (move * int * bool) list;
+}
+
+let find_loop ?(tag_check = true) g rt =
+  let n = As_graph.n g in
+  let dest = Routing.dest rt in
+  let enc v tag = (2 * v) + if tag then 1 else 0 in
+  let color = Array.make (2 * n) 0 in
+  (* index of the state's frame in the current DFS path, bottom-first *)
+  let pos = Array.make (2 * n) (-1) in
+  let explored = ref 0 in
+  let result = ref None in
+  let path = ref [] (* top of the DFS path first *) in
+  let depth = ref 0 in
+  let push v tag entered_by =
+    let s = enc v tag in
+    color.(s) <- 1;
+    pos.(s) <- !depth;
+    incr depth;
+    incr explored;
+    path := { v; tag; entered_by; rest = edges ~tag_check g rt v tag } :: !path
+  in
+  let pop () =
+    match !path with
+    | [] -> ()
+    | f :: rest ->
+      let s = enc f.v f.tag in
+      color.(s) <- 2;
+      pos.(s) <- -1;
+      decr depth;
+      path := rest
+  in
+  (* A gray target at path index [target_pos] closes a cycle: frames
+     [0 .. target_pos-1] are the entry, [target_pos ..] the cycle, and
+     the move entering frame i+1 is the move taken AT frame i. *)
+  let extract closing_move target_pos =
+    let frames = Array.of_list (List.rev !path) in
+    let k = Array.length frames in
+    let move_at i =
+      if i + 1 < k then
+        match frames.(i + 1).entered_by with Some m -> m | None -> assert false
+      else closing_move
+    in
+    let entry = ref [] and entry_moves = ref [] in
+    let cycle = ref [] and cycle_moves = ref [] in
+    for i = k - 1 downto 0 do
+      if i < target_pos then begin
+        entry := frames.(i).v :: !entry;
+        entry_moves := move_at i :: !entry_moves
+      end
+      else begin
+        cycle := frames.(i).v :: !cycle;
+        cycle_moves := move_at i :: !cycle_moves
+      end
+    done;
+    {
+      dest;
+      entry = !entry;
+      cycle = !cycle @ [ frames.(target_pos).v ];
+      entry_moves = !entry_moves;
+      cycle_moves = !cycle_moves;
+    }
+  in
+  let rec dfs () =
+    if Option.is_none !result then
+      match !path with
+      | [] -> ()
+      | f :: _ ->
+        (match f.rest with
+        | [] -> pop ()
+        | (m, w, wtag) :: rest ->
+          f.rest <- rest;
+          let s = enc w wtag in
+          if color.(s) = 1 then result := Some (extract m pos.(s))
+          else if color.(s) = 0 then push w wtag (Some m));
+        dfs ()
+  in
+  (* Roots: every possible source with a freshly originated packet,
+     which carries the source tag (it may use any of its RIB routes). *)
+  let v = ref 0 in
+  while Option.is_none !result && !v < n do
+    if !v <> dest && color.(enc !v Policy.source_tag) = 0 then begin
+      push !v Policy.source_tag None;
+      dfs ()
+    end;
+    incr v
+  done;
+  { counterexample = !result; states_explored = !explored }
+
+let replay ?(tag_check = true) g rt cx =
+  let moves = Array.of_list (cx.entry_moves @ cx.cycle_moves) in
+  let total = Array.length moves in
+  let cyc_len = List.length cx.cycle_moves in
+  if cyc_len = 0 then invalid_arg "As_check.replay: counterexample has an empty cycle";
+  let i = ref 0 in
+  let decide ~as_id:_ ~upstream:_ ~entries:_ =
+    let m =
+      if !i < total then moves.(!i)
+      else moves.(total - cyc_len + ((!i - total) mod cyc_len))
+    in
+    incr i;
+    if m.deflected then Loop_walk.Deflect m.via else Loop_walk.Default
+  in
+  let src =
+    match cx.entry with v :: _ -> v | [] -> List.hd cx.cycle
+  in
+  (* Generous budget: the walk revisits an (AS, upstream) state within
+     one extra turn of the cycle, well inside this bound. *)
+  let max_hops = 2 * (total + cyc_len) + 8 in
+  Loop_walk.walk ~tag_check ~max_hops g rt ~decide ~src
+
+let check_paths g rt =
+  let dest = Routing.dest rt in
+  let n = As_graph.n g in
+  let violations = ref [] in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if v <> dest then
+      if not (Routing.reachable rt v) then
+        violations := Report.Unreachable { dest; node = v } :: !violations
+      else
+        List.iter
+          (fun ((e : Routing.rib_entry), p) ->
+            incr count;
+            let actual = List.length p - 1 in
+            if actual <> e.len then
+              violations :=
+                Report.Rib_len_mismatch
+                  { dest; at = v; via = e.via; expected = e.len; actual }
+                :: !violations;
+            if not (As_graph.path_is_valley_free g p) then
+              violations :=
+                Report.Valley_path { dest; at = v; via = e.via; path = p } :: !violations)
+          (Routing.rib_paths rt v)
+  done;
+  (List.rev !violations, !count)

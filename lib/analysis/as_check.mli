@@ -1,0 +1,56 @@
+(** AS-level static verification: the deflection product automaton.
+
+    For one destination, the reachable forwarding behaviours of MIFO's
+    data plane form a finite automaton over product states
+    [(AS, tag bit)]: from every AS the packet may follow the default
+    route (never checked) or deflect onto any other RIB route, gated by
+    the exit-point Tag-Check; the tag is rewritten at each entering
+    point to "the upstream neighbor is my customer" ({!Mifo_core.Policy}).
+    Loop-freedom of the data plane (the paper's Theorem, Section III-A3)
+    is exactly acyclicity of this automaton from every source state —
+    checked here exhaustively, with a concrete counterexample on
+    failure that replays through the dynamic walker. *)
+
+type move = {
+  at : int;  (** the AS making the decision *)
+  tag : bool;  (** the tag the packet carries there *)
+  via : int;  (** the chosen next-hop AS *)
+  deflected : bool;  (** [false] = default route, [true] = deflection *)
+}
+
+type counterexample = {
+  dest : int;
+  entry : int list;  (** ASes from a source up to (excluding) the cycle head *)
+  cycle : int list;  (** the cycle, head repeated last, e.g. [[1;2;3;1]] *)
+  entry_moves : move list;  (** one decision per entry AS *)
+  cycle_moves : move list;  (** one decision per cycle hop *)
+}
+
+type loop_result = { counterexample : counterexample option; states_explored : int }
+
+val find_loop : ?tag_check:bool -> Mifo_topology.As_graph.t -> Mifo_bgp.Routing.t -> loop_result
+(** Exhaustive DFS over the product automaton from every source state
+    [(s, source_tag)].  [None] counterexample = the data plane is
+    loop-free toward this destination for {e every} deflection strategy
+    and congestion pattern.  With [tag_check:false] the deflection gate
+    is removed — the legacy multi-path ablation, which loops on the
+    Fig. 2(a) gadget.  O(states + transitions) = O(V + E). *)
+
+val replay :
+  ?tag_check:bool ->
+  Mifo_topology.As_graph.t ->
+  Mifo_bgp.Routing.t ->
+  counterexample ->
+  Mifo_core.Loop_walk.outcome
+(** Drive {!Mifo_core.Loop_walk.walk} with the counterexample's decision
+    script (cycling its cycle moves).  A genuine counterexample must
+    come back [Looped] — the machine check the ablation harness and the
+    tests assert.
+    @raise Invalid_argument on an empty cycle. *)
+
+val check_paths :
+  Mifo_topology.As_graph.t -> Mifo_bgp.Routing.t -> Report.violation list * int
+(** Audit every RIB-derivable path ({!Mifo_bgp.Routing.rib_paths}) of
+    every AS: valley-free compliance and advertised-length agreement,
+    plus reachability.  Returns the violations and the number of paths
+    checked. *)

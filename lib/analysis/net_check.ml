@@ -1,0 +1,272 @@
+module Packetsim = Mifo_netsim.Packetsim
+module Engine = Mifo_core.Engine
+module Policy = Mifo_core.Policy
+module Fib = Mifo_core.Fib
+module Prefix = Mifo_bgp.Prefix
+module Routing = Mifo_bgp.Routing
+
+(* ---------- FIB / RIB consistency ---------- *)
+
+let audit_fibs sim ~routing =
+  let violations = ref [] in
+  let checked = ref 0 in
+  let add v = violations := v :: !violations in
+  let dest_of_prefix p =
+    List.find_opt (fun (d, _) -> Prefix.equal (Prefix.of_as d) p) routing
+  in
+  for id = 0 to Packetsim.node_count sim - 1 do
+    match Packetsim.node_view sim id with
+    | Packetsim.Host_view _ -> ()
+    | Packetsim.Router_view { as_id } ->
+      Fib.iter (Packetsim.fib sim id) (fun prefix entry ->
+          incr checked;
+          let pstr = Prefix.to_string prefix in
+          let dangling port reason =
+            add (Report.Dangling_fib_port { node = id; prefix = pstr; port; reason })
+          in
+          let check_port ~role port =
+            if port < 0 || port >= Packetsim.port_count sim id then
+              dangling port (role ^ " port out of range")
+            else begin
+              let peer, _ = Packetsim.port_peer sim id port in
+              match Packetsim.port_kind sim id port with
+              | Engine.Local -> (
+                match Packetsim.node_view sim peer with
+                | Packetsim.Host_view { addr } ->
+                  if not (Prefix.contains prefix addr) then
+                    dangling port (role ^ " local port's host lies outside the prefix")
+                | Packetsim.Router_view _ ->
+                  dangling port (role ^ " local port wired to a router"))
+              | Engine.Ebgp { neighbor_as; _ } -> (
+                (match Packetsim.node_view sim peer with
+                 | Packetsim.Router_view { as_id = peer_as } ->
+                   if peer_as <> neighbor_as then
+                     dangling port (role ^ " eBGP port's peer AS mismatches the wiring")
+                 | Packetsim.Host_view _ ->
+                   dangling port (role ^ " eBGP port wired to a host"));
+                match dest_of_prefix prefix with
+                | None -> ()
+                | Some (d, rt) ->
+                  if
+                    as_id <> d
+                    && not
+                         (List.exists
+                            (fun (e : Routing.rib_entry) -> e.Routing.via = neighbor_as)
+                            (Routing.rib rt as_id))
+                  then
+                    dangling port
+                      (Printf.sprintf "%s eBGP port not backed by a RIB route via AS %d"
+                         role neighbor_as))
+              | Engine.Ibgp { peer_router } ->
+                if peer <> peer_router then
+                  dangling port (role ^ " iBGP port wired to a different router")
+                else begin
+                  (match Packetsim.node_view sim peer with
+                   | Packetsim.Router_view { as_id = peer_as } ->
+                     if peer_as <> as_id then
+                       dangling port (role ^ " iBGP session crosses an AS boundary");
+                     if Packetsim.ibgp_route sim id peer_router = None then
+                       dangling port (role ^ " tunnel endpoint is not an iBGP peer");
+                     if Fib.lookup (Packetsim.fib sim peer) prefix.Prefix.network = None
+                     then
+                       dangling port
+                         (role ^ " tunnel endpoint has no route for the prefix")
+                   | Packetsim.Host_view _ ->
+                     dangling port (role ^ " iBGP port wired to a host"))
+                end
+            end
+          in
+          check_port ~role:"default" entry.Fib.out_port;
+          match entry.Fib.alt_port with
+          | Some a -> check_port ~role:"alt" a
+          | None -> ())
+  done;
+  (List.rev !violations, !checked)
+
+(* ---------- the router-level product automaton ---------- *)
+
+(* A packet's context beyond its position and tag: [Plain] with the
+   iBGP peer that just deflected it here (set only on the decap hop),
+   or inside an IP-in-IP tunnel toward [ep]. *)
+type ctx = Plain of { sender : int option } | Tunnel of { src : int; ep : int }
+type state = { node : int; tag : bool; c : ctx }
+
+let find_loops sim ~routing =
+  let cfg = Packetsim.config sim in
+  let tag_check = cfg.Packetsim.tag_check in
+  let ibgp_encap = cfg.Packetsim.ibgp_encap in
+  let violations = ref [] in
+  let explored = ref 0 in
+  let emitted = Hashtbl.create 16 in
+  let add v =
+    if not (Hashtbl.mem emitted v) then begin
+      Hashtbl.replace emitted v ();
+      violations := v :: !violations
+    end
+  in
+  List.iter
+    (fun (d, _rt) ->
+      let prefix = Prefix.of_as d in
+      let pstr = Prefix.to_string prefix in
+      let addr = Prefix.host_of_as d 1 in
+      (* Cross the wire out of [m] on [p]: terminal at a host, else the
+         arrival state after the entering point's (re)tagging. *)
+      let arrive m tag c p =
+        let peer, peer_port = Packetsim.port_peer sim m p in
+        match Packetsim.node_view sim peer with
+        | Packetsim.Host_view _ -> None
+        | Packetsim.Router_view _ ->
+          let tag' =
+            match Packetsim.port_kind sim peer peer_port with
+            | Engine.Ebgp { rel; _ } -> Policy.tag_of_upstream rel
+            | Engine.Local -> Policy.source_tag
+            | Engine.Ibgp _ -> tag
+          in
+          Some { node = peer; tag = tag'; c }
+      in
+      (* Every forwarding decision the engine could take from this
+         state, under SOME congestion pattern and hash bucket: a present
+         alternative is always reachable (a congested egress forces at
+         least one deflected bucket), the default is unavailable only
+         when the deflecting sender is the default next hop. *)
+      let succs st =
+        let m = st.node in
+        let c =
+          match st.c with
+          | Tunnel { src; ep } when ep = m -> Plain { sender = Some src }
+          | other -> other
+        in
+        match c with
+        | Tunnel { src = _; ep } -> (
+          (* in-transit tunnel: routed on the outer header, no deflection *)
+          let out =
+            match Packetsim.ibgp_route sim m ep with
+            | Some p -> Some p
+            | None -> (
+              match Fib.lookup (Packetsim.fib sim m) addr with
+              | None ->
+                add (Report.Unreachable { dest = d; node = m });
+                None
+              | Some entry -> Some entry.Fib.out_port)
+          in
+          match out with
+          | None -> []
+          | Some p -> (
+            match Packetsim.port_kind sim m p with
+            | Engine.Ebgp _ ->
+              add
+                (Report.Ebgp_tunnel_egress
+                   { node = m; endpoint = ep; port = p; prefix = pstr });
+              []
+            | Engine.Ibgp _ | Engine.Local -> Option.to_list (arrive m st.tag c p)))
+        | Plain { sender } -> (
+          match Fib.lookup (Packetsim.fib sim m) addr with
+          | None ->
+            add (Report.Unreachable { dest = d; node = m });
+            []
+          | Some entry -> (
+            match Packetsim.port_kind sim m entry.Fib.out_port with
+            | Engine.Local -> []  (* delivered to the attached host *)
+            | Engine.Ebgp _ | Engine.Ibgp _ ->
+              let deflected_to_me =
+                match sender with
+                | None -> false
+                | Some s ->
+                  let peer, _ = Packetsim.port_peer sim m entry.Fib.out_port in
+                  peer = s
+              in
+              let default_edge =
+                arrive m st.tag (Plain { sender = None }) entry.Fib.out_port
+              in
+              let alt_edges =
+                match entry.Fib.alt_port with
+                | None -> []
+                | Some a -> (
+                  match Packetsim.port_kind sim m a with
+                  | Engine.Ibgp { peer_router } ->
+                    if ibgp_encap then
+                      [ arrive m st.tag (Tunnel { src = m; ep = peer_router }) a ]
+                    else [ arrive m st.tag (Plain { sender = None }) a ]
+                  | Engine.Ebgp { rel; _ } ->
+                    if (not tag_check) || Policy.check ~tag:st.tag ~downstream:rel
+                    then [ arrive m st.tag (Plain { sender = None }) a ]
+                    else []
+                    (* failed check: dropped when forced, default otherwise *)
+                  | Engine.Local -> [ default_edge ])
+              in
+              let forced = deflected_to_me && entry.Fib.alt_port <> None in
+              List.filter_map Fun.id
+                (if forced then alt_edges else default_edge :: alt_edges)))
+      in
+      (* DFS with a gray path for cycle extraction. *)
+      let color = Hashtbl.create 256 in
+      let pos = Hashtbl.create 256 in
+      let path = ref [] (* (state, remaining succs), top first *) in
+      let depth = ref 0 in
+      let found = ref false in
+      let push st =
+        Hashtbl.replace color st 1;
+        Hashtbl.replace pos st !depth;
+        incr depth;
+        incr explored;
+        path := (st, ref (succs st)) :: !path
+      in
+      let pop () =
+        match !path with
+        | [] -> ()
+        | (st, _) :: rest ->
+          Hashtbl.replace color st 2;
+          Hashtbl.remove pos st;
+          decr depth;
+          path := rest
+      in
+      let extract target_pos closing =
+        let nodes =
+          Array.of_list (List.rev_map (fun (st, _) -> st.node) !path)
+        in
+        let entry = Array.to_list (Array.sub nodes 0 target_pos) in
+        let cycle =
+          Array.to_list (Array.sub nodes target_pos (Array.length nodes - target_pos))
+          @ [ closing.node ]
+        in
+        add (Report.Forwarding_loop { dest = d; level = Report.Router_level; entry; cycle })
+      in
+      let rec dfs () =
+        if not !found then
+          match !path with
+          | [] -> ()
+          | (_, rest) :: _ ->
+            (match !rest with
+            | [] -> pop ()
+            | st :: more ->
+              rest := more;
+              (match Hashtbl.find_opt color st with
+              | Some 1 ->
+                found := true;
+                extract (Hashtbl.find pos st) st
+              | Some _ -> ()
+              | None -> push st));
+            dfs ()
+      in
+      (* Roots: a fresh packet from any attached host enters its access
+         router through a Local port, so it carries the source tag. *)
+      for h = 0 to Packetsim.node_count sim - 1 do
+        match Packetsim.node_view sim h with
+        | Packetsim.Router_view _ -> ()
+        | Packetsim.Host_view _ ->
+          if Packetsim.port_count sim h > 0 && not !found then begin
+            let rtr, _ = Packetsim.port_peer sim h 0 in
+            match Packetsim.node_view sim rtr with
+            | Packetsim.Host_view _ -> ()
+            | Packetsim.Router_view _ ->
+              let st =
+                { node = rtr; tag = Policy.source_tag; c = Plain { sender = None } }
+              in
+              if not (Hashtbl.mem color st) then begin
+                push st;
+                dfs ()
+              end
+          end
+      done)
+    routing;
+  (List.rev !violations, !explored)

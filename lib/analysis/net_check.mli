@@ -1,0 +1,37 @@
+(** Router-level static verification over a built {!Mifo_netsim.Packetsim}
+    network: FIB/RIB consistency plus the product forwarding automaton
+    with tunnel state.
+
+    Where {!As_check} reasons on the control plane alone, this pass
+    audits what is actually {e installed}: every FIB port (default and
+    alternative) against the RIB and the wiring, and the reachable
+    packet behaviours over states [(router, tag, encapsulation)] —
+    including the engine's forced-alternative rule, IP-in-IP tunnel
+    transit and decapsulation.  The [tag_check] / [ibgp_encap] knobs are
+    read from the simulator's config, so the ablations are verified
+    under exactly the semantics they run. *)
+
+val audit_fibs :
+  Mifo_netsim.Packetsim.t ->
+  routing:(int * Mifo_bgp.Routing.t) list ->
+  Report.violation list * int
+(** Audit every FIB entry of every router.  [routing] associates each
+    audited destination AS [d] (announcing [Prefix.of_as d]) with its
+    routing state.  Checks: port validity; eBGP ports wired to the
+    declared neighbor AS and backed by a RIB route; iBGP ports wired to
+    the declared peer, inside one AS, with a live iBGP session and a
+    route for the prefix at the tunnel endpoint; Local ports wired to a
+    host inside the prefix.  Returns the violations and the number of
+    FIB entries checked. *)
+
+val find_loops :
+  Mifo_netsim.Packetsim.t ->
+  routing:(int * Mifo_bgp.Routing.t) list ->
+  Report.violation list * int
+(** Exhaustive search of the router-level product automaton for every
+    listed destination, from every attached host.  Reports reachable
+    forwarding cycles ([Forwarding_loop] at [Router_level], with the
+    concrete router cycle), encapsulated packets able to exit an eBGP
+    port mid-tunnel ([Ebgp_tunnel_egress]) and routers without a route
+    ([Unreachable]).  Returns the violations and the number of states
+    explored. *)

@@ -1,0 +1,143 @@
+module Json = Mifo_util.Obs.Json
+
+type level = As_level | Router_level
+
+let level_to_string = function As_level -> "as" | Router_level -> "router"
+
+type violation =
+  | Forwarding_loop of { dest : int; level : level; entry : int list; cycle : int list }
+  | Valley_path of { dest : int; at : int; via : int; path : int list }
+  | Rib_len_mismatch of { dest : int; at : int; via : int; expected : int; actual : int }
+  | Dangling_fib_port of { node : int; prefix : string; port : int; reason : string }
+  | Ebgp_tunnel_egress of { node : int; endpoint : int; port : int; prefix : string }
+  | Unreachable of { dest : int; node : int }
+
+type stats = {
+  dests_checked : int;
+  states_explored : int;
+  paths_checked : int;
+  fib_entries_checked : int;
+}
+
+let empty_stats =
+  { dests_checked = 0; states_explored = 0; paths_checked = 0; fib_entries_checked = 0 }
+
+let add_stats a b =
+  {
+    dests_checked = a.dests_checked + b.dests_checked;
+    states_explored = a.states_explored + b.states_explored;
+    paths_checked = a.paths_checked + b.paths_checked;
+    fib_entries_checked = a.fib_entries_checked + b.fib_entries_checked;
+  }
+
+type t = { violations : violation list; stats : stats }
+
+let empty = { violations = []; stats = empty_stats }
+let ok t = t.violations = []
+
+let merge reports =
+  {
+    violations = List.concat_map (fun r -> r.violations) reports;
+    stats = List.fold_left (fun acc r -> add_stats acc r.stats) empty_stats reports;
+  }
+
+let kind_of = function
+  | Forwarding_loop _ -> "forwarding-loop"
+  | Valley_path _ -> "valley-path"
+  | Rib_len_mismatch _ -> "rib-len-mismatch"
+  | Dangling_fib_port _ -> "dangling-fib-port"
+  | Ebgp_tunnel_egress _ -> "ebgp-tunnel-egress"
+  | Unreachable _ -> "unreachable"
+
+let num i = Json.Num (float_of_int i)
+let path_json p = Json.Arr (List.map num p)
+
+let violation_to_json v =
+  Json.Obj
+    (("kind", Json.Str (kind_of v))
+    ::
+    (match v with
+    | Forwarding_loop { dest; level; entry; cycle } ->
+      [
+        ("dest", num dest);
+        ("level", Json.Str (level_to_string level));
+        ("entry", path_json entry);
+        ("cycle", path_json cycle);
+      ]
+    | Valley_path { dest; at; via; path } ->
+      [ ("dest", num dest); ("at", num at); ("via", num via); ("path", path_json path) ]
+    | Rib_len_mismatch { dest; at; via; expected; actual } ->
+      [
+        ("dest", num dest);
+        ("at", num at);
+        ("via", num via);
+        ("expected", num expected);
+        ("actual", num actual);
+      ]
+    | Dangling_fib_port { node; prefix; port; reason } ->
+      [
+        ("node", num node);
+        ("prefix", Json.Str prefix);
+        ("port", num port);
+        ("reason", Json.Str reason);
+      ]
+    | Ebgp_tunnel_egress { node; endpoint; port; prefix } ->
+      [
+        ("node", num node);
+        ("endpoint", num endpoint);
+        ("port", num port);
+        ("prefix", Json.Str prefix);
+      ]
+    | Unreachable { dest; node } -> [ ("dest", num dest); ("node", num node) ]))
+
+let path_to_string p = String.concat " -> " (List.map string_of_int p)
+
+let violation_to_string v =
+  match v with
+  | Forwarding_loop { dest; level; entry; cycle } ->
+    Printf.sprintf "forwarding loop (%s level) toward %d: cycle %s%s"
+      (level_to_string level) dest (path_to_string cycle)
+      (if entry = [] then "" else Printf.sprintf " entered via %s" (path_to_string entry))
+  | Valley_path { dest; at; via; path } ->
+    Printf.sprintf "valley in RIB path toward %d at AS %d via %d: %s" dest at via
+      (path_to_string path)
+  | Rib_len_mismatch { dest; at; via; expected; actual } ->
+    Printf.sprintf
+      "RIB length mismatch toward %d at AS %d via %d: advertised %d, actual %d" dest at
+      via expected actual
+  | Dangling_fib_port { node; prefix; port; reason } ->
+    Printf.sprintf "dangling FIB port at node %d for %s (port %d): %s" node prefix port
+      reason
+  | Ebgp_tunnel_egress { node; endpoint; port; prefix } ->
+    Printf.sprintf
+      "encapsulated packet for %s can exit eBGP port %d at node %d mid-tunnel (endpoint %d)"
+      prefix port node endpoint
+  | Unreachable { dest; node } ->
+    Printf.sprintf "node %d has no route toward destination %d" node dest
+
+let to_json t =
+  Json.Obj
+    [
+      ("ok", Json.Bool (ok t));
+      ("violations", Json.Arr (List.map violation_to_json t.violations));
+      ( "stats",
+        Json.Obj
+          [
+            ("dests_checked", num t.stats.dests_checked);
+            ("states_explored", num t.stats.states_explored);
+            ("paths_checked", num t.stats.paths_checked);
+            ("fib_entries_checked", num t.stats.fib_entries_checked);
+          ] );
+    ]
+
+let to_json_string t = Json.to_string (to_json t)
+
+let summary t =
+  let head =
+    Printf.sprintf
+      "%s: %d destination(s), %d automaton state(s), %d RIB path(s), %d FIB entry(ies)"
+      (if ok t then "clean" else Printf.sprintf "%d violation(s)" (List.length t.violations))
+      t.stats.dests_checked t.stats.states_explored t.stats.paths_checked
+      t.stats.fib_entries_checked
+  in
+  String.concat "\n" (head :: List.map (fun v -> "  " ^ violation_to_string v) t.violations)

@@ -1,0 +1,54 @@
+module As_graph = Mifo_topology.As_graph
+module Routing_table = Mifo_bgp.Routing_table
+module Packetsim = Mifo_netsim.Packetsim
+
+let verify_as_level ?(tag_check = true) g ~table ~dests =
+  let reports =
+    List.map
+      (fun d ->
+        let rt = Routing_table.get table d in
+        let { As_check.counterexample; states_explored } =
+          As_check.find_loop ~tag_check g rt
+        in
+        let loop_viols =
+          match counterexample with
+          | None -> []
+          | Some cx ->
+            [
+              Report.Forwarding_loop
+                {
+                  dest = d;
+                  level = Report.As_level;
+                  entry = cx.As_check.entry;
+                  cycle = cx.As_check.cycle;
+                };
+            ]
+        in
+        let path_viols, paths_checked = As_check.check_paths g rt in
+        {
+          Report.violations = loop_viols @ path_viols;
+          stats =
+            {
+              Report.dests_checked = 1;
+              states_explored;
+              paths_checked;
+              fib_entries_checked = 0;
+            };
+        })
+      dests
+  in
+  Report.merge reports
+
+let verify_network sim ~routing =
+  let fib_viols, fib_entries_checked = Net_check.audit_fibs sim ~routing in
+  let loop_viols, states_explored = Net_check.find_loops sim ~routing in
+  {
+    Report.violations = fib_viols @ loop_viols;
+    stats =
+      {
+        Report.dests_checked = List.length routing;
+        states_explored;
+        paths_checked = 0;
+        fib_entries_checked;
+      };
+  }

@@ -1,0 +1,24 @@
+(** Top-level entry points of the static data-plane verifier.
+
+    [mifo_sim check], {!Mifo_exp.Validation} and the test suite go
+    through these: per-destination AS-level verification (loop-freedom
+    of the deflection automaton, valley-free compliance and length
+    agreement of every RIB path) and router-level verification of a
+    built packet network (FIB audits and the tunnel-aware product
+    automaton). *)
+
+val verify_as_level :
+  ?tag_check:bool ->
+  Mifo_topology.As_graph.t ->
+  table:Mifo_bgp.Routing_table.t ->
+  dests:int list ->
+  Report.t
+(** Run {!As_check.find_loop} and {!As_check.check_paths} for every
+    listed destination (routing states pulled — and cached — through the
+    table).  [tag_check:false] verifies the ablated data plane, which is
+    expected to produce loop counterexamples. *)
+
+val verify_network :
+  Mifo_netsim.Packetsim.t -> routing:(int * Mifo_bgp.Routing.t) list -> Report.t
+(** Run {!Net_check.audit_fibs} and {!Net_check.find_loops} on a built
+    network for the listed destination ASes. *)

@@ -296,3 +296,23 @@ let alternatives t v =
   match rib t v with [] -> [] | _default :: rest -> rest
 
 let rib_size t v = Array.length (rib_array t v)
+
+(* The concrete AS path behind a RIB entry.  A neighbor advertises, to a
+   provider or peer, its best customer route; to a customer, its selected
+   best route.  Gao-Rexford selection prefers customer routes, so
+   whenever a customer route exists it IS the selected route — in every
+   export case the advertised path is the neighbor's selected default
+   path, and the entry's path is us prepended to it. *)
+let rib_path t v (e : rib_entry) =
+  (match e.rel with
+   | Relationship.Customer | Relationship.Peer ->
+     (* exported-to-us customer route: exists iff the neighbor has one *)
+     if t.dist_cust.(e.via) < 0 && e.via <> t.dest then
+       invalid_arg "Routing.rib_path: neighbor exported no customer route"
+   | Relationship.Provider ->
+     if t.export_len.(e.via) < 0 && e.via <> t.dest then
+       invalid_arg "Routing.rib_path: neighbor exported no route");
+  v :: default_path t e.via
+
+let rib_paths t v =
+  List.map (fun e -> (e, rib_path t v e)) (rib t v)

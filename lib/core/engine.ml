@@ -69,14 +69,20 @@ let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
         (Some e.Packet.outer_src, Packet.decapsulate packet)
       | Some _ | None -> (None, packet)
     in
-    (* Lines 5-10: (re)tag at the packet entering point. *)
+    (* Lines 5-10: (re)tag at the packet entering point.  A host-facing
+       [Local] port is the source AS's entering point, so it tags with
+       the source tag exactly like [ingress:None] — a packet from our own
+       customer cone may take any first deflection.  Only iBGP ingress
+       leaves the tag alone: the packet already entered this AS
+       elsewhere. *)
     let packet =
       match ingress with
       | None -> Packet.with_tag packet Policy.source_tag
       | Some port -> (
         match env.port_kind port with
         | Ebgp { rel; _ } -> Packet.with_tag packet (Policy.tag_of_upstream rel)
-        | Ibgp _ | Local -> packet)
+        | Local -> Packet.with_tag packet Policy.source_tag
+        | Ibgp _ -> packet)
     in
     match packet.Packet.encap with
     | Some e ->

@@ -8,7 +8,13 @@ type drop_reason = Valley | No_route | Dead_end
 type outcome =
   | Delivered of int list
   | Dropped of { path : int list; at : int; reason : drop_reason }
-  | Looped of int list
+  | Looped of { path : int list; cycle : int list }
+
+(* The repeating segment of [path]: everything from the first visit of
+   the revisited state (at hop index [i]) to the current hop, so the
+   cycle's head and last element are the same AS. *)
+let cycle_of_path path i =
+  List.filteri (fun j _ -> j >= i) path
 
 let walk ?(tag_check = true) ?max_hops g rt ~decide ~src =
   let dest = Routing.dest rt in
@@ -20,12 +26,18 @@ let walk ?(tag_check = true) ?max_hops g rt ~decide ~src =
   let rec step v upstream rev_path hops =
     let rev_path = v :: rev_path in
     if v = dest then Delivered (List.rev rev_path)
-    else if hops > max_hops then Looped (List.rev rev_path)
+    else if hops > max_hops then
+      (* hop budget blown without revisiting a state: no concrete cycle
+         to report (the walk wandered too long), only the path prefix *)
+      Looped { path = List.rev rev_path; cycle = [] }
     else begin
       let state = (v, upstream) in
-      if Hashtbl.mem seen state then Looped (List.rev rev_path)
-      else begin
-        Hashtbl.add seen state ();
+      match Hashtbl.find_opt seen state with
+      | Some first_visit ->
+        let path = List.rev rev_path in
+        Looped { path; cycle = cycle_of_path path first_visit }
+      | None ->
+        Hashtbl.add seen state hops;
         let entries = Routing.rib rt v in
         match entries with
         | [] -> Dropped { path = List.rev rev_path; at = v; reason = Dead_end }
@@ -49,7 +61,6 @@ let walk ?(tag_check = true) ?max_hops g rt ~decide ~src =
                      ~downstream:e.rel
               then step nb (Some v) rev_path (hops + 1)
               else Dropped { path = List.rev rev_path; at = v; reason = Valley }))
-      end
     end
   in
   step src None [] 0

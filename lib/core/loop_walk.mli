@@ -17,7 +17,14 @@ type drop_reason = Valley | No_route | Dead_end
 type outcome =
   | Delivered of int list  (** the full AS path, source to destination *)
   | Dropped of { path : int list; at : int; reason : drop_reason }
-  | Looped of int list  (** path prefix up to the point the loop was detected *)
+  | Looped of { path : int list; cycle : int list }
+      (** [path] is the walk up to the point the loop was detected;
+          [cycle] is the offending repeating segment (its head and last
+          element are the same AS, e.g. [[1; 2; 3; 1]]), so the dynamic
+          walker and the static verifier ({!Mifo_analysis}) report
+          comparable counterexamples.  [cycle] is empty only when the
+          hop budget was exhausted without revisiting a
+          (AS, upstream) state. *)
 
 val walk :
   ?tag_check:bool ->
@@ -41,7 +48,8 @@ val walk :
     [tag_check:false] the deflection proceeds unchecked, which is the
     legacy multi-path data plane the theorem shows can loop.
     [max_hops] defaults to [2 * As_graph.n g + 4]; exceeding it (or
-    revisiting an AS with the same upstream) reports [Looped]. *)
+    revisiting an AS with the same upstream) reports [Looped], carrying
+    the concrete cycle when a state was revisited. *)
 
 val congestion_strategy :
   congested:(int -> int -> bool) ->

@@ -12,10 +12,61 @@ module Table = Mifo_util.Table
 module Dist = Mifo_util.Dist
 
 module Tag_check = struct
+  module As_check = Mifo_analysis.As_check
+
   type outcome_counts = { delivered : int; dropped_valley : int; looped : int; total : int }
-  type t = { with_check : outcome_counts; without_check : outcome_counts }
+
+  type static_verdict = {
+    dests_checked : int;
+    loop_free : bool;
+    counterexample : As_check.counterexample option;
+    replay_confirmed : bool;
+  }
+
+  type t = {
+    with_check : outcome_counts;
+    without_check : outcome_counts;
+    static_on : static_verdict;
+    static_off : static_verdict;
+  }
 
   let empty = { delivered = 0; dropped_valley = 0; looped = 0; total = 0 }
+
+  (* Exhaustive verdict over the deflection product automaton for each
+     destination's routing state; the first counterexample found is
+     replayed through the dynamic walker as a machine check. *)
+  let static_verdict ~tag_check g rts =
+    let first =
+      List.fold_left
+        (fun acc rt ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match (As_check.find_loop ~tag_check g rt).As_check.counterexample with
+            | Some cx -> Some (rt, cx)
+            | None -> None))
+        None rts
+    in
+    match first with
+    | None ->
+      {
+        dests_checked = List.length rts;
+        loop_free = true;
+        counterexample = None;
+        replay_confirmed = false;
+      }
+    | Some (rt, cx) ->
+      let replay_confirmed =
+        match As_check.replay ~tag_check g rt cx with
+        | Mifo_core.Loop_walk.Looped _ -> true
+        | _ -> false
+      in
+      {
+        dests_checked = List.length rts;
+        loop_free = false;
+        counterexample = Some cx;
+        replay_confirmed;
+      }
 
   let tally acc = function
     | Loop_walk.Delivered _ -> { acc with delivered = acc.delivered + 1; total = acc.total + 1 }
@@ -37,12 +88,18 @@ module Tag_check = struct
     in
     let on = List.fold_left (fun acc s -> tally acc (walk ~tag_check:true s)) empty sources in
     let off = List.fold_left (fun acc s -> tally acc (walk ~tag_check:false s)) empty sources in
-    { with_check = on; without_check = off }
+    (on, off)
 
   let run_gadget () =
     let g = Generator.fig2a_gadget () in
     let rt = Routing.compute g 0 in
-    run_walks g rt [ 1; 2; 3 ]
+    let on, off = run_walks g rt [ 1; 2; 3 ] in
+    {
+      with_check = on;
+      without_check = off;
+      static_on = static_verdict ~tag_check:true g [ rt ];
+      static_off = static_verdict ~tag_check:false g [ rt ];
+    }
 
   let run ?(sources = 200) ctx =
     let g = Context.graph ctx in
@@ -60,37 +117,32 @@ module Tag_check = struct
       end
     in
     let pairs = draw sources [] in
-    Routing_table.precompute ctx.Context.table
-      (Array.of_list (List.sort_uniq compare (List.map fst pairs)));
-    let rec walks pairs acc =
-      match pairs with
-      | [] -> acc
-      | (d, s) :: rest ->
-        begin
-          let rt = Routing_table.get ctx.Context.table d in
-          let partial = run_walks g rt [ s ] in
-          walks rest
-            {
-              with_check =
-                {
-                  delivered = acc.with_check.delivered + partial.with_check.delivered;
-                  dropped_valley =
-                    acc.with_check.dropped_valley + partial.with_check.dropped_valley;
-                  looped = acc.with_check.looped + partial.with_check.looped;
-                  total = acc.with_check.total + partial.with_check.total;
-                };
-              without_check =
-                {
-                  delivered = acc.without_check.delivered + partial.without_check.delivered;
-                  dropped_valley =
-                    acc.without_check.dropped_valley + partial.without_check.dropped_valley;
-                  looped = acc.without_check.looped + partial.without_check.looped;
-                  total = acc.without_check.total + partial.without_check.total;
-                };
-            }
-        end
+    let dests = List.sort_uniq compare (List.map fst pairs) in
+    Routing_table.precompute ctx.Context.table (Array.of_list dests);
+    let add a b =
+      {
+        delivered = a.delivered + b.delivered;
+        dropped_valley = a.dropped_valley + b.dropped_valley;
+        looped = a.looped + b.looped;
+        total = a.total + b.total;
+      }
     in
-    walks pairs { with_check = empty; without_check = empty }
+    let rec walks pairs (acc_on, acc_off) =
+      match pairs with
+      | [] -> (acc_on, acc_off)
+      | (d, s) :: rest ->
+        let rt = Routing_table.get ctx.Context.table d in
+        let on, off = run_walks g rt [ s ] in
+        walks rest (add acc_on on, add acc_off off)
+    in
+    let on, off = walks pairs (empty, empty) in
+    let rts = List.map (Routing_table.get ctx.Context.table) dests in
+    {
+      with_check = on;
+      without_check = off;
+      static_on = static_verdict ~tag_check:true g rts;
+      static_off = static_verdict ~tag_check:false g rts;
+    }
 
   let render ~label t =
     let row name c =
@@ -102,10 +154,23 @@ module Tag_check = struct
         string_of_int c.total;
       ]
     in
-    Printf.sprintf "== Ablation: valley-free Tag-Check (%s) ==\n%s" label
+    let verdict name v =
+      match v.counterexample with
+      | None ->
+        Printf.sprintf "  static verifier (%s): loop-free, %d destination(s) checked\n" name
+          v.dests_checked
+      | Some cx ->
+        Printf.sprintf "  static verifier (%s): LOOP toward dest %d, cycle %s — replay %s\n"
+          name cx.As_check.dest
+          (String.concat " -> " (List.map string_of_int cx.As_check.cycle))
+          (if v.replay_confirmed then "confirmed (Looped)" else "NOT confirmed")
+    in
+    Printf.sprintf "== Ablation: valley-free Tag-Check (%s) ==\n%s%s%s" label
       (Table.render
          ~header:[ "data plane"; "delivered"; "dropped (valley)"; "looped"; "walks" ]
          ~rows:[ row "Tag-Check on" t.with_check; row "Tag-Check off" t.without_check ])
+      (verdict "Tag-Check on" t.static_on)
+      (verdict "Tag-Check off" t.static_off)
 end
 
 module Encap = struct

@@ -9,7 +9,27 @@
     topology. *)
 module Tag_check : sig
   type outcome_counts = { delivered : int; dropped_valley : int; looped : int; total : int }
-  type t = { with_check : outcome_counts; without_check : outcome_counts }
+
+  type static_verdict = {
+    dests_checked : int;
+    loop_free : bool;  (** no destination's deflection automaton has a cycle *)
+    counterexample : Mifo_analysis.As_check.counterexample option;
+        (** first cycle found when not loop-free *)
+    replay_confirmed : bool;
+        (** the counterexample, replayed through the dynamic
+            {!Mifo_core.Loop_walk}, came back [Looped] *)
+  }
+
+  type t = {
+    with_check : outcome_counts;
+    without_check : outcome_counts;
+    static_on : static_verdict;
+        (** static verifier over the same destinations, Tag-Check on —
+            expected loop-free (the paper's Theorem) *)
+    static_off : static_verdict;
+        (** Tag-Check off — a found loop comes with a machine-checked
+            counterexample *)
+  }
 
   val run_gadget : unit -> t
   (** All three peers of the Fig. 2(a) clique deflect clockwise. *)

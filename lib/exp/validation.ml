@@ -16,6 +16,9 @@ type t = {
   flowsim_speedup : float;
   packetsim_speedup : float;
   invariants : (string * bool) list;
+  static_report : Mifo_analysis.Report.t;
+      (** static data-plane verifier over the scenario's routing state
+          and the MIFO packet network's installed FIBs *)
 }
 
 let makespan results =
@@ -90,6 +93,19 @@ let run ?(ases = 150) ?(flows = 24) ?(flow_bytes = 10_000_000) ~seed () =
   let pk_bgp = packet_run (Deployment.none ~n:ases) in
   let pk_mifo = packet_run (Deployment.full ~n:ases) in
   let v1, n1, t1, e1 = engine_snap () in
+  (* Static data-plane verifier: the scenario's routing state must be
+     loop-free and valley-free at the AS level, and the MIFO network's
+     FIBs — including the alternative ports the daemon has been
+     refreshing all run — must be consistent and loop-free for every
+     deflection the engine could take. *)
+  let static_report =
+    let routing = List.map (fun d -> (d, Routing_table.get table d)) hosts in
+    Mifo_analysis.Report.merge
+      [
+        Mifo_analysis.Verifier.verify_as_level g ~table ~dests:hosts;
+        Mifo_analysis.Verifier.verify_network pk_mifo.As_network.sim ~routing;
+      ]
+  in
   let c_bgp = Packetsim.counters pk_bgp.As_network.sim in
   let c_mifo = Packetsim.counters pk_mifo.As_network.sim in
   let invariants =
@@ -112,6 +128,10 @@ let run ?(ases = 150) ?(flows = 24) ?(flow_bytes = 10_000_000) ~seed () =
       ( "engine drop accounting matches simulator counters",
         n1 - n0 = c_bgp.Packetsim.dropped_no_route + c_mifo.Packetsim.dropped_no_route
         && v1 - v0 = c_bgp.Packetsim.dropped_valley + c_mifo.Packetsim.dropped_valley );
+      (* machine-checked: loop-freedom and valley-free compliance of
+         every derivable path, plus FIB/RIB consistency of the built
+         network *)
+      ("static data-plane verifier clean", Mifo_analysis.Report.ok static_report);
     ]
   in
   (* per-flow throughput comparison under BGP: packetsim flows were added
@@ -159,6 +179,7 @@ let run ?(ases = 150) ?(flows = 24) ?(flow_bytes = 10_000_000) ~seed () =
     flowsim_speedup;
     packetsim_speedup;
     invariants;
+    static_report;
   }
 
 let render t =
@@ -179,3 +200,6 @@ let render t =
          (fun (name, ok) ->
            Printf.sprintf "  invariant: %-48s %s\n" name (if ok then "ok" else "VIOLATED"))
          t.invariants)
+  ^
+  if Mifo_analysis.Report.ok t.static_report then ""
+  else Mifo_analysis.Report.summary t.static_report ^ "\n"

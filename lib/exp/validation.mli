@@ -28,6 +28,13 @@ type t = {
           network without iBGP ports, engine drop accounting agreeing
           with the simulator's own counters.  All [true] on a healthy
           build; {!render} prints any violation. *)
+  static_report : Mifo_analysis.Report.t;
+      (** Static data-plane verifier verdict over the scenario's routing
+          state and the MIFO packet network's installed FIBs: AS-level
+          loop-freedom and valley-free compliance of every derivable
+          path, plus router-level FIB/RIB consistency and product-
+          automaton loop-freedom.  Clean on a healthy build; {!render}
+          prints the violations otherwise. *)
 }
 
 val run : ?ases:int -> ?flows:int -> ?flow_bytes:int -> seed:int -> unit -> t

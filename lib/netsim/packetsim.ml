@@ -527,6 +527,29 @@ let path_switches t =
   Hashtbl.fold (fun flow c acc -> (flow, c) :: acc) totals []
   |> List.sort compare
 
+(* Read-only topology/state exports for the static verifier
+   (Mifo_analysis.Net_check): enough to rebuild the forwarding graph —
+   nodes, ports with their kinds and far ends, FIBs (via [fib]) and the
+   iBGP routing table — without exposing any mutable simulator state. *)
+
+type node_view = Router_view of { as_id : int } | Host_view of { addr : Prefix.addr }
+
+let node_count t = Vec.length t.nodes
+
+let node_view t id =
+  match (node t id).kind with
+  | Router r -> Router_view { as_id = r.as_id }
+  | Host h -> Host_view { addr = h.addr }
+
+let port_count t id = Vec.length (node t id).ports
+let port_kind t id p = (port t id p).kind
+
+let port_peer t id p =
+  let pt = port t id p in
+  (pt.peer, pt.peer_port)
+
+let ibgp_route t id peer = Hashtbl.find_opt (router_exn t id).ibgp_peers peer
+
 let set_completion_hook t f = t.on_complete <- Some f
 let set_tracer t f = t.tracer <- Some f
 let clear_tracer t = t.tracer <- None

@@ -107,6 +107,35 @@ val path_switches : t -> (int * int) list
 (** Per flow id, how many times its egress port changed at some router —
     the testbed view of Fig. 9's switch count. *)
 
+(** {1 State export}
+
+    Read-only views of the built network for the static verifier
+    ({!Mifo_analysis}): it audits FIBs against RIBs and walks the product
+    forwarding automaton over these accessors without touching any
+    mutable simulator state. *)
+
+type node_view =
+  | Router_view of { as_id : int }
+  | Host_view of { addr : Mifo_bgp.Prefix.addr }
+
+val node_count : t -> int
+val node_view : t -> node_id -> node_view
+
+val port_count : t -> node_id -> int
+
+val port_kind : t -> node_id -> int -> Mifo_core.Engine.port_kind
+(** How the node sees its port [p] — exactly the view the engine's env
+    exposes during forwarding. *)
+
+val port_peer : t -> node_id -> int -> node_id * int
+(** [(peer node, peer's port)] at the far end of the link behind a port. *)
+
+val ibgp_route : t -> node_id -> node_id -> int option
+(** [ibgp_route t r peer] is the local port of router [r] carrying its
+    iBGP session toward router [peer], if one exists — the engine's
+    [route_to_peer], i.e. how an in-transit tunnel is steered.
+    @raise Invalid_argument on a host node. *)
+
 val set_completion_hook : t -> (int -> unit) -> unit
 (** Called (with the flow id) the moment a sender sees its last byte
     acknowledged; may add new flows — how the testbed chains its

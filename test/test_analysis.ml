@@ -1,0 +1,288 @@
+(* Tests for Mifo_analysis: the AS-level deflection product automaton,
+   the router-level FIB audits and tunnel-aware loop search, the report
+   serialisation, and the agreement between the static verdicts and the
+   dynamic Loop_walk / Packetsim behaviours. *)
+
+module As_graph = Mifo_topology.As_graph
+module Generator = Mifo_topology.Generator
+module Relationship = Mifo_topology.Relationship
+module Routing = Mifo_bgp.Routing
+module Routing_table = Mifo_bgp.Routing_table
+module Prefix = Mifo_bgp.Prefix
+module Policy = Mifo_core.Policy
+module Loop_walk = Mifo_core.Loop_walk
+module Deployment = Mifo_core.Deployment
+module Engine = Mifo_core.Engine
+module Fib = Mifo_core.Fib
+module Packetsim = Mifo_netsim.Packetsim
+module As_network = Mifo_netsim.As_network
+module As_check = Mifo_analysis.As_check
+module Net_check = Mifo_analysis.Net_check
+module Report = Mifo_analysis.Report
+module Verifier = Mifo_analysis.Verifier
+module Json = Mifo_util.Obs.Json
+
+let gadget = lazy (let g = Generator.fig2a_gadget () in (g, Routing.compute g 0))
+
+(* ---------- AS-level automaton ---------- *)
+
+let test_gadget_loop_free_with_check () =
+  let g, rt = Lazy.force gadget in
+  let r = As_check.find_loop ~tag_check:true g rt in
+  Alcotest.(check bool) "no counterexample" true (r.As_check.counterexample = None);
+  Alcotest.(check bool) "explored something" true (r.As_check.states_explored > 0)
+
+let test_gadget_counterexample_without_check () =
+  let g, rt = Lazy.force gadget in
+  let r = As_check.find_loop ~tag_check:false g rt in
+  match r.As_check.counterexample with
+  | None -> Alcotest.fail "the ablated gadget must loop"
+  | Some cx ->
+    Alcotest.(check int) "toward the gadget origin" 0 cx.As_check.dest;
+    Alcotest.(check bool) "cycle closes on its head" true
+      (List.length cx.As_check.cycle >= 2
+      && List.hd cx.As_check.cycle = List.nth cx.As_check.cycle (List.length cx.As_check.cycle - 1));
+    (* the machine check: the counterexample's decision script drives the
+       dynamic walker into the same loop *)
+    (match As_check.replay ~tag_check:false g rt cx with
+     | Loop_walk.Looped _ -> ()
+     | _ -> Alcotest.fail "replay did not loop")
+
+let test_gadget_paths_valley_free () =
+  let g, rt = Lazy.force gadget in
+  let violations, checked = As_check.check_paths g rt in
+  Alcotest.(check int) "no violations" 0 (List.length violations);
+  Alcotest.(check bool) "paths audited" true (checked > 0)
+
+let test_verify_as_level_generated () =
+  (* a generated topology, several destinations: clean with the check on,
+     and loop counterexamples appear with the check off *)
+  let topo =
+    Generator.generate
+      ~params:{ Generator.default_params with Generator.ases = 80; tier1 = 4;
+                content_providers = 2; content_peer_span = (3, 8) }
+      ~seed:42 ()
+  in
+  let g = topo.Generator.graph in
+  let table = Routing_table.create g in
+  let dests = [ 0; 7; 23; 41; 55; 79 ] in
+  let on = Verifier.verify_as_level ~tag_check:true g ~table ~dests in
+  Alcotest.(check bool) "tag-check on: clean" true (Report.ok on);
+  Alcotest.(check int) "every destination checked" (List.length dests)
+    on.Report.stats.Report.dests_checked;
+  Alcotest.(check bool) "paths audited" true (on.Report.stats.Report.paths_checked > 0);
+  let off = Verifier.verify_as_level ~tag_check:false g ~table ~dests in
+  Alcotest.(check bool) "tag-check off: loops found" true
+    (List.exists
+       (function Report.Forwarding_loop { level = Report.As_level; _ } -> true | _ -> false)
+       off.Report.violations)
+
+(* Static verdict vs dynamic walker, on random topologies: with the
+   tag-check the automaton is acyclic AND no adversarial walk loops;
+   without it, any counterexample found must replay to a dynamic loop. *)
+let prop_static_matches_dynamic =
+  let topo =
+    lazy
+      (Generator.generate
+         ~params:{ Generator.default_params with Generator.ases = 120; tier1 = 4;
+                   content_providers = 2; content_peer_span = (3, 8) }
+         ~seed:99 ())
+  in
+  QCheck2.Test.make
+    ~name:"static loop-freedom verdict agrees with the dynamic walker" ~count:80
+    QCheck2.Gen.(triple (int_bound 119) (int_bound 119) (int_bound 1_000_000))
+    (fun (dst, src, salt) ->
+      QCheck2.assume (dst <> src);
+      let t = Lazy.force topo in
+      let g = t.Generator.graph in
+      let rt = Routing.compute g dst in
+      let static_on = As_check.find_loop ~tag_check:true g rt in
+      (* adversarial dynamic strategy: pseudo-randomly deflect anywhere *)
+      let decide ~as_id ~upstream:_ ~entries =
+        match entries with
+        | [] -> Loop_walk.Default
+        | entries ->
+          let k = Hashtbl.hash (as_id, salt) mod (List.length entries + 1) in
+          if k = 0 then Loop_walk.Default
+          else Loop_walk.Deflect (List.nth entries (k - 1)).Routing.via
+      in
+      let dynamic_ok =
+        match Loop_walk.walk ~tag_check:true g rt ~decide ~src with
+        | Loop_walk.Looped _ -> false
+        | _ -> true
+      in
+      let replay_ok =
+        match (As_check.find_loop ~tag_check:false g rt).As_check.counterexample with
+        | None -> true
+        | Some cx -> (
+          match As_check.replay ~tag_check:false g rt cx with
+          | Loop_walk.Looped _ -> true
+          | _ -> false)
+      in
+      static_on.As_check.counterexample = None && dynamic_ok && replay_ok)
+
+(* ---------- report serialisation ---------- *)
+
+let test_report_json () =
+  let v =
+    Report.Forwarding_loop
+      { dest = 0; level = Report.As_level; entry = [ 3 ]; cycle = [ 1; 2; 1 ] }
+  in
+  let r =
+    {
+      Report.violations = [ v ];
+      stats =
+        {
+          Report.dests_checked = 1;
+          states_explored = 7;
+          paths_checked = 5;
+          fib_entries_checked = 0;
+        };
+    }
+  in
+  Alcotest.(check bool) "not ok" false (Report.ok r);
+  let j = Json.parse (Report.to_json_string r) in
+  Alcotest.(check bool) "ok field false" true (Json.member "ok" j = Some (Json.Bool false));
+  (match Json.member "violations" j with
+   | Some (Json.Arr [ first ]) ->
+     Alcotest.(check bool) "kind discriminator" true
+       (Json.member "kind" first = Some (Json.Str "forwarding-loop"))
+   | _ -> Alcotest.fail "expected one serialised violation");
+  (match Json.member "stats" j with
+   | Some stats ->
+     Alcotest.(check bool) "stats carried" true
+       (Json.member "paths_checked" stats = Some (Json.Num 5.))
+   | None -> Alcotest.fail "missing stats");
+  let clean = Report.merge [ Report.empty ] in
+  let j = Json.parse (Report.to_json_string clean) in
+  Alcotest.(check bool) "clean report is ok" true
+    (Json.member "ok" j = Some (Json.Bool true))
+
+(* ---------- router-level network verification ---------- *)
+
+let gadget_network ?config () =
+  let g = Generator.fig2a_gadget () in
+  let table = Routing_table.create g in
+  let hosts = [ 0; 1; 2; 3 ] in
+  let net = As_network.build ?config table ~deployment:(Deployment.full ~n:4) ~hosts () in
+  let routing = List.map (fun d -> (d, Routing_table.get table d)) hosts in
+  (net, routing)
+
+let test_network_gadget_clean () =
+  let net, routing = gadget_network () in
+  let r = Verifier.verify_network net.As_network.sim ~routing in
+  Alcotest.(check bool) "clean" true (Report.ok r);
+  Alcotest.(check bool) "FIB entries audited" true
+    (r.Report.stats.Report.fib_entries_checked > 0);
+  Alcotest.(check bool) "states explored" true (r.Report.stats.Report.states_explored > 0)
+
+let test_network_gadget_tag_check_off_loops () =
+  let config = { Packetsim.default_config with Packetsim.tag_check = false } in
+  let net, routing = gadget_network ~config () in
+  let r = Verifier.verify_network net.As_network.sim ~routing in
+  Alcotest.(check bool) "violations found" false (Report.ok r);
+  match
+    List.find_opt
+      (function Report.Forwarding_loop { level = Report.Router_level; _ } -> true | _ -> false)
+      r.Report.violations
+  with
+  | Some (Report.Forwarding_loop { cycle; _ }) ->
+    Alcotest.(check bool) "concrete cycle" true (List.length cycle >= 2)
+  | _ -> Alcotest.fail "expected a router-level forwarding loop"
+
+let test_network_dangling_alt_port () =
+  (* corrupt one installed FIB entry: an alternative pointing at a port
+     that does not exist *)
+  let net, routing = gadget_network () in
+  let r1 = net.As_network.router_of_as.(1) in
+  Fib.set_alt (Packetsim.fib net.As_network.sim r1) (Prefix.of_as 0) (Some 999);
+  let violations, _ = Net_check.audit_fibs net.As_network.sim ~routing in
+  match
+    List.find_opt
+      (function Report.Dangling_fib_port { node; _ } -> node = r1 | _ -> false)
+      violations
+  with
+  | Some (Report.Dangling_fib_port { port; _ }) ->
+    Alcotest.(check int) "the bogus port" 999 port
+  | _ -> Alcotest.fail "expected a dangling-FIB-port violation"
+
+let test_network_ebgp_tunnel_egress () =
+  (* AS 1: r1 tunnels its deflections to border router r3, but the only
+     physical path crosses r2 — which has NO iBGP route to r3 and whose
+     FIB fallback for the destination is an eBGP port.  An encapsulated
+     packet could leave the AS mid-tunnel: the verifier must flag it. *)
+  let sim = Packetsim.create () in
+  let h1 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 1 1) in
+  let h2 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 2 1) in
+  let r1 = Packetsim.add_router sim ~as_id:1 in
+  let r2 = Packetsim.add_router sim ~as_id:1 in
+  let r3 = Packetsim.add_router sim ~as_id:1 in
+  let rx = Packetsim.add_router sim ~as_id:2 in
+  let rate = 1e9 in
+  let _, r1h = Packetsim.connect sim ~a:h1 ~b:r1 ~kind_ab:Engine.Local ~kind_ba:Engine.Local ~rate () in
+  let _, rxh = Packetsim.connect sim ~a:h2 ~b:rx ~kind_ab:Engine.Local ~kind_ba:Engine.Local ~rate () in
+  (* r1 sees iBGP peer r3 through the port toward r2; r2's own end of
+     that wire only peers back to r1, so r2 cannot route the tunnel on *)
+  let r1_r2, r2_r1 =
+    Packetsim.connect sim ~a:r1 ~b:r2
+      ~kind_ab:(Engine.Ibgp { peer_router = r3 })
+      ~kind_ba:(Engine.Ibgp { peer_router = r1 })
+      ~rate ()
+  in
+  let r1_rx, _ =
+    Packetsim.connect sim ~a:r1 ~b:rx
+      ~kind_ab:(Engine.Ebgp { neighbor_as = 2; rel = Relationship.Customer })
+      ~kind_ba:(Engine.Ebgp { neighbor_as = 1; rel = Relationship.Provider })
+      ~rate ()
+  in
+  let r2_rx, _ =
+    Packetsim.connect sim ~a:r2 ~b:rx
+      ~kind_ab:(Engine.Ebgp { neighbor_as = 2; rel = Relationship.Customer })
+      ~kind_ba:(Engine.Ebgp { neighbor_as = 1; rel = Relationship.Provider })
+      ~rate ()
+  in
+  ignore r3;
+  ignore r2_r1;
+  ignore r1h;
+  let dst = Prefix.of_as 2 in
+  Fib.insert (Packetsim.fib sim r1) dst ~out_port:r1_rx ~alt_port:r1_r2 ();
+  Fib.insert (Packetsim.fib sim r2) dst ~out_port:r2_rx ();
+  Fib.insert (Packetsim.fib sim rx) dst ~out_port:rxh ();
+  let g = Generator.fig2a_gadget () in
+  let routing = [ (2, Routing.compute g 2) ] in
+  let violations, _ = Net_check.find_loops sim ~routing in
+  match
+    List.find_opt
+      (function Report.Ebgp_tunnel_egress _ -> true | _ -> false)
+      violations
+  with
+  | Some (Report.Ebgp_tunnel_egress { node; endpoint; port; _ }) ->
+    Alcotest.(check int) "flagged mid-tunnel at r2" r2 node;
+    Alcotest.(check int) "tunnel endpoint" r3 endpoint;
+    Alcotest.(check int) "the leaking eBGP port" r2_rx port
+  | _ -> Alcotest.fail "expected an eBGP-tunnel-egress violation"
+
+let () =
+  Alcotest.run "mifo_analysis"
+    [
+      ( "as_check",
+        [
+          Alcotest.test_case "gadget loop-free with the check" `Quick
+            test_gadget_loop_free_with_check;
+          Alcotest.test_case "gadget counterexample + replay without it" `Quick
+            test_gadget_counterexample_without_check;
+          Alcotest.test_case "gadget paths valley-free" `Quick test_gadget_paths_valley_free;
+          Alcotest.test_case "generated topology: on clean, off loops" `Quick
+            test_verify_as_level_generated;
+          QCheck_alcotest.to_alcotest prop_static_matches_dynamic;
+        ] );
+      ("report", [ Alcotest.test_case "JSON round-trip" `Quick test_report_json ]);
+      ( "net_check",
+        [
+          Alcotest.test_case "gadget network clean" `Quick test_network_gadget_clean;
+          Alcotest.test_case "tag-check off: router-level loop" `Quick
+            test_network_gadget_tag_check_off_loops;
+          Alcotest.test_case "dangling alternative port" `Quick test_network_dangling_alt_port;
+          Alcotest.test_case "eBGP egress mid-tunnel" `Quick test_network_ebgp_tunnel_egress;
+        ] );
+    ]

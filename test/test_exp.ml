@@ -144,13 +144,26 @@ let test_tag_check_ablation () =
   Alcotest.(check int) "none loop with the check" 0
     t.Ablations.Tag_check.with_check.Ablations.Tag_check.looped;
   Alcotest.(check int) "drops replace loops" 3
-    t.Ablations.Tag_check.with_check.Ablations.Tag_check.dropped_valley
+    t.Ablations.Tag_check.with_check.Ablations.Tag_check.dropped_valley;
+  (* the static verifier's verdicts ride along: clean with the check,
+     a machine-checked (replay-confirmed) loop counterexample without *)
+  Alcotest.(check bool) "static: loop-free with the check" true
+    t.Ablations.Tag_check.static_on.Ablations.Tag_check.loop_free;
+  Alcotest.(check bool) "static: counterexample without it" false
+    t.Ablations.Tag_check.static_off.Ablations.Tag_check.loop_free;
+  Alcotest.(check bool) "static: counterexample replays to a loop" true
+    t.Ablations.Tag_check.static_off.Ablations.Tag_check.replay_confirmed
 
 let test_tag_check_ablation_generated () =
   let ctx = Lazy.force ctx in
   let t = Ablations.Tag_check.run ~sources:60 ctx in
   Alcotest.(check int) "never loops with the check" 0
-    t.Ablations.Tag_check.with_check.Ablations.Tag_check.looped
+    t.Ablations.Tag_check.with_check.Ablations.Tag_check.looped;
+  Alcotest.(check bool) "static: loop-free with the check" true
+    t.Ablations.Tag_check.static_on.Ablations.Tag_check.loop_free;
+  Alcotest.(check bool) "static: any counterexample replays" true
+    (t.Ablations.Tag_check.static_off.Ablations.Tag_check.loop_free
+    || t.Ablations.Tag_check.static_off.Ablations.Tag_check.replay_confirmed)
 
 let test_selection_ablation () =
   let ctx = Lazy.force ctx in
