@@ -1,4 +1,4 @@
-.PHONY: all build test fmt-check metrics-smoke lint static-check ci bench clean
+.PHONY: all build test fmt-check metrics-smoke lint static-check bench-smoke ci bench clean
 
 all: build
 
@@ -50,10 +50,27 @@ static-check:
 	*) echo "static-check: ablation failed without a loop counterexample"; exit 1;; \
 	esac
 
+# Smoke-test the sim benchmark suite at tiny sizes: the incremental
+# solver must still be exercised end-to-end (reference vs incremental,
+# packetsim event loop) and BENCH_sim.json must be well-formed JSON.
+# Perf numbers at these sizes are meaningless; the full run is `make bench`.
+bench-smoke:
+	MIFO_SIM_ASES=60 MIFO_SIM_FLOWS=60 MIFO_SIM_TIME=5 \
+	MIFO_PKT_ASES=4 MIFO_PKT_FLOWS=4 MIFO_PKT_KB=50 \
+	MIFO_BENCH_SIM_OUT=_build/BENCH_sim-smoke.json \
+		dune exec bench/main.exe -- sim
+	@if command -v python3 >/dev/null 2>&1; then \
+		python3 -m json.tool _build/BENCH_sim-smoke.json >/dev/null && \
+		echo "bench-smoke: BENCH_sim-smoke.json parses"; \
+	else \
+		echo "bench-smoke: python3 not installed, skipping JSON parse check"; \
+	fi
+
 # Tier-1 gate: everything compiles, the whole suite passes, formatting is
 # clean (when ocamlformat is available), the metrics surface works, the
-# sources pass the determinism lint and the static verifier gate holds.
-ci: build test fmt-check metrics-smoke lint static-check
+# sources pass the determinism lint, the static verifier gate holds and
+# the sim bench suite runs end-to-end at smoke sizes.
+ci: build test fmt-check metrics-smoke lint static-check bench-smoke
 
 bench:
 	dune exec bench/main.exe

@@ -181,6 +181,267 @@ let write_bench_json path =
     close_out oc;
     Printf.printf "[wrote %s]\n%!" path
 
+(* --- Simulator benchmarks + BENCH_sim.json ----------------------------- *)
+
+module Flowsim = Mifo_netsim.Flowsim
+module Obs = Mifo_util.Obs
+
+type engine_sample = { epochs : int; solves : int; secs : float; epochs_per_sec : float }
+
+type flowsim_size = {
+  size_label : string;
+  sim_ases : int;
+  sim_links : int;
+  sim_flows : int;
+  sim_time : float;
+  reference : engine_sample;
+  incremental : engine_sample;
+  identical : bool;  (* engines produced bit-identical throughputs *)
+}
+
+type packetsim_sample = {
+  pkt_ases : int;
+  pkt_flows : int;
+  events : int;
+  pkt_secs : float;
+  events_per_sec : float;
+}
+
+let flowsim_sizes : flowsim_size list ref = ref []
+let packetsim_result : packetsim_sample option ref = ref None
+
+(* Flow-level simulator: wall time per epoch, reference engine (per-epoch
+   Maxmin.allocate, the pre-optimization implementation kept as oracle)
+   vs. the incremental solver with clean-epoch skipping.  Same topology,
+   same workload, and — asserted here — bit-identical results. *)
+let flowsim_bench_size ~label ~ases ~flows:count ~max_time =
+  let module Generator = Mifo_topology.Generator in
+  let topo =
+    Generator.generate
+      ~params:{ Generator.default_params with Generator.ases }
+      ~seed ()
+  in
+  let g = topo.Generator.graph in
+  let table = Mifo_bgp.Routing_table.create g in
+  let n = Mifo_topology.As_graph.n g in
+  let specs =
+    Mifo_traffic.Traffic.uniform
+      (Mifo_util.Prng.create ~seed:(seed + 7) ())
+      ~n_ases:n ~count
+      ~rate:(float_of_int count /. (0.5 *. max_time))
+      ()
+  in
+  let dests =
+    Array.of_list
+      (List.sort_uniq Int.compare
+         (Array.to_list
+            (Array.map (fun (s : Flowsim.flow_spec) -> s.Flowsim.dst) specs)))
+  in
+  Mifo_bgp.Routing_table.precompute table dests;
+  let deployment = Mifo_core.Deployment.full ~n in
+  let run engine =
+    Gc.compact ();
+    let params = { Flowsim.default_params with Flowsim.engine; max_time } in
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Obs.time_phase
+        (Printf.sprintf "bench.flowsim.%s" label)
+        (fun () -> Flowsim.run ~params table (Flowsim.Mifo deployment) specs)
+    in
+    let secs = Unix.gettimeofday () -. t0 in
+    let sample =
+      {
+        epochs = r.Flowsim.epochs;
+        solves = r.Flowsim.solves;
+        secs;
+        epochs_per_sec = float_of_int r.Flowsim.epochs /. secs;
+      }
+    in
+    (sample, Flowsim.throughputs r)
+  in
+  let reference, ref_tputs = run Flowsim.Reference in
+  let incremental, inc_tputs = run Flowsim.Incremental in
+  let identical =
+    Array.length ref_tputs = Array.length inc_tputs
+    && Array.for_all2
+         (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+         ref_tputs inc_tputs
+  in
+  let size =
+    {
+      size_label = label;
+      sim_ases = n;
+      sim_links = Mifo_topology.As_graph.edge_count g;
+      sim_flows = count;
+      sim_time = max_time;
+      reference;
+      incremental;
+      identical;
+    }
+  in
+  flowsim_sizes := !flowsim_sizes @ [ size ];
+  Printf.printf
+    "== Flowsim (%s: %d ASes, %d flows, %.0fs horizon) ==\n\
+     reference:   %6d epochs, %6d solves, %6.2fs (%8.0f epochs/s)\n\
+     incremental: %6d epochs, %6d solves, %6.2fs (%8.0f epochs/s)\n\
+     speedup: %.2fx   bit-identical: %b\n\n%!"
+    label n count max_time reference.epochs reference.solves reference.secs
+    reference.epochs_per_sec incremental.epochs incremental.solves
+    incremental.secs incremental.epochs_per_sec
+    (reference.secs /. incremental.secs)
+    identical
+
+(* Packet-level simulator: events/sec on a seeded chain of ASes, every
+   flow funnelling into the last AS so the shared tail links queue,
+   drop, and retransmit — the TCP/event-queue hot paths. *)
+let packetsim_bench () =
+  let module P = Mifo_netsim.Packetsim in
+  let module Engine = Mifo_core.Engine in
+  let module Prefix = Mifo_bgp.Prefix in
+  let module Rel = Mifo_topology.Relationship in
+  let k = Stdlib.max 3 (env_int "MIFO_PKT_ASES" 8) in
+  let nflows = Stdlib.max 1 (env_int "MIFO_PKT_FLOWS" 12) in
+  let kb = Stdlib.max 1 (env_int "MIFO_PKT_KB" 200) in
+  Gc.compact ();
+  let sim = P.create () in
+  let routers = Array.init k (fun i -> P.add_router sim ~as_id:(i + 1)) in
+  let hosts =
+    Array.init k (fun i -> P.add_host sim ~addr:(Prefix.host_of_as (i + 1) 1))
+  in
+  (* host access links *)
+  let host_port =
+    Array.init k (fun i ->
+        let _, rh =
+          P.connect sim ~a:hosts.(i) ~b:routers.(i) ~kind_ab:Engine.Local
+            ~kind_ba:Engine.Local ~rate:1e9 ()
+        in
+        rh)
+  in
+  (* the chain, customer -> provider left to right *)
+  let right = Array.make k (-1) and left = Array.make k (-1) in
+  for i = 0 to k - 2 do
+    let pi, pj =
+      P.connect sim ~a:routers.(i) ~b:routers.(i + 1)
+        ~kind_ab:(Engine.Ebgp { neighbor_as = i + 2; rel = Rel.Customer })
+        ~kind_ba:(Engine.Ebgp { neighbor_as = i + 1; rel = Rel.Provider })
+        ~rate:1e9 ()
+    in
+    right.(i) <- pi;
+    left.(i + 1) <- pj
+  done;
+  for i = 0 to k - 1 do
+    let fib = P.fib sim routers.(i) in
+    for j = 0 to k - 1 do
+      let out =
+        if j = i then host_port.(i) else if j > i then right.(i) else left.(i)
+      in
+      Mifo_core.Fib.insert fib (Prefix.of_as (j + 1)) ~out_port:out ()
+    done
+  done;
+  for f = 0 to nflows - 1 do
+    ignore
+      (P.add_flow sim
+         ~src:hosts.(f mod (k - 1))
+         ~dst:hosts.(k - 1)
+         ~bytes:(kb * 1000)
+         ~start:(0.001 *. float_of_int f))
+  done;
+  let t0 = Unix.gettimeofday () in
+  Obs.time_phase "bench.packetsim" (fun () -> P.run sim);
+  let secs = Unix.gettimeofday () -. t0 in
+  let events = P.events_processed sim in
+  let sample =
+    {
+      pkt_ases = k;
+      pkt_flows = nflows;
+      events;
+      pkt_secs = secs;
+      events_per_sec = float_of_int events /. secs;
+    }
+  in
+  packetsim_result := Some sample;
+  Printf.printf
+    "== Packetsim (%d-AS chain, %d flows of %d KB) ==\n\
+     %d events in %.2fs (%.0f events/s)\n\n%!"
+    k nflows kb events secs sample.events_per_sec
+
+let sim () =
+  let ases = Stdlib.max 10 (env_int "MIFO_SIM_ASES" 400) in
+  let flows = Stdlib.max 2 (env_int "MIFO_SIM_FLOWS" 600) in
+  let max_time = Float.max 0.1 (env_float "MIFO_SIM_TIME" 20.) in
+  flowsim_bench_size ~label:"small" ~ases ~flows ~max_time;
+  flowsim_bench_size ~label:"large" ~ases:(3 * ases) ~flows:(3 * flows) ~max_time;
+  packetsim_bench ()
+
+(* phase.<name>.seconds gauges accumulated by Obs.time_phase across
+   whatever ran this invocation — figures, benches, everything *)
+let figure_secs_json () =
+  match Obs.Json.parse (Obs.snapshot_json ()) with
+  | exception Failure _ -> ""
+  | json -> (
+    match Obs.Json.member "gauges" json with
+    | Some (Obs.Json.Obj gauges) ->
+      String.concat ", "
+        (List.filter_map
+           (fun (name, v) ->
+             match v with
+             | Obs.Json.Num secs
+               when String.length name > 14
+                    && String.sub name 0 6 = "phase."
+                    && String.sub name (String.length name - 8) 8 = ".seconds" ->
+               Some
+                 (Printf.sprintf "\"%s\": %.3f"
+                    (json_escape
+                       (String.sub name 6 (String.length name - 14)))
+                    secs)
+             | _ -> None)
+           gauges)
+    | _ -> "")
+
+let write_sim_json path =
+  match !flowsim_sizes with
+  | [] -> ()
+  | sizes ->
+    let engine s =
+      Printf.sprintf
+        "{\"epochs\": %d, \"solves\": %d, \"secs\": %.6f, \"epochs_per_sec\": %.1f}"
+        s.epochs s.solves s.secs s.epochs_per_sec
+    in
+    let size s =
+      Printf.sprintf
+        "    {\"label\": \"%s\", \"ases\": %d, \"links\": %d, \"flows\": %d, \
+         \"max_time\": %.1f,\n\
+        \     \"reference\": %s,\n\
+        \     \"incremental\": %s,\n\
+        \     \"speedup\": %.3f, \"bit_identical\": %b}"
+        (json_escape s.size_label) s.sim_ases s.sim_links s.sim_flows s.sim_time
+        (engine s.reference) (engine s.incremental)
+        (s.reference.secs /. s.incremental.secs)
+        s.identical
+    in
+    let packetsim =
+      match !packetsim_result with
+      | None -> "null"
+      | Some p ->
+        Printf.sprintf
+          "{\"ases\": %d, \"flows\": %d, \"events\": %d, \"secs\": %.6f, \
+           \"events_per_sec\": %.1f}"
+          p.pkt_ases p.pkt_flows p.events p.pkt_secs p.events_per_sec
+    in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"machine\": {\"cores\": %d},\n\
+      \  \"flowsim\": [\n%s\n  ],\n\
+      \  \"packetsim\": %s,\n\
+      \  \"figure_secs\": {%s}\n\
+       }\n"
+      (Domain.recommended_domain_count ())
+      (String.concat ",\n" (List.map size sizes))
+      packetsim (figure_secs_json ());
+    close_out oc;
+    Printf.printf "[wrote %s]\n%!" path
+
 (* --- Bechamel microbenchmarks of the hot paths ------------------------- *)
 
 let micro () =
@@ -288,6 +549,7 @@ let validate () =
 let registry =
   [
     ("micro", micro);
+    ("sim", sim);
     ("table1", table1);
     ("fig5", fig5);
     ("fig6", fig6);
@@ -314,5 +576,11 @@ let () =
           (String.concat ", " (List.map fst registry));
         exit 2)
     requested;
-  (* machine-readable perf trajectory, one file per run (see ISSUE/PRs) *)
-  write_bench_json "BENCH_routing.json"
+  (* machine-readable perf trajectory, one file per run (see ISSUE/PRs).
+     MIFO_BENCH_SIM_OUT redirects the sim JSON so smoke runs (make
+     bench-smoke) don't clobber the committed full-size numbers. *)
+  write_bench_json "BENCH_routing.json";
+  write_sim_json
+    (match Sys.getenv_opt "MIFO_BENCH_SIM_OUT" with
+    | Some p -> p
+    | None -> "BENCH_sim.json")

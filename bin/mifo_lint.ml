@@ -1,6 +1,6 @@
 (* mifo-lint: determinism and domain-safety gate, stdlib only.
 
-   Two rule families, enforced over every .ml file under the given
+   Three rule families, enforced over every .ml file under the given
    directories (default: lib bin test examples — bench/ is exempt, its
    wall-clock timing is the point):
 
@@ -14,6 +14,13 @@
      without a [Mutex] in the same file — the OCaml runtime does not
      make [Hashtbl] atomic, and a silent race there corrupts routing
      state under the multicore fan-out.
+
+   - Simulator hot paths: polymorphic comparison ([compare] /
+     [Stdlib.compare]) is banned in lib/netsim/ — it walks the runtime
+     representation on every call, which is both slow on the simulators'
+     inner loops and fragile (it would traverse whole records if a
+     comparator's argument type drifted).  Use the monomorphic
+     [Float.compare] / [Int.compare] (identical orders on those types).
 
    A finding can be waived for one line with a [lint:allow] marker.
    Exit status: 0 clean, 1 findings. *)
@@ -40,6 +47,38 @@ let contains ~sub s =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m > 0 && go 0
 
+(* Does [line] use the polymorphic [compare]?  A match is the bare word
+   "compare" not preceded by '.' (so [Float.compare] / [Int.compare] /
+   [String.compare] pass) or an identifier character (so [my_compare]
+   passes), plus the explicit [Stdlib.compare].  Substring-based like the
+   rest of this linter: comments and strings are not parsed, use a
+   [lint:allow] waiver for prose hits. *)
+let uses_polymorphic_compare line =
+  if contains ~sub:"Stdlib.compare" line then true
+  else begin
+    let n = String.length line in
+    let m = String.length "compare" in
+    let is_ident c =
+      (c >= 'a' && c <= 'z')
+      || (c >= 'A' && c <= 'Z')
+      || (c >= '0' && c <= '9')
+      || c = '_' || c = '\'' || c = '.'
+    in
+    let rec go i =
+      if i + m > n then false
+      else if
+        String.sub line i m = "compare"
+        && (i = 0 || not (is_ident line.[i - 1]))
+        && (i + m = n || not (is_ident line.[i + m]))
+      then true
+      else go (i + 1)
+    in
+    go 0
+  end
+
+(* Directories whose .ml files sit on simulator hot paths. *)
+let hot_path_dirs = [ "netsim" ]
+
 let findings = ref 0
 
 let report path line_no line msg =
@@ -55,13 +94,21 @@ let lint_file path =
      done
    with End_of_file -> close_in ic);
   let lines = Array.of_list (List.rev !lines) in
+  let on_hot_path =
+    List.mem (Filename.basename (Filename.dirname path)) hot_path_dirs
+  in
   Array.iteri
     (fun i line ->
-      if not (contains ~sub:"lint:allow" line) then
+      if not (contains ~sub:"lint:allow" line) then begin
         List.iter
           (fun (sub, msg) ->
             if contains ~sub line then report path (i + 1) line (sub ^ ": " ^ msg))
-          banned_substrings)
+          banned_substrings;
+        if on_hot_path && uses_polymorphic_compare line then
+          report path (i + 1) line
+            "polymorphic compare on a simulator hot path; use Float.compare / \
+             Int.compare (or waive with lint:allow)"
+      end)
     lines;
   if List.mem (Filename.basename path) domain_shared then begin
     let whole = String.concat "\n" (Array.to_list lines) in

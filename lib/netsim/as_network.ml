@@ -27,7 +27,7 @@ let build ?config ?pool ?(link_rate = 1e9) ?host_rate table ~deployment ~hosts (
   (* One routing state per host prefix; the computations are independent
      so they fan out across the domain pool before the serial FIB fill. *)
   Routing_table.precompute ?pool table
-    (Array.of_list (List.sort_uniq compare hosts));
+    (Array.of_list (List.sort_uniq Int.compare hosts));
   let sim = Packetsim.create ?config () in
   let router_of_as = Array.init n (fun v -> Packetsim.add_router sim ~as_id:v) in
   (* Inter-AS links; remember the egress port of every directed pair. *)

@@ -4,8 +4,8 @@ type 'a item = { time : float; seq : int; payload : 'a }
 type 'a t = { heap : 'a item Heap.t; mutable next_seq : int }
 
 let cmp a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let create () = { heap = Heap.create ~cmp (); next_seq = 0 }
 

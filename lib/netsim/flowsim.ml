@@ -11,6 +11,7 @@ type protocol =
   | Miro of { deployment : Deployment.t; cap : int }
 
 type alt_selection = Greedy_local | Oracle_bottleneck
+type engine = Incremental | Reference
 
 type params = {
   link_capacity : float;
@@ -22,6 +23,8 @@ type params = {
   max_time : float;
   series_interval : float;
   alt_selection : alt_selection;
+  engine : engine;
+  skip_clean_epochs : bool;
 }
 
 let default_params =
@@ -35,6 +38,8 @@ let default_params =
     max_time = 120.;
     series_interval = 0.25;
     alt_selection = Greedy_local;
+    engine = Incremental;
+    skip_clean_epochs = true;
   }
 
 type flow_spec = { src : int; dst : int; size_bits : float; start : float }
@@ -56,6 +61,7 @@ type result = {
   offload_fraction : float;
   series : (float * float) array;
   epochs : int;
+  solves : int;
   sim_end : float;
 }
 
@@ -100,6 +106,7 @@ type flow = {
   mutable alt_time : float;
   mutable finish : float;
   mutable completed : bool;
+  mutable slot : int;  (* Maxmin.Solver flow handle; -1 while inactive *)
 }
 
 let path_links links_reg path =
@@ -134,6 +141,8 @@ let c_epochs = Obs.counter "flowsim.epochs"
 let c_switches = Obs.counter "flowsim.path_switches"
 let c_completed = Obs.counter "flowsim.completed"
 let c_resumed = Obs.counter "flowsim.resumed_default"
+let c_solves = Obs.counter "flowsim.solver.solves"
+let c_skipped = Obs.counter "flowsim.solver.skipped_epochs"
 
 let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
   let g = Routing_table.graph table in
@@ -155,15 +164,45 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
   let links_reg = Links.create g in
   let nlinks = Links.count links_reg in
   let capacities = Array.make nlinks params.link_capacity in
-  let pending_failures = ref (List.sort compare failures) in
+  let solver =
+    match params.engine with
+    | Incremental ->
+      Some (Maxmin.Solver.create ~capacity:params.link_capacity ~nlinks ())
+    | Reference -> None
+  in
+  (* Does the solver state (membership or capacities) differ from the
+     last solve?  Set on arrival, completion, path switch, and link
+     failure; when clear, this epoch's solve would be bit-identical to
+     the previous one and can be skipped outright. *)
+  let dirty = ref true in
+  let solves = ref 0 in
+  let pending_failures =
+    ref
+      (List.sort
+         (fun (t1, (u1, v1)) (t2, (u2, v2)) ->
+           let c = Float.compare t1 t2 in
+           if c <> 0 then c
+           else begin
+             let c = Int.compare u1 u2 in
+             if c <> 0 then c else Int.compare v1 v2
+           end)
+         failures)
+  in
   let apply_due_failures now =
     let rec go () =
       match !pending_failures with
       | (at, (u, v)) :: rest when at <= now ->
         pending_failures := rest;
         (* both directions of the physical link go dark *)
-        capacities.(Links.id links_reg u v) <- dead_capacity;
-        capacities.(Links.id links_reg v u) <- dead_capacity;
+        let luv = Links.id links_reg u v and lvu = Links.id links_reg v u in
+        capacities.(luv) <- dead_capacity;
+        capacities.(lvu) <- dead_capacity;
+        (match solver with
+        | Some sv ->
+          Maxmin.Solver.set_capacity sv luv dead_capacity;
+          Maxmin.Solver.set_capacity sv lvu dead_capacity;
+          dirty := true
+        | None -> ());
         go ()
       | _ -> ()
     in
@@ -172,7 +211,9 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
   (* Flows sorted by arrival, stable on input order. *)
   let order = Array.init (Array.length flow_specs) (fun i -> i) in
   Array.sort
-    (fun a b -> compare (flow_specs.(a).start, a) (flow_specs.(b).start, b))
+    (fun a b ->
+      let c = Float.compare flow_specs.(a).start flow_specs.(b).start in
+      if c <> 0 then c else Int.compare a b)
     order;
   let make_flow idx =
     let spec = flow_specs.(idx) in
@@ -194,6 +235,7 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
       alt_time = 0.;
       finish = nan;
       completed = false;
+      slot = -1;
     }
   in
   let flows = Array.map make_flow order in
@@ -220,6 +262,11 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
   let switch_to f path =
     f.path <- path;
     f.links <- path_links links_reg path;
+    (match solver with
+    | Some sv when f.slot >= 0 ->
+      Maxmin.Solver.set_links sv f.slot (Maxmin.dedup_links f.links);
+      dirty := true
+    | _ -> ());
     f.switches <- f.switches + 1;
     Obs.incr c_switches;
     let is_default = path == f.default_path || path = f.default_path in
@@ -356,6 +403,18 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
   let epochs = ref 0 in
   let completed = ref 0 in
   let last_sample = ref neg_infinity in
+  (* Reusable per-epoch scratch (adaptation order, solver slot list):
+     grown geometrically, never freed, so the steady-state epoch loop
+     allocates nothing. *)
+  let order_scratch : flow array ref = ref [||] in
+  let slot_scratch = ref [||] in
+  let ensure_scratch scratch len fill =
+    if Array.length !scratch < len then
+      scratch :=
+        Array.make
+          (Stdlib.max 16 (Stdlib.max len (2 * Array.length !scratch)))
+          fill
+  in
   (* jump to the first arrival *)
   if total > 0 then time := flows.(0).spec.start;
   while !completed < total && !time <= params.max_time do
@@ -366,7 +425,13 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
     while
       !next_arrival < total && flows.(!next_arrival).spec.start <= !time +. 1e-12
     do
-      Mifo_util.Vec.push active flows.(!next_arrival);
+      let f = flows.(!next_arrival) in
+      Mifo_util.Vec.push active f;
+      (match solver with
+      | Some sv ->
+        f.slot <- Maxmin.Solver.register sv (Maxmin.dedup_links f.links);
+        dirty := true
+      | None -> ());
       incr next_arrival
     done;
     (* adaptation against last epoch's utilization, most-starved flows
@@ -377,24 +442,70 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
     let window = int_of_float (!time /. Float.max params.dt params.miro_reaction) in
     miro_may_act := window <> !miro_window;
     if !miro_may_act then miro_window := window;
-    if !epochs > 1 then begin
-      let order = Mifo_util.Vec.to_array active in
-      Array.sort (fun a b -> compare (a.rate, a.idx) (b.rate, b.idx)) order;
-      Array.iter adapt order
+    let nactive = Mifo_util.Vec.length active in
+    if !epochs > 1 && nactive > 0 then begin
+      ensure_scratch order_scratch nactive (Mifo_util.Vec.get active 0);
+      let order = !order_scratch in
+      for i = 0 to nactive - 1 do
+        order.(i) <- Mifo_util.Vec.get active i
+      done;
+      Mifo_util.Sort.sort_prefix
+        ~cmp:(fun a b ->
+          let c = Float.compare a.rate b.rate in
+          if c <> 0 then c else Int.compare a.idx b.idx)
+        order nactive;
+      for i = 0 to nactive - 1 do
+        adapt order.(i)
+      done
     end;
     (* allocation *)
-    let active_arr = Mifo_util.Vec.to_array active in
-    let flow_links = Array.map (fun f -> f.links) active_arr in
-    let rates = Maxmin.allocate ~capacities ~flow_links in
-    Array.iteri (fun i f -> f.rate <- rates.(i)) active_arr;
-    alloc := Maxmin.link_allocation ~capacities ~flow_links ~rates;
+    (match solver with
+    | Some sv ->
+      let nactive = Mifo_util.Vec.length active in
+      if !dirty || not params.skip_clean_epochs then begin
+        ensure_scratch slot_scratch nactive (-1);
+        let slots = !slot_scratch in
+        for i = 0 to nactive - 1 do
+          slots.(i) <- (Mifo_util.Vec.get active i).slot
+        done;
+        Maxmin.Solver.solve sv slots nactive;
+        dirty := false;
+        incr solves;
+        Obs.incr c_solves;
+        for i = 0 to nactive - 1 do
+          let f = Mifo_util.Vec.get active i in
+          f.rate <- Maxmin.Solver.rate sv f.slot
+        done;
+        alloc := Maxmin.Solver.link_allocs sv
+      end
+      else Obs.incr c_skipped
+    | None ->
+      let active_arr = Mifo_util.Vec.to_array active in
+      let flow_links = Array.map (fun f -> f.links) active_arr in
+      let rates = Maxmin.allocate ~capacities ~flow_links in
+      Array.iteri (fun i f -> f.rate <- rates.(i)) active_arr;
+      incr solves;
+      Obs.incr c_solves;
+      alloc := Maxmin.link_allocation ~capacities ~flow_links ~rates);
     (* progress *)
-    let aggregate = Array.fold_left (fun acc f -> acc +. f.rate) 0. active_arr in
+    let aggregate =
+      Mifo_util.Vec.fold_left (fun acc f -> acc +. f.rate) 0. active
+    in
     if !time -. !last_sample >= params.series_interval -. 1e-12 then begin
       Mifo_util.Vec.push series (!time, aggregate);
-      last_sample := !time
+      (* Snap the sampling cursor to the interval grid instead of the
+         epoch timestamp: epochs land a hair after the grid point, and
+         anchoring at the epoch time accumulates that quantization error
+         into a phase drift that eventually skips a sample. *)
+      if !last_sample = neg_infinity then last_sample := !time
+      else begin
+        last_sample := !last_sample +. params.series_interval;
+        while !time -. !last_sample >= params.series_interval -. 1e-12 do
+          last_sample := !last_sample +. params.series_interval
+        done
+      end
     end;
-    Array.iter
+    Mifo_util.Vec.iter
       (fun f ->
         let transferred = f.rate *. params.dt in
         if not f.on_default then f.alt_time <- f.alt_time +. params.dt;
@@ -406,12 +517,20 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
           Obs.incr c_completed
         end
         else f.remaining <- f.remaining -. transferred)
-      active_arr;
+      active;
     (* drop completed flows from the active set *)
     let i = ref 0 in
     while !i < Mifo_util.Vec.length active do
-      if (Mifo_util.Vec.get active !i).completed then
-        ignore (Mifo_util.Vec.swap_remove active !i)
+      let f = Mifo_util.Vec.get active !i in
+      if f.completed then begin
+        ignore (Mifo_util.Vec.swap_remove active !i);
+        match solver with
+        | Some sv ->
+          Maxmin.Solver.unregister sv f.slot;
+          f.slot <- -1;
+          dirty := true
+        | None -> ()
+      end
       else incr i
     done;
     (* advance: skip idle gaps straight to the next arrival *)
@@ -455,6 +574,7 @@ let run ?(params = default_params) ?(failures = []) table protocol flow_specs =
     offload_fraction = offload;
     series = Mifo_util.Vec.to_array series;
     epochs = !epochs;
+    solves = !solves;
     sim_end;
   }
 

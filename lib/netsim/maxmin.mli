@@ -8,7 +8,22 @@
     The implementation keeps a lazy min-heap of per-link saturation
     levels.  A link's level (cap - frozen) / unfrozen only grows as flows
     freeze, so a popped stale key can simply be re-pushed; the run time is
-    O((L + sum of path lengths) log L). *)
+    O((L + sum of path lengths) log L).
+
+    Two implementations share that algorithm:
+
+    - {!allocate} is the stateless reference: it allocates its scratch
+      per call and is the oracle the tests compare against.
+    - {!Solver} is the incremental engine the simulator's hot loop uses:
+      flows register their link sets once, every scratch array persists
+      across solves, and a solve allocates nothing at steady state.  Its
+      rates are bit-identical to {!allocate} by construction (same float
+      expressions, same heap pop order — pinned by a QCheck equivalence
+      property). *)
+
+val dedup_links : int array -> int array
+(** Canonical link set of a path: sorted ascending, duplicates removed.
+    Returns a fresh array; the input is untouched. *)
 
 val allocate :
   capacities:float array ->
@@ -31,4 +46,73 @@ val link_allocation :
   rates:float array ->
   float array
 (** Total allocated bandwidth per link under the given rates — the
-    utilization view the adaptive controllers consume. *)
+    utilization view the adaptive controllers consume.  [flow_links.(f)]
+    must be duplicate-free (canonicalize with {!dedup_links} if unsure;
+    simulator paths are simple, so their link sets already are): each
+    occurrence of a link id adds [rates.(f)] once.  This function no
+    longer re-sorts or re-dedups per call — that hidden O(L log L) per
+    flow per epoch was pure waste on the hot path. *)
+
+(** Persistent incremental solver: same waterfilling as {!allocate},
+    zero allocation per solve at steady state.
+
+    Intended use: [create] once per simulation, [register] each flow's
+    {!dedup_links}-canonical link set at arrival, [set_links] on a path
+    switch, [unregister] at completion, [set_capacity] on failure, and
+    call [solve] each epoch.  [solve] also computes the per-link
+    allocation ({!link_allocation} folded into the same pass), exposed
+    via {!val-link_allocs}. *)
+module Solver : sig
+  type t
+
+  val create : ?capacity:float -> nlinks:int -> unit -> t
+  (** [create ~nlinks ()] makes a solver for links [0 .. nlinks - 1],
+      each with initial capacity [capacity] (default [0.]).
+
+      @raise Invalid_argument on negative [nlinks] or a negative or NaN
+      [capacity]. *)
+
+  val nlinks : t -> int
+  val capacity : t -> int -> float
+
+  val set_capacity : t -> int -> float -> unit
+  (** @raise Invalid_argument on a negative or NaN capacity. *)
+
+  val register : t -> int array -> int
+  (** [register t links] admits a flow crossing [links] and returns its
+      slot handle.  [links] must be sorted ascending and duplicate-free
+      ({!dedup_links} output); the array is kept by reference — do not
+      mutate it while registered.
+
+      @raise Invalid_argument on unsorted, duplicated, or out-of-range
+      link ids. *)
+
+  val set_links : t -> int -> int array -> unit
+  (** Replace a registered flow's link set (path switch).  Same
+      preconditions as {!register}. *)
+
+  val unregister : t -> int -> unit
+  (** Release a slot (flow completed).  The slot id may be reused by a
+      later {!register}. *)
+
+  val solve : t -> int array -> int -> unit
+  (** [solve t active n] runs waterfilling over the flows
+      [active.(0 .. n - 1)] (slot handles, caller's order).  Flow order
+      determines the per-link allocation accumulation order, so pass the
+      same order the reference path would use.  Rates of slots not in
+      [active] are stale after the call; reading them is a caller bug.
+
+      @raise Invalid_argument on a bad length or an unknown slot. *)
+
+  val rate : t -> int -> float
+  (** Rate of a slot as of the last {!solve} ([Float.infinity] for a
+      flow with an empty link set). *)
+
+  val link_allocs : t -> float array
+  (** Per-link allocated bandwidth as of the last {!solve}.  Returns the
+      solver's internal array — valid until the next {!solve}, and not
+      to be mutated. *)
+
+  val solves : t -> int
+  (** Number of {!solve} calls so far (skip-rate accounting). *)
+end

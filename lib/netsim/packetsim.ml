@@ -59,26 +59,31 @@ type flow_rec = {
 type sender = {
   frec : flow_rec;
   tcp : Tcp.Sender.t;
-  send_times : (int, float) Hashtbl.t;
-      (* first-transmission time per segment; NaN once retransmitted
-         (Karn's rule disables the RTT sample) *)
+  send_times : float array;
+      (* first-transmission time per segment, indexed by seq;
+         [neg_infinity] until first sent, NaN once retransmitted (Karn's
+         rule disables the RTT sample).  A flat array instead of an
+         (int, float) Hashtbl: seq ids are dense 0..total-1, and this
+         sits on the per-segment hot path. *)
 }
 
 type router = {
   as_id : int;
   r_fib : Fib.t;
   mutable chooser : (Prefix.t -> Fib.entry -> int option) option;
-  last_egress : (int, int) Hashtbl.t;  (* flow -> egress port *)
-  mutable switches : (int, int) Hashtbl.t;  (* flow -> count *)
+  last_egress : int Vec.t;  (* flow -> last egress port; -1 = none yet *)
+  switches : int Vec.t;  (* flow -> egress change count *)
   ibgp_peers : (int, int) Hashtbl.t;
       (* peer router (node id named in the port's Ibgp kind) -> local
-         port carrying that session; the engine's route_to_peer *)
+         port carrying that session; the engine's route_to_peer.  Stays
+         a hashtable: consulted only on encapsulation decisions, keyed
+         by sparse node ids. *)
 }
 
 type host = {
   addr : Prefix.addr;
-  senders : (int, sender) Hashtbl.t;
-  receivers : (int, Tcp.Receiver.t) Hashtbl.t;
+  senders : sender option Vec.t;  (* flow id -> sender, on the src host *)
+  receivers : Tcp.Receiver.t option Vec.t;  (* flow id -> receiver, dst host *)
 }
 
 type node_kind = Router of router | Host of host
@@ -106,6 +111,7 @@ type t = {
   flows : flow_rec Vec.t;
   events : event Eventq.t;
   mutable now : float;
+  mutable events_processed : int;
   mutable delivered_packets : int;
   mutable dropped_queue : int;
   mutable dropped_ttl : int;
@@ -127,6 +133,7 @@ let create ?(config = default_config) () =
     flows = Vec.create ();
     events = Eventq.create ();
     now = 0.;
+    events_processed = 0;
     delivered_packets = 0;
     dropped_queue = 0;
     dropped_ttl = 0;
@@ -143,6 +150,10 @@ let create ?(config = default_config) () =
 
 let config t = t.cfg
 let now t = t.now
+let events_processed t = t.events_processed
+
+(* Flow-indexed flat tables: [Vec.ensure]-grown, sentinel-initialized. *)
+let slot v i = if i >= 0 && i < Vec.length v then Vec.get v i else None
 
 (* Process-wide observability mirrors of the per-sim counters, plus the
    queue-depth view only the transmit path can see. *)
@@ -161,8 +172,8 @@ let add_router t ~as_id =
       as_id;
       r_fib = Fib.create ();
       chooser = None;
-      last_egress = Hashtbl.create 64;
-      switches = Hashtbl.create 64;
+      last_egress = Vec.create ();
+      switches = Vec.create ();
       ibgp_peers = Hashtbl.create 8;
     }
   in
@@ -170,7 +181,7 @@ let add_router t ~as_id =
   Vec.length t.nodes - 1
 
 let add_host t ~addr =
-  let h = { addr; senders = Hashtbl.create 8; receivers = Hashtbl.create 8 } in
+  let h = { addr; senders = Vec.create (); receivers = Vec.create () } in
   Vec.push t.nodes { kind = Host h; ports = Vec.create () };
   Vec.length t.nodes - 1
 
@@ -279,13 +290,15 @@ let engine_env t id r =
   }
 
 let note_egress r flow p =
-  match Hashtbl.find_opt r.last_egress flow with
-  | Some prev when prev = p -> ()
-  | Some _ ->
-    Hashtbl.replace r.last_egress flow p;
-    let c = Option.value ~default:0 (Hashtbl.find_opt r.switches flow) in
-    Hashtbl.replace r.switches flow (c + 1)
-  | None -> Hashtbl.replace r.last_egress flow p
+  Vec.ensure r.last_egress (flow + 1) (-1);
+  let prev = Vec.get r.last_egress flow in
+  if prev <> p then begin
+    Vec.set r.last_egress flow p;
+    if prev >= 0 then begin
+      Vec.ensure r.switches (flow + 1) 0;
+      Vec.set r.switches flow (Vec.get r.switches flow + 1)
+    end
+  end
 
 let handle_router t id r ~port:ingress packet =
   let env = engine_env t id r in
@@ -331,9 +344,8 @@ let arm_timer t host_id (s : sender) =
   end
 
 let send_segment t host_id (s : sender) seq =
-  (match Hashtbl.find_opt s.send_times seq with
-   | None -> Hashtbl.replace s.send_times seq t.now
-   | Some _ -> Hashtbl.replace s.send_times seq Float.nan);
+  s.send_times.(seq) <-
+    (if s.send_times.(seq) = Float.neg_infinity then t.now else Float.nan);
   let packet =
     Packet.make ~kind:Packet.Data ~seq ~size_bits:t.cfg.mss_bits ~src:s.frec.src_addr
       ~dst:s.frec.dst_addr ~flow:s.frec.id ()
@@ -370,16 +382,20 @@ let add_flow t ~src ~dst ~bytes ~start =
     }
   in
   Vec.push t.flows frec;
-  let tcp = Tcp.Sender.create ~total:(total_segments t bytes) in
-  Hashtbl.replace hs.senders id { frec; tcp; send_times = Hashtbl.create 256 };
-  Hashtbl.replace hd.receivers id (Tcp.Receiver.create ());
+  let total = total_segments t bytes in
+  let tcp = Tcp.Sender.create ~total in
+  Vec.ensure hs.senders (id + 1) None;
+  Vec.set hs.senders id
+    (Some { frec; tcp; send_times = Array.make total Float.neg_infinity });
+  Vec.ensure hd.receivers (id + 1) None;
+  Vec.set hd.receivers id (Some (Tcp.Receiver.create ()));
   Eventq.schedule t.events ~time:start (Start_flow id);
   id
 
 let handle_host t id h ~port:_ packet =
   match packet.Packet.kind with
   | Packet.Data -> (
-    match Hashtbl.find_opt h.receivers packet.Packet.flow with
+    match slot h.receivers packet.Packet.flow with
     | None -> ()
     | Some rcv ->
       t.delivered_packets <- t.delivered_packets + 1;
@@ -392,21 +408,21 @@ let handle_host t id h ~port:_ packet =
       in
       transmit t id 0 reply)
   | Packet.Ack -> (
-    match Hashtbl.find_opt h.senders packet.Packet.flow with
+    match slot h.senders packet.Packet.flow with
     | None -> ()
     | Some s ->
       if s.frec.finish = None then begin
         let before = Tcp.Sender.snd_una s.tcp in
         let ack = packet.Packet.seq in
         if ack > before then begin
-          (* RTT sample from the newest segment this ACK covers *)
-          (match Hashtbl.find_opt s.send_times (ack - 1) with
-           | Some t0 when not (Float.is_nan t0) ->
-             Tcp.Sender.observe_rtt s.tcp (t.now -. t0)
-           | Some _ | None -> ());
-          for seq = before to ack - 1 do
-            Hashtbl.remove s.send_times seq
-          done
+          (* RTT sample from the newest segment this ACK covers.  Acked
+             slots need no cleanup: once cumulative, they are never read
+             again.  [neg_infinity] (never sent) and NaN (retransmitted,
+             Karn's rule) both fail [is_finite] and yield no sample. *)
+          if ack - 1 < Array.length s.send_times then begin
+            let t0 = s.send_times.(ack - 1) in
+            if Float.is_finite t0 then Tcp.Sender.observe_rtt s.tcp (t.now -. t0)
+          end
         end;
         let rtx = Tcp.Sender.on_ack s.tcp packet.Packet.seq in
         List.iter (send_segment t id s) rtx;
@@ -449,11 +465,11 @@ let handle t = function
     | Host h -> handle_host t id h ~port:p packet)
   | Start_flow flow -> (
     let frec = Vec.get t.flows flow in
-    match Hashtbl.find_opt (host_exn t frec.src_host).senders flow with
+    match slot (host_exn t frec.src_host).senders flow with
     | Some s -> pump t frec.src_host s
     | None -> ())
   | Timeout { host; flow; gen } -> (
-    match Hashtbl.find_opt (host_exn t host).senders flow with
+    match slot (host_exn t host).senders flow with
     | None -> ()
     | Some s ->
       if s.frec.finish = None then begin
@@ -483,6 +499,7 @@ let run ?(until = infinity) t =
       | None -> ()
       | Some (time, ev) ->
         t.now <- time;
+        t.events_processed <- t.events_processed + 1;
         handle t ev;
         loop ())
   in
@@ -513,19 +530,26 @@ let counters t =
   }
 
 let path_switches t =
-  let totals = Hashtbl.create 64 in
+  let totals = Vec.create () in
   for id = 0 to Vec.length t.nodes - 1 do
     match (node t id).kind with
     | Host _ -> ()
     | Router r ->
-      Hashtbl.iter
-        (fun flow c ->
-          let cur = Option.value ~default:0 (Hashtbl.find_opt totals flow) in
-          Hashtbl.replace totals flow (cur + c))
-        r.switches
+      for flow = 0 to Vec.length r.switches - 1 do
+        let c = Vec.get r.switches flow in
+        if c > 0 then begin
+          Vec.ensure totals (flow + 1) 0;
+          Vec.set totals flow (Vec.get totals flow + c)
+        end
+      done
   done;
-  Hashtbl.fold (fun flow c acc -> (flow, c) :: acc) totals []
-  |> List.sort compare
+  (* flows ascending, built back to front — no sort needed *)
+  let acc = ref [] in
+  for flow = Vec.length totals - 1 downto 0 do
+    let c = Vec.get totals flow in
+    if c > 0 then acc := (flow, c) :: !acc
+  done;
+  !acc
 
 (* Read-only topology/state exports for the static verifier
    (Mifo_analysis.Net_check): enough to rebuild the forwarding graph —

@@ -77,6 +77,11 @@ val run : ?until:float -> t -> unit
 
 val now : t -> float
 
+val events_processed : t -> int
+(** Total simulator events handled so far (packet arrivals, flow starts,
+    timeouts, daemon ticks) — the denominator of the events/sec
+    benchmark. *)
+
 (** {1 Results} *)
 
 type flow_result = {

@@ -89,7 +89,7 @@ let build ?config ?(link_rate = 1e9) ?host_rate table ~expansion ~deployment ~ho
     hosts;
   (* FIBs per destination prefix; routing states fanned out over the
      shared domain pool first, the wiring below stays serial. *)
-  Routing_table.precompute table (Array.of_list (List.sort_uniq compare hosts));
+  Routing_table.precompute table (Array.of_list (List.sort_uniq Int.compare hosts));
   let alt_candidates = Hashtbl.create 1024 in
   (* (router, dest network) -> (owner router, port on this router,
      owner's ebgp port) candidates; for a local (same-router) candidate

@@ -110,19 +110,29 @@ module Sender = struct
 end
 
 module Receiver = struct
-  type t = { mutable rcv_nxt : int; out_of_order : (int, unit) Hashtbl.t }
+  module Vec = Mifo_util.Vec
 
-  let create () = { rcv_nxt = 0; out_of_order = Hashtbl.create 64 }
+  (* Out-of-order segments as a seq-indexed bit set: seq ids are dense,
+     so a growable bool table beats an (int, unit) Hashtbl on the
+     per-segment hot path. *)
+  type t = { mutable rcv_nxt : int; out_of_order : bool Vec.t }
+
+  let create () = { rcv_nxt = 0; out_of_order = Vec.create () }
 
   let on_data t seq =
     if seq = t.rcv_nxt then begin
       t.rcv_nxt <- t.rcv_nxt + 1;
-      while Hashtbl.mem t.out_of_order t.rcv_nxt do
-        Hashtbl.remove t.out_of_order t.rcv_nxt;
+      while
+        t.rcv_nxt < Vec.length t.out_of_order && Vec.get t.out_of_order t.rcv_nxt
+      do
+        Vec.set t.out_of_order t.rcv_nxt false;
         t.rcv_nxt <- t.rcv_nxt + 1
       done
     end
-    else if seq > t.rcv_nxt then Hashtbl.replace t.out_of_order seq ();
+    else if seq > t.rcv_nxt then begin
+      Vec.ensure t.out_of_order (seq + 1) false;
+      Vec.set t.out_of_order seq true
+    end;
     t.rcv_nxt
 
   let expected t = t.rcv_nxt

@@ -54,3 +54,16 @@ let swap_remove t i =
   t.size <- t.size - 1;
   t.data.(i) <- t.data.(t.size);
   x
+
+let ensure t n fill =
+  if n > t.size then begin
+    let cap = Array.length t.data in
+    if n > cap then begin
+      let ncap = Stdlib.max n (Stdlib.max 8 (2 * cap)) in
+      let ndata = Array.make ncap fill in
+      Array.blit t.data 0 ndata 0 t.size;
+      t.data <- ndata
+    end;
+    Array.fill t.data t.size (n - t.size) fill;
+    t.size <- n
+  end

@@ -20,3 +20,9 @@ val of_array : 'a array -> 'a t
 val swap_remove : 'a t -> int -> 'a
 (** Remove index [i] in O(1) by moving the last element into its slot;
     returns the removed element. *)
+
+val ensure : 'a t -> int -> 'a -> unit
+(** [ensure t n fill] grows [t] to length at least [n], initializing any
+    new slots with [fill].  A no-op when [t] is already long enough —
+    the backbone of flat int-keyed tables (flow id -> value) that replace
+    hashtables on simulator hot paths. *)

@@ -150,7 +150,9 @@ let prop_maxmin_feasible =
     maxmin_instance_gen
     (fun (caps, flows) ->
       let rates = Maxmin.allocate ~capacities:caps ~flow_links:flows in
-      let alloc = Maxmin.link_allocation ~capacities:caps ~flow_links:flows ~rates in
+      (* link_allocation requires duplicate-free link sets *)
+      let deduped = Array.map Maxmin.dedup_links flows in
+      let alloc = Maxmin.link_allocation ~capacities:caps ~flow_links:deduped ~rates in
       Array.for_all2 (fun a c -> a <= c +. 1e-6) alloc caps)
 
 let prop_maxmin_bottleneck =
@@ -158,7 +160,8 @@ let prop_maxmin_bottleneck =
     ~count:300 maxmin_instance_gen
     (fun (caps, flows) ->
       let rates = Maxmin.allocate ~capacities:caps ~flow_links:flows in
-      let alloc = Maxmin.link_allocation ~capacities:caps ~flow_links:flows ~rates in
+      let deduped = Array.map Maxmin.dedup_links flows in
+      let alloc = Maxmin.link_allocation ~capacities:caps ~flow_links:deduped ~rates in
       let max_rate_on = Array.make (Array.length caps) 0. in
       Array.iteri
         (fun f links ->
@@ -171,6 +174,127 @@ let prop_maxmin_bottleneck =
                (fun l -> alloc.(l) >= caps.(l) -. 1e-6 && rates.(f) >= max_rate_on.(l) -. 1e-6)
                flows.(f))
         (Array.init (Array.length flows) Fun.id))
+
+(* ---------- Incremental solver ---------- *)
+
+(* Richer instances than the fairness properties: zero-capacity links,
+   empty link sets, duplicate link ids — the corners the incremental
+   solver must agree with the reference on, bit for bit. *)
+let solver_instance_gen =
+  QCheck2.Gen.(
+    let* nlinks = int_range 1 12 in
+    let* nflows = int_range 0 20 in
+    let* caps =
+      array_size (return nlinks)
+        (oneof [ return 0.; float_range 1. 100. ])
+    in
+    let* flows =
+      array_size (return nflows)
+        (list_size (int_range 0 5) (int_bound (nlinks - 1)))
+    in
+    return (caps, Array.map Array.of_list flows))
+
+let exactly_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y) a b
+
+let prop_solver_matches_reference =
+  QCheck2.Test.make
+    ~name:"Solver rates and link allocs are bit-identical to the reference"
+    ~count:500 solver_instance_gen
+    (fun (caps, flows) ->
+      let expect = Maxmin.allocate ~capacities:caps ~flow_links:flows in
+      let deduped = Array.map Maxmin.dedup_links flows in
+      let expect_alloc =
+        Maxmin.link_allocation ~capacities:caps ~flow_links:deduped
+          ~rates:expect
+      in
+      let sv = Maxmin.Solver.create ~nlinks:(Array.length caps) () in
+      Array.iteri (fun l c -> Maxmin.Solver.set_capacity sv l c) caps;
+      let slots = Array.map (fun links -> Maxmin.Solver.register sv links) deduped in
+      Maxmin.Solver.solve sv slots (Array.length slots);
+      let got = Array.map (fun s -> Maxmin.Solver.rate sv s) slots in
+      exactly_equal expect got
+      && exactly_equal expect_alloc (Maxmin.Solver.link_allocs sv))
+
+(* Slot reuse: solving, retiring a subset of flows, admitting new ones,
+   and solving again must still match a fresh reference run — the
+   freelist and stale per-slot state must not leak into the next solve. *)
+let prop_solver_slot_reuse =
+  QCheck2.Test.make
+    ~name:"Solver matches the reference across unregister/register churn"
+    ~count:300
+    QCheck2.Gen.(
+      let* inst = solver_instance_gen in
+      let* inst2 = solver_instance_gen in
+      let* keep_mask = array_size (return (Array.length (snd inst))) bool in
+      return (inst, inst2, keep_mask))
+    (fun (((caps, flows), (_, flows2), keep_mask)) ->
+      let nlinks = Array.length caps in
+      let clamp links =
+        Maxmin.dedup_links (Array.map (fun l -> l mod nlinks) links)
+      in
+      let sv = Maxmin.Solver.create ~nlinks () in
+      Array.iteri (fun l c -> Maxmin.Solver.set_capacity sv l c) caps;
+      let slots1 =
+        Array.map (fun links -> Maxmin.Solver.register sv (clamp links)) flows
+      in
+      Maxmin.Solver.solve sv slots1 (Array.length slots1);
+      (* churn: drop the unmasked flows, admit the second instance's *)
+      let kept =
+        Array.of_list
+          (List.filteri
+             (fun i _ -> keep_mask.(i))
+             (Array.to_list slots1))
+      in
+      Array.iteri
+        (fun i s -> if not keep_mask.(i) then Maxmin.Solver.unregister sv s)
+        slots1;
+      let fresh =
+        Array.map (fun links -> Maxmin.Solver.register sv (clamp links)) flows2
+      in
+      let active = Array.append kept fresh in
+      Maxmin.Solver.solve sv active (Array.length active);
+      let kept_links =
+        Array.of_list
+          (List.filteri (fun i _ -> keep_mask.(i)) (Array.to_list flows))
+      in
+      let ref_links =
+        Array.map clamp (Array.append kept_links flows2)
+      in
+      let expect = Maxmin.allocate ~capacities:caps ~flow_links:ref_links in
+      let got = Array.map (fun s -> Maxmin.Solver.rate sv s) active in
+      exactly_equal expect got)
+
+let test_solver_validation () =
+  let expect_invalid name f =
+    Alcotest.(check bool) name true
+      (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  expect_invalid "negative nlinks" (fun () ->
+      Maxmin.Solver.create ~nlinks:(-1) ());
+  expect_invalid "nan capacity" (fun () ->
+      Maxmin.Solver.create ~capacity:Float.nan ~nlinks:1 ());
+  let sv = Maxmin.Solver.create ~capacity:1. ~nlinks:3 () in
+  expect_invalid "unsorted links" (fun () ->
+      Maxmin.Solver.register sv [| 2; 1 |]);
+  expect_invalid "duplicate links" (fun () ->
+      Maxmin.Solver.register sv [| 1; 1 |]);
+  expect_invalid "out-of-range link" (fun () ->
+      Maxmin.Solver.register sv [| 0; 3 |]);
+  expect_invalid "negative capacity" (fun () ->
+      Maxmin.Solver.set_capacity sv 0 (-1.));
+  let s = Maxmin.Solver.register sv [| 0; 2 |] in
+  Maxmin.Solver.unregister sv s;
+  expect_invalid "stale slot" (fun () -> Maxmin.Solver.rate sv s);
+  expect_invalid "unknown slot in solve" (fun () ->
+      Maxmin.Solver.solve sv [| 99 |] 1);
+  (* empty link set: unconstrained, infinity, even after slot reuse *)
+  let s2 = Maxmin.Solver.register sv [||] in
+  Maxmin.Solver.solve sv [| s2 |] 1;
+  Alcotest.(check bool) "empty set is unconstrained" true
+    (Maxmin.Solver.rate sv s2 = Float.infinity);
+  Alcotest.(check int) "solve count" 1 (Maxmin.Solver.solves sv)
 
 (* ---------- Tcp ---------- *)
 
@@ -411,6 +535,107 @@ let test_flowsim_rejects_bad_specs () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+(* The incremental engine (with and without clean-epoch skipping) and
+   the reference engine must agree bit for bit on a full run — rates,
+   series, everything.  This is the determinism contract the 3x-epoch
+   speedup rests on: skipping a solve is only sound because re-running
+   it would reproduce the exact same floats. *)
+let test_flowsim_engines_bit_identical () =
+  let topo = Lazy.force topo in
+  let table = Lazy.force table in
+  let n = As_graph.n topo.Generator.graph in
+  (* long-lived flows (hundreds of epochs each) so that most epochs see
+     no arrival/completion/switch and are skippable *)
+  let flows =
+    Array.of_list
+      (List.map
+         (fun (src, dst, start) ->
+           { Flowsim.src; dst; size_bits = 4e8; start })
+         [
+           (100, 200, 0.); (101, 200, 0.1); (102, 200, 0.2); (150, 250, 0.3);
+           (151, 250, 2.0); (152, 250, 6.0); (103, 200, 6.1); (104, 200, 12.0);
+         ])
+  in
+  let run engine skip =
+    Flowsim.run
+      ~params:
+        {
+          quick_params with
+          Flowsim.engine;
+          skip_clean_epochs = skip;
+          max_time = 20.;
+        }
+      table
+      (Flowsim.Mifo (Deployment.full ~n))
+      flows
+  in
+  let skip_on = run Flowsim.Incremental true in
+  let skip_off = run Flowsim.Incremental false in
+  let reference = run Flowsim.Reference true in
+  let bits r =
+    Array.map Int64.bits_of_float (Flowsim.throughputs r)
+  in
+  Alcotest.(check (array int64))
+    "skip on = skip off" (bits skip_off) (bits skip_on);
+  Alcotest.(check (array int64))
+    "incremental = reference" (bits reference) (bits skip_off);
+  let series_bits (r : Flowsim.result) =
+    Array.concat
+      (List.map
+         (fun (t, v) -> [| Int64.bits_of_float t; Int64.bits_of_float v |])
+         (Array.to_list r.Flowsim.series))
+  in
+  Alcotest.(check (array int64))
+    "series identical" (series_bits reference) (series_bits skip_on);
+  Alcotest.(check int) "same epochs" reference.Flowsim.epochs skip_on.Flowsim.epochs;
+  (* the whole point: clean epochs were actually skipped *)
+  Alcotest.(check bool) "skipping happened" true
+    (skip_on.Flowsim.solves < skip_on.Flowsim.epochs);
+  Alcotest.(check int) "skip off solves every epoch"
+    skip_off.Flowsim.epochs skip_off.Flowsim.solves;
+  Alcotest.(check int) "reference solves every epoch"
+    reference.Flowsim.epochs reference.Flowsim.solves
+
+(* Series sampling must stay phase-locked to the interval grid.  With
+   dt = 0.01 and interval = 0.025, anchoring the cursor at the (dt-
+   quantized) epoch time drifts the effective period to 0.03 — a 20%
+   sample deficit.  The grid-snapped cursor yields exactly one sample
+   per grid point covered by the run. *)
+let test_flowsim_series_grid () =
+  let table = Lazy.force table in
+  let params =
+    {
+      Flowsim.default_params with
+      Flowsim.max_time = 10.;
+      series_interval = 0.025;
+    }
+  in
+  (* one flow too large to finish: the sim runs the full horizon *)
+  let flows = [| { Flowsim.src = 100; dst = 200; size_bits = 1e12; start = 0. } |] in
+  let r = Flowsim.run ~params table Flowsim.Bgp flows in
+  let expected =
+    1 + int_of_float (Float.floor (r.Flowsim.sim_end /. params.Flowsim.series_interval))
+  in
+  Alcotest.(check int) "one sample per grid point" expected
+    (Array.length r.Flowsim.series);
+  (* sample timestamps strictly increase and never bunch (no catch-up
+     bursts after idle gaps); a sample may fire up to dt late while the
+     next lands back on the grid, so the spacing floor is interval - dt *)
+  let late = mk_flows [ (100, 200, 0.); (101, 200, 8.) ] in
+  let r2 = Flowsim.run ~params table Flowsim.Bgp late in
+  let min_spacing =
+    params.Flowsim.series_interval -. params.Flowsim.dt -. 1e-9
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun i (t, _) ->
+      if i > 0 then begin
+        let prev, _ = r2.Flowsim.series.(i - 1) in
+        if t -. prev < min_spacing then ok := false
+      end)
+    r2.Flowsim.series;
+  Alcotest.(check bool) "no sample bunching" true !ok
+
 (* ---------- Packetsim ---------- *)
 
 (* Two hosts connected through two routers in a line. *)
@@ -606,6 +831,13 @@ let () =
           QCheck_alcotest.to_alcotest prop_maxmin_feasible;
           QCheck_alcotest.to_alcotest prop_maxmin_bottleneck;
         ] );
+      ( "maxmin_solver",
+        [
+          Alcotest.test_case "input validation and slot lifecycle" `Quick
+            test_solver_validation;
+          QCheck_alcotest.to_alcotest prop_solver_matches_reference;
+          QCheck_alcotest.to_alcotest prop_solver_slot_reuse;
+        ] );
       ( "tcp",
         [
           Alcotest.test_case "window pump" `Quick test_tcp_window_pump;
@@ -629,6 +861,10 @@ let () =
           Alcotest.test_case "link failure: BGP stalls, MIFO survives" `Quick
             test_flowsim_link_failure;
           Alcotest.test_case "failure validation" `Quick test_flowsim_failure_validation;
+          Alcotest.test_case "engines bit-identical, skipping real" `Quick
+            test_flowsim_engines_bit_identical;
+          Alcotest.test_case "series locked to the sampling grid" `Quick
+            test_flowsim_series_grid;
         ] );
       ( "packetsim",
         [

@@ -227,6 +227,53 @@ let test_vec_fold_iter () =
   Vec.iter (fun x -> acc := x :: !acc) v;
   Alcotest.(check (list int)) "iter order" [ 3; 2; 1 ] !acc
 
+let test_vec_ensure () =
+  let v = Vec.create () in
+  Vec.ensure v 3 7;
+  Alcotest.(check int) "grown" 3 (Vec.length v);
+  Alcotest.(check int) "filled" 7 (Vec.get v 0);
+  Alcotest.(check int) "filled" 7 (Vec.get v 2);
+  Vec.set v 1 (-1);
+  Vec.ensure v 2 99;
+  Alcotest.(check int) "no-op keeps length" 3 (Vec.length v);
+  Alcotest.(check int) "no-op keeps values" (-1) (Vec.get v 1);
+  Vec.ensure v 10 0;
+  Alcotest.(check int) "regrown" 10 (Vec.length v);
+  Alcotest.(check int) "old values kept" (-1) (Vec.get v 1);
+  Alcotest.(check int) "new fill" 0 (Vec.get v 9)
+
+(* ---------- Sort ---------- *)
+
+let test_sort_prefix_matches_array_sort () =
+  (* deterministic LCG so the test needs no seed plumbing *)
+  let state = ref 12345 in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod 1000
+  in
+  for len = 0 to 40 do
+    let n = len + 8 in
+    let a = Array.init n (fun _ -> next ()) in
+    let b = Array.copy a in
+    (* a total order: value, then original index via physical position is
+       not available — use plain Int.compare; duplicates are fine for
+       comparing against Array.sort since int sorting is value-unique *)
+    Mifo_util.Sort.sort_prefix ~cmp:Int.compare a len;
+    let expect = Array.sub b 0 len in
+    Array.sort Int.compare expect;
+    Alcotest.(check (array int)) "sorted prefix" expect (Array.sub a 0 len);
+    Alcotest.(check (array int))
+      "suffix untouched"
+      (Array.sub b len (n - len))
+      (Array.sub a len (n - len))
+  done
+
+let test_sort_prefix_validation () =
+  Alcotest.check_raises "negative len" (Invalid_argument "Sort.sort_prefix")
+    (fun () -> Mifo_util.Sort.sort_prefix ~cmp:Int.compare [| 1 |] (-1));
+  Alcotest.check_raises "len too large" (Invalid_argument "Sort.sort_prefix")
+    (fun () -> Mifo_util.Sort.sort_prefix ~cmp:Int.compare [| 1 |] 2)
+
 (* ---------- Table ---------- *)
 
 let test_fmt_count () =
@@ -479,6 +526,13 @@ let () =
         [
           Alcotest.test_case "push/get/set/pop/swap_remove" `Quick test_vec;
           Alcotest.test_case "fold/iter" `Quick test_vec_fold_iter;
+          Alcotest.test_case "ensure grows with fill" `Quick test_vec_ensure;
+        ] );
+      ( "sort",
+        [
+          Alcotest.test_case "prefix matches Array.sort" `Quick
+            test_sort_prefix_matches_array_sort;
+          Alcotest.test_case "validation" `Quick test_sort_prefix_validation;
         ] );
       ( "table",
         [
