@@ -52,16 +52,27 @@ static-check:
 
 # Smoke-test the sim benchmark suite at tiny sizes: the incremental
 # solver must still be exercised end-to-end (reference vs incremental,
-# packetsim event loop) and BENCH_sim.json must be well-formed JSON.
-# Perf numbers at these sizes are meaningless; the full run is `make bench`.
+# packetsim event loop), both eventq engines must report bit-identical
+# event counts and completions (the bench exits 1 on any divergence,
+# and the JSON is re-checked here), and BENCH_sim.json must be
+# well-formed JSON.  Perf numbers at these sizes are meaningless; the
+# full run is `make bench`.
 bench-smoke:
 	MIFO_SIM_ASES=60 MIFO_SIM_FLOWS=60 MIFO_SIM_TIME=5 \
 	MIFO_PKT_ASES=4 MIFO_PKT_FLOWS=4 MIFO_PKT_KB=50 \
+	MIFO_PKT2_ASES=8 MIFO_PKT2_FLOWS=6 MIFO_PKT2_KB=50 \
 	MIFO_BENCH_SIM_OUT=_build/BENCH_sim-smoke.json \
 		dune exec bench/main.exe -- sim
 	@if command -v python3 >/dev/null 2>&1; then \
 		python3 -m json.tool _build/BENCH_sim-smoke.json >/dev/null && \
 		echo "bench-smoke: BENCH_sim-smoke.json parses"; \
+		python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); \
+rows=(d.get("packetsim") or [])+d["flowsim"]; \
+assert rows, "no bench rows"; \
+bad=[r["label"] for r in rows if not r["bit_identical"]]; \
+assert not bad, "engines diverged: %s" % bad' \
+			_build/BENCH_sim-smoke.json && \
+		echo "bench-smoke: heap and wheel engines bit-identical"; \
 	else \
 		echo "bench-smoke: python3 not installed, skipping JSON parse check"; \
 	fi

@@ -199,16 +199,25 @@ type flowsim_size = {
   identical : bool;  (* engines produced bit-identical throughputs *)
 }
 
-type packetsim_sample = {
+type pkt_engine_sample = { events : int; pkt_secs : float; events_per_sec : float }
+
+type packetsim_size = {
+  pkt_label : string;
   pkt_ases : int;
   pkt_flows : int;
-  events : int;
-  pkt_secs : float;
-  events_per_sec : float;
+  pkt_kb : int;
+  heap : pkt_engine_sample;  (* Eventq.Heap, per-packet scheduling: the oracle *)
+  wheel : pkt_engine_sample;  (* Eventq.Wheel + packet trains: the fast path *)
+  pkt_identical : bool;  (* event counts, finish times, counters all bitwise equal *)
 }
 
 let flowsim_sizes : flowsim_size list ref = ref []
-let packetsim_result : packetsim_sample option ref = ref None
+let packetsim_sizes : packetsim_size list ref = ref []
+
+(* Any bit-identity violation flips this; the process exits nonzero
+   after the JSON is written, so CI fails loudly but the numbers are
+   still on disk for debugging. *)
+let bench_failed = ref false
 
 (* Flow-level simulator: wall time per epoch, reference engine (per-epoch
    Maxmin.allocate, the pre-optimization implementation kept as oracle)
@@ -291,19 +300,32 @@ let flowsim_bench_size ~label ~ases ~flows:count ~max_time =
     (reference.secs /. incremental.secs)
     identical
 
-(* Packet-level simulator: events/sec on a seeded chain of ASes, every
-   flow funnelling into the last AS so the shared tail links queue,
-   drop, and retransmit — the TCP/event-queue hot paths. *)
-let packetsim_bench () =
-  let module P = Mifo_netsim.Packetsim in
+(* Packet-level simulator: events/sec under both eventq engines on the
+   same workload, asserted bit-identical.  The heap sample also disables
+   packet trains — it is the PR-4-era per-packet discipline kept as the
+   oracle; the wheel sample is the full fast path (timing wheel + per-
+   link trains).  Two topologies:
+
+   - chain: every flow funnels into the last AS so the shared tail
+     links queue, drop, and retransmit — the TCP hot paths;
+   - dumbbell: two core routers, stub ASes split across them, every
+     flow crossing the core link — >= 64 ASes without exceeding the
+     packet TTL the way a 64-hop chain would.  The dumbbell is the
+     event-queue scaling configuration: open-loop UDP blasts from
+     20 Gb/s stubs into a 1 Gb/s core, with buffers sized to hold the
+     whole offered load, build a backlog of hundreds of thousands of
+     in-flight departures.  Per-packet heap scheduling pays O(log n)
+     with cold caches on every event there; the timing wheel plus
+     per-link trains (one queue entry per busy link, the backlog held
+     in the link's FIFO) keeps the queue a few hundred entries deep. *)
+
+module P = Mifo_netsim.Packetsim
+
+let pkt_chain ~k ~nflows ~kb config =
   let module Engine = Mifo_core.Engine in
   let module Prefix = Mifo_bgp.Prefix in
   let module Rel = Mifo_topology.Relationship in
-  let k = Stdlib.max 3 (env_int "MIFO_PKT_ASES" 8) in
-  let nflows = Stdlib.max 1 (env_int "MIFO_PKT_FLOWS" 12) in
-  let kb = Stdlib.max 1 (env_int "MIFO_PKT_KB" 200) in
-  Gc.compact ();
-  let sim = P.create () in
+  let sim = P.create ~config () in
   let routers = Array.init k (fun i -> P.add_router sim ~as_id:(i + 1)) in
   let hosts =
     Array.init k (fun i -> P.add_host sim ~addr:(Prefix.host_of_as (i + 1) 1))
@@ -346,24 +368,178 @@ let packetsim_bench () =
          ~bytes:(kb * 1000)
          ~start:(0.001 *. float_of_int f))
   done;
-  let t0 = Unix.gettimeofday () in
-  Obs.time_phase "bench.packetsim" (fun () -> P.run sim);
-  let secs = Unix.gettimeofday () -. t0 in
-  let events = P.events_processed sim in
-  let sample =
-    {
-      pkt_ases = k;
-      pkt_flows = nflows;
-      events;
-      pkt_secs = secs;
-      events_per_sec = float_of_int events /. secs;
-    }
+  sim
+
+(* Dumbbell: routers 0 and 1 are the core (peering link), stubs 2..k-1
+   attach as customers — even ids to core 0, odd ids to core 1.  Flows
+   are open-loop UDP blasts, left-side hosts -> right-side hosts, all
+   crossing the slow core.  [queue_bits] is sized to the whole offered
+   load so nothing drops: every queued packet is a scheduled departure,
+   which is exactly the deep-backlog regime the eventq engines are
+   being compared under. *)
+let pkt_dumbbell ~k ~nflows ~kb config =
+  let module Engine = Mifo_core.Engine in
+  let module Prefix = Mifo_bgp.Prefix in
+  let module Rel = Mifo_topology.Relationship in
+  let config = { config with P.queue_bits = nflows * kb * 8000 } in
+  let sim = P.create ~config () in
+  let routers = Array.init k (fun i -> P.add_router sim ~as_id:(i + 1)) in
+  let core_ab, core_ba =
+    P.connect sim ~a:routers.(0) ~b:routers.(1)
+      ~kind_ab:(Engine.Ebgp { neighbor_as = 2; rel = Rel.Peer })
+      ~kind_ba:(Engine.Ebgp { neighbor_as = 1; rel = Rel.Peer })
+      ~rate:1e9 ()
   in
-  packetsim_result := Some sample;
+  (* stub <-> core access; stub i hangs off core (i mod 2) *)
+  let up = Array.make k (-1) in
+  (* stub's port toward its core *)
+  let down = Array.make k (-1) in
+  (* core's port toward stub i *)
+  let hosts = Array.make k (-1) in
+  let host_port = Array.make k (-1) in
+  for i = 2 to k - 1 do
+    let core = i mod 2 in
+    let ps, pc =
+      P.connect sim ~a:routers.(i) ~b:routers.(core)
+        ~kind_ab:(Engine.Ebgp { neighbor_as = core + 1; rel = Rel.Provider })
+        ~kind_ba:(Engine.Ebgp { neighbor_as = i + 1; rel = Rel.Customer })
+        ~rate:20e9 ()
+    in
+    up.(i) <- ps;
+    down.(i) <- pc;
+    hosts.(i) <- P.add_host sim ~addr:(Prefix.host_of_as (i + 1) 1);
+    let hp, rp =
+      P.connect sim ~a:hosts.(i) ~b:routers.(i) ~kind_ab:Engine.Local
+        ~kind_ba:Engine.Local ~rate:20e9 ()
+    in
+    ignore hp;
+    host_port.(i) <- rp
+  done;
+  (* FIBs: stubs default up; cores route own-side stubs down, rest across *)
+  for i = 2 to k - 1 do
+    let fib = P.fib sim routers.(i) in
+    for j = 2 to k - 1 do
+      let out = if j = i then host_port.(i) else up.(i) in
+      Mifo_core.Fib.insert fib (Prefix.of_as (j + 1)) ~out_port:out ()
+    done
+  done;
+  for core = 0 to 1 do
+    let fib = P.fib sim routers.(core) in
+    let across = if core = 0 then core_ab else core_ba in
+    for j = 2 to k - 1 do
+      let out = if j mod 2 = core then down.(j) else across in
+      Mifo_core.Fib.insert fib (Prefix.of_as (j + 1)) ~out_port:out ()
+    done
+  done;
+  let lefts = ref [] and rights = ref [] in
+  for i = k - 1 downto 2 do
+    if i mod 2 = 0 then lefts := hosts.(i) :: !lefts
+    else rights := hosts.(i) :: !rights
+  done;
+  let lefts = Array.of_list !lefts and rights = Array.of_list !rights in
+  for f = 0 to nflows - 1 do
+    ignore
+      (P.add_udp_flow sim
+         ~src:lefts.(f mod Array.length lefts)
+         ~dst:rights.(f mod Array.length rights)
+         ~bytes:(kb * 1000)
+         ~start:(0.0001 *. float_of_int f)
+         ())
+  done;
+  sim
+
+(* Fingerprint of everything a run can observe: event count, bitwise
+   per-flow finish times, and the drop/deflection counters. *)
+let pkt_fingerprint sim =
+  let finishes =
+    Array.map
+      (fun (r : P.flow_result) ->
+        match r.P.finish with
+        | Some f -> Int64.bits_of_float f
+        | None -> Int64.minus_one)
+      (P.flow_results sim)
+  in
+  (P.events_processed sim, finishes, P.counters sim)
+
+(* Each engine runs [repeats] times and reports its best wall clock —
+   the standard discipline against scheduler noise.  Every repeat must
+   reproduce the same fingerprint (the simulator is deterministic), so
+   the repeats double as a determinism check at full bench scale. *)
+let pkt_repeats = Stdlib.max 1 (env_int "MIFO_PKT_REPEATS" 2)
+
+let pkt_run ~label ~build engine trains =
+  let run_once () =
+    Gc.compact ();
+    let config =
+      { P.default_config with P.eventq_engine = engine; packet_trains = trains }
+    in
+    let sim = build config in
+    let t0 = Unix.gettimeofday () in
+    Obs.time_phase (Printf.sprintf "bench.packetsim.%s" label) (fun () -> P.run sim);
+    let secs = Unix.gettimeofday () -. t0 in
+    (secs, pkt_fingerprint sim)
+  in
+  let secs0, fp = run_once () in
+  let best = ref secs0 in
+  for _ = 2 to pkt_repeats do
+    let secs, fp' = run_once () in
+    if fp' <> fp then begin
+      Printf.printf "   <-- NONDETERMINISTIC RERUN (%s)\n%!" label;
+      bench_failed := true
+    end;
+    if secs < !best then best := secs
+  done;
+  let events, _, _ = fp in
+  ( {
+      events;
+      pkt_secs = !best;
+      events_per_sec = float_of_int events /. !best;
+    },
+    fp )
+
+let packetsim_bench_size ~label ~build ~ases:k ~nflows ~kb =
+  let heap, fp_heap = pkt_run ~label ~build Mifo_netsim.Eventq.Heap false in
+  let wheel, fp_wheel = pkt_run ~label ~build Mifo_netsim.Eventq.Wheel true in
+  let e1, f1, c1 = fp_heap and e2, f2, c2 = fp_wheel in
+  let identical = e1 = e2 && f1 = f2 && c1 = c2 in
+  if not identical then bench_failed := true;
+  packetsim_sizes :=
+    !packetsim_sizes
+    @ [
+        {
+          pkt_label = label;
+          pkt_ases = k;
+          pkt_flows = nflows;
+          pkt_kb = kb;
+          heap;
+          wheel;
+          pkt_identical = identical;
+        };
+      ];
   Printf.printf
-    "== Packetsim (%d-AS chain, %d flows of %d KB) ==\n\
-     %d events in %.2fs (%.0f events/s)\n\n%!"
-    k nflows kb events secs sample.events_per_sec
+    "== Packetsim (%s: %d ASes, %d flows of %d KB, best of %d) ==\n\
+     heap  (per-packet):    %9d events, %6.2fs (%8.0f events/s)\n\
+     wheel (packet trains): %9d events, %6.2fs (%8.0f events/s)\n\
+     speedup: %.2fx   bit-identical: %b%s\n\n%!"
+    label k nflows kb pkt_repeats heap.events heap.pkt_secs heap.events_per_sec wheel.events
+    wheel.pkt_secs wheel.events_per_sec
+    (heap.pkt_secs /. wheel.pkt_secs)
+    identical
+    (if identical then "" else "   <-- ENGINE MISMATCH")
+
+let packetsim_bench () =
+  let k = Stdlib.max 3 (env_int "MIFO_PKT_ASES" 8) in
+  let nflows = Stdlib.max 1 (env_int "MIFO_PKT_FLOWS" 12) in
+  let kb = Stdlib.max 1 (env_int "MIFO_PKT_KB" 200) in
+  packetsim_bench_size ~label:"chain"
+    ~build:(pkt_chain ~k ~nflows ~kb)
+    ~ases:k ~nflows ~kb;
+  let k2 = Stdlib.max 4 (env_int "MIFO_PKT2_ASES" 64) in
+  let nflows2 = Stdlib.max 1 (env_int "MIFO_PKT2_FLOWS" 200) in
+  let kb2 = Stdlib.max 1 (env_int "MIFO_PKT2_KB" 4000) in
+  packetsim_bench_size ~label:"dumbbell"
+    ~build:(pkt_dumbbell ~k:k2 ~nflows:nflows2 ~kb:kb2)
+    ~ases:k2 ~nflows:nflows2 ~kb:kb2
 
 let sim () =
   let ases = Stdlib.max 10 (env_int "MIFO_SIM_ASES" 400) in
@@ -419,14 +595,27 @@ let write_sim_json path =
         (s.reference.secs /. s.incremental.secs)
         s.identical
     in
+    let pkt_engine s =
+      Printf.sprintf
+        "{\"events\": %d, \"secs\": %.6f, \"events_per_sec\": %.1f}" s.events
+        s.pkt_secs s.events_per_sec
+    in
+    let pkt p =
+      Printf.sprintf
+        "    {\"label\": \"%s\", \"ases\": %d, \"flows\": %d, \"kb\": %d,\n\
+        \     \"heap\": %s,\n\
+        \     \"wheel\": %s,\n\
+        \     \"speedup\": %.3f, \"bit_identical\": %b}"
+        (json_escape p.pkt_label) p.pkt_ases p.pkt_flows p.pkt_kb
+        (pkt_engine p.heap) (pkt_engine p.wheel)
+        (p.heap.pkt_secs /. p.wheel.pkt_secs)
+        p.pkt_identical
+    in
     let packetsim =
-      match !packetsim_result with
-      | None -> "null"
-      | Some p ->
-        Printf.sprintf
-          "{\"ases\": %d, \"flows\": %d, \"events\": %d, \"secs\": %.6f, \
-           \"events_per_sec\": %.1f}"
-          p.pkt_ases p.pkt_flows p.events p.pkt_secs p.events_per_sec
+      match !packetsim_sizes with
+      | [] -> "null"
+      | ps ->
+        Printf.sprintf "[\n%s\n  ]" (String.concat ",\n" (List.map pkt ps))
     in
     let oc = open_out path in
     Printf.fprintf oc
@@ -583,4 +772,8 @@ let () =
   write_sim_json
     (match Sys.getenv_opt "MIFO_BENCH_SIM_OUT" with
     | Some p -> p
-    | None -> "BENCH_sim.json")
+    | None -> "BENCH_sim.json");
+  if !bench_failed then begin
+    prerr_endline "bench: eventq engines disagreed (bit_identical: false)";
+    exit 1
+  end

@@ -73,7 +73,7 @@ let () =
     Packet.make ~src:(Prefix.host_of_as src 1) ~dst:(Prefix.host_of_as dst 1) ~flow:99 ()
   in
   (match Engine.forward env ~ingress:(Some upstream_port) packet with
-   | Engine.Send { port; packet } ->
+   | Engine.Send { port; packet; _ } ->
      Format.printf
        "engine: default egress congested -> packet deflected out port %d (tag=%b)@."
        port packet.Packet.vf_tag
@@ -95,7 +95,7 @@ let () =
     }
   in
   match Engine.forward env_peer_upstream ~ingress:(Some upstream_port) packet with
-  | Engine.Send { port; packet = p } when port = default_port ->
+  | Engine.Send { port; packet = p; _ } when port = default_port ->
     Format.printf
       "engine: peer-to-peer deflection refused by the Tag-Check (tag=%b) -> stays on the default path@."
       p.Packet.vf_tag

@@ -17,7 +17,7 @@ type env = {
 type drop_reason = No_route | Valley_violation | Ttl_expired
 
 type action =
-  | Send of { port : int; packet : Packet.t }
+  | Send of { port : int; packet : Packet.t; default_port : int }
   | Drop of { packet : Packet.t; reason : drop_reason }
 
 let drop_reason_to_string = function
@@ -55,34 +55,42 @@ let drop env packet reason =
   | Ttl_expired -> Obs.incr c_drop_ttl);
   Drop { packet; reason }
 
-let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
-  match Packet.decrement_ttl packet with
-  | None -> drop env packet Ttl_expired
-  | Some packet ->
-    (* Lines 1-3: strip the outer header of a tunnel terminating here and
-       remember which iBGP peer deflected the packet to us. *)
-    let sender, packet =
+let forward_from ~tag_check ~ibgp_encap env ~ingress packet =
+  if packet.Packet.ttl <= 1 then drop env packet Ttl_expired
+  else begin
+    (* Lines 5-10: the (re)tag for the packet entering point.  A
+       host-facing [Local] port is the source AS's entering point, so it
+       tags with the source tag exactly like no-ingress — a packet
+       from our own customer cone may take any first deflection.  Only
+       iBGP ingress keeps the tag: the packet already entered this AS
+       elsewhere.  Computed up front so the TTL decrement, the retag and
+       (lines 1-3) a terminating tunnel's decapsulation fuse into the
+       hop's single header-rewrite copy — this runs per packet per hop,
+       and packets are immutable. *)
+    let tag =
+      if ingress < 0 then Policy.source_tag
+      else
+        match env.port_kind ingress with
+        | Ebgp { rel; _ } -> Policy.tag_of_upstream rel
+        | Local -> Policy.source_tag
+        | Ibgp _ -> packet.Packet.vf_tag
+    in
+    (* [sender] is the router that tunneled the packet to us, [-1] when
+       it did not arrive through a terminating tunnel — an int, not an
+       option, because this path runs per hop and the [Some] would be
+       a fresh allocation every packet. *)
+    let sender =
       match packet.Packet.encap with
       | Some e when e.Packet.outer_dst = env.router_id ->
         Obs.incr c_decap;
         ev "decap" env packet [ ("outer_src", Obs.Int e.Packet.outer_src) ];
-        (Some e.Packet.outer_src, Packet.decapsulate packet)
-      | Some _ | None -> (None, packet)
+        e.Packet.outer_src
+      | Some _ | None -> -1
     in
-    (* Lines 5-10: (re)tag at the packet entering point.  A host-facing
-       [Local] port is the source AS's entering point, so it tags with
-       the source tag exactly like [ingress:None] — a packet from our own
-       customer cone may take any first deflection.  Only iBGP ingress
-       leaves the tag alone: the packet already entered this AS
-       elsewhere. *)
     let packet =
-      match ingress with
-      | None -> Packet.with_tag packet Policy.source_tag
-      | Some port -> (
-        match env.port_kind port with
-        | Ebgp { rel; _ } -> Packet.with_tag packet (Policy.tag_of_upstream rel)
-        | Local -> Packet.with_tag packet Policy.source_tag
-        | Ibgp _ -> packet)
+      if sender >= 0 then
+        { packet with Packet.ttl = packet.Packet.ttl - 1; vf_tag = tag; encap = None }
+      else { packet with Packet.ttl = packet.Packet.ttl - 1; vf_tag = tag }
     in
     match packet.Packet.encap with
     | Some e ->
@@ -96,7 +104,7 @@ let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
        | Some port ->
          Obs.incr c_transit_routed;
          ev "transit" env packet [ ("outer_dst", Obs.Int e.Packet.outer_dst) ];
-         Send { port; packet }
+         Send { port; packet; default_port = -1 }
        | None -> (
          (* No known iBGP route to the endpoint (degenerate wiring, e.g.
             a unit-test env): fall back to the default route for the
@@ -105,26 +113,36 @@ let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
          | None -> drop env packet No_route
          | Some entry ->
            Obs.incr c_transit_fib;
-           Send { port = entry.Fib.out_port; packet }))
+           Send { port = entry.Fib.out_port; packet; default_port = entry.Fib.out_port }))
     | None -> (
       (* Line 4: FIB lookup. *)
       match Fib.lookup env.fib packet.Packet.dst with
       | None -> drop env packet No_route
       | Some entry -> (
+        let default_port = entry.Fib.out_port in
         match env.port_kind entry.Fib.out_port with
         | Local ->
           (* destination network attached here: hand the packet to the
              host-facing port, no deflection logic applies *)
-          Send { port = entry.Fib.out_port; packet }
-        | Ebgp _ | Ibgp _ ->
+          Send { port = entry.Fib.out_port; packet; default_port }
+        | Ebgp _ | Ibgp _ -> (
           (* Line 11: use the alternative when this flow is being deflected
              (daemon-driven hash buckets over the congestion signal), or when
              the deflecting sender is exactly our default next hop - sending
-             the packet back would cycle between iBGP peers (Fig. 2(b)). *)
+             the packet back would cycle between iBGP peers (Fig. 2(b)).
+             With no alternative installed — the common case on an
+             uncongested mesh — none of that can change the egress, so
+             the deflection machinery (next-hop resolution, congestion
+             probe, flow hashing) is skipped entirely. *)
+          match entry.Fib.alt_port with
+          | None -> Send { port = entry.Fib.out_port; packet; default_port }
+          | Some alt ->
           let deflected_to_me =
-            match (sender, env.next_hop_router entry.Fib.out_port) with
-            | Some s, Some nh -> s = nh
-            | _ -> false
+            sender >= 0
+            &&
+            match env.next_hop_router entry.Fib.out_port with
+            | Some nh -> nh = sender
+            | None -> false
           in
           (* The daemon ramps [deflect_buckets] with hysteresis; on top of
              that, a congested egress immediately deflects at least the
@@ -135,14 +153,10 @@ let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
               Stdlib.max 1 entry.Fib.deflect_buckets
             else entry.Fib.deflect_buckets
           in
-          let flow_deflected =
-            entry.Fib.alt_port <> None
-            && Fib.flow_bucket packet.Packet.flow < effective_buckets
-          in
-          let want_alt = deflected_to_me || flow_deflected in
-          match (want_alt, entry.Fib.alt_port) with
-          | false, _ | _, None -> Send { port = entry.Fib.out_port; packet }
-          | true, Some alt -> (
+          let flow_deflected = Fib.flow_bucket packet.Packet.flow < effective_buckets in
+          if not (deflected_to_me || flow_deflected) then
+            Send { port = entry.Fib.out_port; packet; default_port }
+          else (
             if deflected_to_me then Obs.incr c_deflect_sender;
             match env.port_kind alt with
             | Ibgp { peer_router } ->
@@ -160,7 +174,7 @@ let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
                 else packet
               in
               Obs.incr c_deflect_ibgp;
-              Send { port = alt; packet }
+              Send { port = alt; packet; default_port }
             | Ebgp { rel = downstream; _ } ->
               (* Lines 16-20: Tag-Check before leaving the AS sideways.  A
                  failing check means this packet may not use the
@@ -172,7 +186,7 @@ let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
               if (not tag_check) || Policy.check ~tag:packet.Packet.vf_tag ~downstream
               then begin
                 Obs.incr c_deflect_ebgp;
-                Send { port = alt; packet }
+                Send { port = alt; packet; default_port }
               end
               else if deflected_to_me then begin
                 ev "tag_check_fail" env packet [ ("fate", Obs.Str "drop") ];
@@ -181,6 +195,12 @@ let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
               else begin
                 Obs.incr c_tag_fallback;
                 ev "tag_check_fail" env packet [ ("fate", Obs.Str "fallback") ];
-                Send { port = entry.Fib.out_port; packet }
+                Send { port = entry.Fib.out_port; packet; default_port }
               end
-            | Local -> Send { port = entry.Fib.out_port; packet })))
+            | Local -> Send { port = entry.Fib.out_port; packet; default_port }))))
+  end
+
+let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =
+  forward_from ~tag_check ~ibgp_encap env
+    ~ingress:(match ingress with Some p -> p | None -> -1)
+    packet

@@ -76,9 +76,14 @@ type env = {
 type drop_reason = No_route | Valley_violation | Ttl_expired
 
 type action =
-  | Send of { port : int; packet : Packet.t }
+  | Send of { port : int; packet : Packet.t; default_port : int }
       (** also covers local delivery: the FIB maps a local prefix to a
-          [Local] (host-facing) port and the packet is sent out of it *)
+          [Local] (host-facing) port and the packet is sent out of it.
+          [default_port] is the FIB's default egress for the packet's
+          (inner) destination, so a caller accounting deflections
+          ([port <> default_port]) need not repeat the lookup the engine
+          already did; [-1] when the decision involved no FIB entry
+          (in-transit tunnels routed on their outer header) *)
   | Drop of { packet : Packet.t; reason : drop_reason }
 
 val forward :
@@ -89,5 +94,13 @@ val forward :
     valley-free check for the loop ablation; [ibgp_encap] (default
     [true]) disables IP-in-IP for the iBGP-cycling ablation of
     Fig. 2(b). *)
+
+val forward_from :
+  tag_check:bool -> ibgp_encap:bool -> env -> ingress:int -> Packet.t -> action
+(** {!forward} with the ingress port as a plain int ([-1] = locally
+    originated) and both ablation flags mandatory.  Semantically
+    identical; this is the per-hop entry point for simulators, where
+    the option wrappers of {!forward} would be three fresh allocations
+    on every packet. *)
 
 val drop_reason_to_string : drop_reason -> string

@@ -7,16 +7,47 @@ type entry = {
 }
 
 (* One hash table per prefix length; longest-prefix match scans lengths
-   32 down to 0.  Interdomain tables are dominated by a few lengths, so
-   this is both simple and fast. *)
-type t = { by_len : (Prefix.addr, entry) Hashtbl.t array }
+   present in the table, longest first.  Interdomain tables are
+   dominated by a few lengths, so [len_mask] (bit [l] set iff length [l]
+   has entries) usually collapses the scan to one or two probes.
+
+   Keys are the masked network address as a plain [int]: int32 values
+   are boxed in OCaml, so hashing them — and building a [Prefix.t] per
+   probe, as the old lookup did — allocates on every probe of the
+   packet-forwarding hot path.  Unboxed int keys allocate nothing. *)
+type t = {
+  by_len : (int, entry) Hashtbl.t array;
+  mutable len_mask : int;
+  mutable may_deflect : bool;
+      (* sticky: an alternative port has been installed through this
+         interface at some point.  While false, no entry can have
+         [alt_port] set or [deflect_buckets] ramped (the daemon only
+         ramps entries with an alternative), so a caller may skip
+         per-epoch deflection maintenance for this table entirely. *)
+}
 
 let buckets = 64
-let create () = { by_len = Array.init 33 (fun _ -> Hashtbl.create 16) }
+
+let create () =
+  {
+    by_len = Array.init 33 (fun _ -> Hashtbl.create 16);
+    len_mask = 0;
+    may_deflect = false;
+  }
+
+let may_deflect t = t.may_deflect
+
+(* Network masks as plain ints, index = prefix length. *)
+let imask =
+  Array.init 33 (fun l -> if l = 0 then 0 else 0xFFFFFFFF lsl (32 - l) land 0xFFFFFFFF)
+
+let ikey_of_addr addr = Int32.to_int addr land 0xFFFFFFFF
 
 let insert t prefix ~out_port ?alt_port () =
-  let table = t.by_len.(prefix.Prefix.length) in
-  match Hashtbl.find_opt table prefix.Prefix.network with
+  let len = prefix.Prefix.length in
+  let table = t.by_len.(len) in
+  let key = ikey_of_addr prefix.Prefix.network in
+  (match Hashtbl.find_opt table key with
   | Some e when e.out_port = out_port ->
     (* Route refresh with an unchanged default egress: the deflection
        state ([alt_port] / [deflect_buckets]) is live, daemon-owned
@@ -28,33 +59,64 @@ let insert t prefix ~out_port ?alt_port () =
     e.out_port <- out_port;
     e.alt_port <- alt_port;
     e.deflect_buckets <- 0
-  | None ->
-    Hashtbl.replace table prefix.Prefix.network
-      { out_port; alt_port; deflect_buckets = 0 }
+  | None -> Hashtbl.replace table key { out_port; alt_port; deflect_buckets = 0 });
+  if alt_port <> None then t.may_deflect <- true;
+  t.len_mask <- t.len_mask lor (1 lsl len)
+
+(* Highest set bit of a nonzero mask.  Lengths occupy 33 bits (0-32),
+   one more than a power-of-two cascade covers, so bit 32 — host
+   routes — is peeled off first. *)
+let msb m =
+  if m land 0x100000000 <> 0 then 32
+  else begin
+    let r = ref 0 and m = ref m in
+    if !m land 0xFFFF0000 <> 0 then begin
+      r := !r + 16;
+      m := !m lsr 16
+    end;
+    if !m land 0xFF00 <> 0 then begin
+      r := !r + 8;
+      m := !m lsr 8
+    end;
+    if !m land 0xF0 <> 0 then begin
+      r := !r + 4;
+      m := !m lsr 4
+    end;
+    if !m land 0xC <> 0 then begin
+      r := !r + 2;
+      m := !m lsr 2
+    end;
+    if !m land 0x2 <> 0 then incr r;
+    !r
+  end
 
 let lookup t addr =
-  let rec scan len =
-    if len < 0 then None
+  let a = ikey_of_addr addr in
+  let rec scan m =
+    if m = 0 then None
     else begin
-      let masked = (Prefix.make addr len).Prefix.network in
-      match Hashtbl.find_opt t.by_len.(len) masked with
-      | Some e -> Some e
-      | None -> scan (len - 1)
+      let len = msb m in
+      match Hashtbl.find_opt t.by_len.(len) (a land imask.(len)) with
+      | Some _ as r -> r
+      | None -> scan (m land lnot (1 lsl len))
     end
   in
-  scan 32
+  scan t.len_mask
 
-let find t prefix = Hashtbl.find_opt t.by_len.(prefix.Prefix.length) prefix.Prefix.network
+let find t prefix =
+  Hashtbl.find_opt t.by_len.(prefix.Prefix.length) (ikey_of_addr prefix.Prefix.network)
 
 let set_alt t prefix alt =
   match find t prefix with
-  | Some e -> e.alt_port <- alt
+  | Some e ->
+    e.alt_port <- alt;
+    if alt <> None then t.may_deflect <- true
   | None -> raise Not_found
 
 let iter t f =
   Array.iteri
     (fun len table ->
-      Hashtbl.iter (fun net e -> f (Prefix.make net len) e) table)
+      Hashtbl.iter (fun net e -> f (Prefix.make (Int32.of_int net) len) e) table)
     t.by_len
 
 let size t = Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.by_len

@@ -43,6 +43,17 @@ val set_alt : t -> Mifo_bgp.Prefix.t -> int option -> unit
 val iter : t -> (Mifo_bgp.Prefix.t -> entry -> unit) -> unit
 val size : t -> int
 
+val may_deflect : t -> bool
+(** Sticky flag: true once any entry has ever been given an alternative
+    port via {!insert} or {!set_alt}.  While false, no entry can be
+    deflecting (no [alt_port], no ramped [deflect_buckets]), so a
+    periodic maintenance pass — the daemon epoch walks every entry of
+    every FIB — may skip this table, provided nothing else could be
+    installing alternatives behind the flag's back: mutating a returned
+    {!entry} directly bypasses it, which is exactly what a daemon
+    chooser does.  {!Mifo_netsim.Packetsim} therefore skips only
+    routers with no chooser installed. *)
+
 val flow_bucket : int -> int
 (** Deterministic bucket of a flow id, in \[0, buckets). *)
 

@@ -37,7 +37,18 @@ type t = {
           prints the violations otherwise. *)
 }
 
-val run : ?ases:int -> ?flows:int -> ?flow_bytes:int -> seed:int -> unit -> t
-(** Defaults: 150 ASes, 24 flows of 10 MB.  Deterministic in [seed]. *)
+val run :
+  ?ases:int ->
+  ?flows:int ->
+  ?flow_bytes:int ->
+  ?eventq:Mifo_netsim.Eventq.engine ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: 150 ASes, 24 flows of 10 MB.  Deterministic in [seed].
+    [eventq] selects the packet-level simulator's event-queue engine
+    (default: the {!Mifo_netsim.Packetsim.default_config} engine, i.e.
+    the timing wheel); both engines are bit-identical, so the result
+    must not depend on the choice — handy for auditing exactly that. *)
 
 val render : t -> string

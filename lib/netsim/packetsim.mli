@@ -28,6 +28,14 @@ type config = {
   series_interval : float;  (** aggregate-throughput bucket width *)
   tag_check : bool;  (** disable only for the loop ablation *)
   ibgp_encap : bool;  (** disable only for the iBGP-cycling ablation *)
+  eventq_engine : Eventq.engine;
+      (** {!Eventq.Wheel} (default) or {!Eventq.Heap}; both produce
+          bit-identical runs — the heap is the oracle, the wheel is
+          faster on packet-dominated event mixes *)
+  packet_trains : bool;
+      (** batch back-to-back departures on one link into a single
+          queue entry (default [true]); behavior-neutral, see
+          {!Eventq.alloc_seq} *)
 }
 
 val default_config : config
@@ -70,6 +78,19 @@ val spare_capacity : t -> node_id -> int -> float
 val add_flow : t -> src:node_id -> dst:node_id -> bytes:int -> start:float -> int
 (** A TCP transfer between two hosts; returns the flow id.
     @raise Invalid_argument on non-host endpoints or a bad size. *)
+
+val add_udp_flow :
+  t -> src:node_id -> dst:node_id -> bytes:int -> ?burst:int -> start:float -> unit -> int
+(** An open-loop UDP-style transfer: the source streams its segments
+    back-to-back at the host link's line rate in bursts of [burst]
+    (default 32) packets per emission event, self-paced off the link's
+    serialization — the software analogue of the testbed's [iperf -u]
+    probe traffic that creates the paper's congestion regimes.  No ack
+    clock, no retransmission: lost segments stay lost, and the flow's
+    [finish] is set only if every segment reaches the sink (the
+    completion hook fires there too).  Returns the flow id.
+    @raise Invalid_argument on non-host endpoints, a bad size, or a
+    non-positive [burst]. *)
 
 val run : ?until:float -> t -> unit
 (** Process events until the queue drains or simulated [until]

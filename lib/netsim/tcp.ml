@@ -34,14 +34,18 @@ module Sender = struct
 
   let window t = int_of_float t.cwnd
 
-  let next_to_send t =
-    if t.snd_nxt >= t.total then None
-    else if t.snd_nxt - t.snd_una >= Stdlib.max 1 (window t) then None
+  let next_seq_hot t =
+    if t.snd_nxt >= t.total then -1
+    else if t.snd_nxt - t.snd_una >= Stdlib.max 1 (window t) then -1
     else begin
       let seq = t.snd_nxt in
       t.snd_nxt <- t.snd_nxt + 1;
-      seq |> Option.some
+      seq
     end
+
+  let next_to_send t =
+    let seq = next_seq_hot t in
+    if seq < 0 then None else Some seq
 
   let on_ack t ack =
     if ack > t.snd_una then begin

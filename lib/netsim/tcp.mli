@@ -22,6 +22,10 @@ module Sender : sig
   (** The next fresh segment permitted by the window, advancing internal
       state; [None] when window-limited or finished sending. *)
 
+  val next_seq_hot : t -> int
+  (** {!next_to_send} without the option box: [-1] when window-limited
+      or finished.  For the simulator's per-segment pump loop. *)
+
   val on_ack : t -> int -> int list
   (** Process a (possibly duplicate) cumulative ACK; returns segment ids
       to retransmit immediately (fast retransmit). *)

@@ -123,6 +123,18 @@ let observe h x =
   atomic_add_float h.h_sum x;
   ignore (Atomic.fetch_and_add h.h_count 1)
 
+let observe_n h x n =
+  if n > 0 then begin
+    let k = Array.length h.bounds in
+    let i = ref 0 in
+    while !i < k && x > h.bounds.(!i) do
+      Stdlib.incr i
+    done;
+    ignore (Atomic.fetch_and_add h.buckets.(!i) n);
+    atomic_add_float h.h_sum (x *. float_of_int n);
+    ignore (Atomic.fetch_and_add h.h_count n)
+  end
+
 let histogram_count name =
   with_lock (fun () ->
       match List.assoc_opt name registry.histograms with

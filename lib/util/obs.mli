@@ -82,6 +82,12 @@ val histogram : ?bounds:float array -> string -> histogram
 
 val observe : histogram -> float -> unit
 
+val observe_n : histogram -> float -> int -> unit
+(** [observe_n h x n] records [n] observations of value [x] in one
+    update — the bulk form of {!observe} for hot paths that tally
+    locally and flush periodically (one bucket scan and three atomic
+    updates total instead of per sample).  No-op when [n <= 0]. *)
+
 val histogram_count : string -> int
 (** Total number of observations recorded by the named histogram, or 0
     if no such histogram exists. *)

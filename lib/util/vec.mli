@@ -21,6 +21,13 @@ val swap_remove : 'a t -> int -> 'a
 (** Remove index [i] in O(1) by moving the last element into its slot;
     returns the removed element. *)
 
+val drop_prefix : 'a t -> int -> unit
+(** [drop_prefix t n] removes the first [n] elements, shifting the rest
+    to the front in O(length - n) with no allocation.  Lets a consumer
+    that reads a vec front-to-back (packet trains) reclaim the consumed
+    prefix without churning the backing array.
+    @raise Invalid_argument if [n] is negative or exceeds the length. *)
+
 val ensure : 'a t -> int -> 'a -> unit
 (** [ensure t n fill] grows [t] to length at least [n], initializing any
     new slots with [fill].  A no-op when [t] is already long enough —

@@ -211,7 +211,7 @@ let packet () = mk_packet ()
 let test_engine_default_forward () =
   let env = make_env () in
   match Engine.forward env ~ingress:(Some 2) (packet ()) with
-  | Engine.Send { port; packet = p } ->
+  | Engine.Send { port; packet = p; _ } ->
     Alcotest.(check int) "default port" 0 port;
     Alcotest.(check bool) "tagged by customer upstream" true p.Packet.vf_tag;
     Alcotest.(check int) "ttl decremented" (Packet.default_ttl - 1) p.Packet.ttl
@@ -234,7 +234,7 @@ let test_engine_ttl_expiry () =
 let test_engine_deflects_when_daemon_ramped () =
   let env = make_env ~deflect_buckets:Fib.buckets () in
   match Engine.forward env ~ingress:(Some 2) (packet ()) with
-  | Engine.Send { port; packet = p } ->
+  | Engine.Send { port; packet = p; _ } ->
     Alcotest.(check int) "alternative port" 1 port;
     Alcotest.(check bool) "tag carried" true p.Packet.vf_tag
   | Engine.Drop _ -> Alcotest.fail "dropped"
@@ -288,7 +288,7 @@ let test_engine_encapsulates_to_ibgp () =
     make_env ~deflect_buckets:Fib.buckets ~alt_kind:(Engine.Ibgp { peer_router = 55 }) ()
   in
   (match Engine.forward env ~ingress:(Some 2) (packet ()) with
-   | Engine.Send { port; packet = p } ->
+   | Engine.Send { port; packet = p; _ } ->
      Alcotest.(check int) "ibgp port" 1 port;
      (match p.Packet.encap with
       | Some e ->
@@ -315,7 +315,7 @@ let test_engine_receives_deflected_packet () =
   in
   let p = Packet.encapsulate (Packet.with_tag (packet ()) true) ~outer_src:55 ~outer_dst:100 in
   match Engine.forward env ~ingress:(Some 2) p with
-  | Engine.Send { port; packet = p' } ->
+  | Engine.Send { port; packet = p'; _ } ->
     Alcotest.(check int) "took the alternative" 1 port;
     Alcotest.(check bool) "outer header stripped" true (p'.Packet.encap = None)
   | Engine.Drop _ -> Alcotest.fail "dropped"
@@ -344,7 +344,7 @@ let test_engine_transit_tunnel () =
   in
   let p = Packet.encapsulate (packet ()) ~outer_src:55 ~outer_dst:77 in
   (match Engine.forward env ~ingress:(Some 2) p with
-   | Engine.Send { port; packet = p' } ->
+   | Engine.Send { port; packet = p'; _ } ->
      Alcotest.(check int) "routed toward the tunnel endpoint" 5 port;
      Alcotest.(check bool) "still encapsulated" true (p'.Packet.encap <> None)
    | Engine.Drop _ -> Alcotest.fail "dropped");
@@ -363,7 +363,7 @@ let test_engine_transit_never_deflected () =
   in
   let p = Packet.encapsulate (packet ()) ~outer_src:55 ~outer_dst:77 in
   match Engine.forward env ~ingress:(Some 2) p with
-  | Engine.Send { port; packet = p' } ->
+  | Engine.Send { port; packet = p'; _ } ->
     Alcotest.(check int) "default port, never the eBGP alternative" 0 port;
     Alcotest.(check bool) "still encapsulated" true (p'.Packet.encap <> None)
   | Engine.Drop _ -> Alcotest.fail "dropped"
@@ -465,7 +465,7 @@ let test_engine_local_delivery () =
     }
   in
   match Engine.forward env ~ingress:None (packet ()) with
-  | Engine.Send { port; packet = p } ->
+  | Engine.Send { port; packet = p; _ } ->
     Alcotest.(check int) "host port" 3 port;
     Alcotest.(check bool) "source tag" true p.Packet.vf_tag
   | Engine.Drop _ -> Alcotest.fail "dropped"
@@ -511,7 +511,7 @@ let prop_engine_invariants =
       in
       let p = if encapped then Packet.encapsulate base ~outer_src:7 ~outer_dst:99 else base in
       match Engine.forward env ~ingress:(Some 2) p with
-      | Engine.Send { port; packet = p' } ->
+      | Engine.Send { port; packet = p'; _ } ->
         (* TTL decremented exactly once *)
         p'.Packet.ttl = p.Packet.ttl - 1
         (* output is one of the FIB ports *)

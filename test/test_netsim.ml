@@ -68,6 +68,87 @@ let prop_eventq_fifo_ties =
       in
       ordered (drain []))
 
+(* Regression: [clear] used to empty the queue but leave the sequence
+   counter running, so a reused queue tie-broke differently from a
+   fresh one — a determinism leak across resets. *)
+let test_eventq_clear_resets_seq () =
+  List.iter
+    (fun engine ->
+      let q = Eventq.create ~engine () in
+      Eventq.schedule q ~time:1. "x";
+      Eventq.schedule q ~time:2. "y";
+      ignore (Eventq.pop_before q ~until:3.);
+      Eventq.clear q;
+      Alcotest.(check bool) "empty" true (Eventq.is_empty q);
+      check_float "last_time reset" 0. (Eventq.last_time q);
+      Eventq.schedule q ~time:4. "z";
+      (match Eventq.peek_key q with
+       | Some (t, s) ->
+         check_float "time" 4. t;
+         Alcotest.(check int) "seq restarts at 0" 0 s
+       | None -> Alcotest.fail "empty after schedule");
+      Alcotest.(check int) "peak length reset" 1 (Eventq.peak_length q))
+    [ Eventq.Heap; Eventq.Wheel ]
+
+let test_eventq_pop_before_time_cell () =
+  List.iter
+    (fun engine ->
+      let q = Eventq.create ~engine () in
+      let cell = Eventq.time_cell q in
+      Eventq.schedule q ~time:5e-6 "a";
+      Eventq.schedule q ~time:9e-6 "b";
+      Alcotest.(check (option string)) "beyond horizon" None
+        (Eventq.pop_before q ~until:1e-6);
+      Alcotest.(check (option string)) "within horizon" (Some "a")
+        (Eventq.pop_before q ~until:6e-6);
+      check_float "last_time" 5e-6 (Eventq.last_time q);
+      Alcotest.(check (option string)) "rest" (Some "b")
+        (Eventq.pop_before q ~until:Float.infinity);
+      check_float "shared cell tracks pops" 9e-6 cell.(0))
+    [ Eventq.Heap; Eventq.Wheel ]
+
+(* The tentpole's safety net at the API level: any interleaving of
+   schedules and pops — duplicate times, sub-tick spacings, far-future
+   outliers including +inf — pops bit-identically under both engines. *)
+let eventq_time_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (6, map (fun k -> float_of_int k *. 1e-7) (int_bound 300));
+        (1, map (fun k -> 1000. +. float_of_int k) (int_bound 3));
+        (1, return Float.infinity);
+      ])
+
+let prop_eventq_engines_agree =
+  QCheck2.Test.make ~name:"eventq: heap and wheel pop identical sequences" ~count:300
+    QCheck2.Gen.(list_size (int_range 1 250) (pair bool eventq_time_gen))
+    (fun ops ->
+      let qh = Eventq.create ~engine:Eventq.Heap () in
+      let qw = Eventq.create ~engine:Eventq.Wheel () in
+      let i = ref 0 and agree = ref true in
+      let pop_both () =
+        match (Eventq.next qh, Eventq.next qw) with
+        | None, None -> false
+        | Some (th, ph), Some (tw, pw) ->
+          if not (Int64.bits_of_float th = Int64.bits_of_float tw && ph = pw) then
+            agree := false;
+          true
+        | Some _, None | None, Some _ ->
+          agree := false;
+          false
+      in
+      List.iter
+        (fun (pop, t) ->
+          if pop then ignore (pop_both ())
+          else begin
+            Eventq.schedule qh ~time:t !i;
+            Eventq.schedule qw ~time:t !i;
+            incr i
+          end)
+        ops;
+      while pop_both () do () done;
+      !agree && Eventq.is_empty qh && Eventq.is_empty qw)
+
 (* ---------- Maxmin ---------- *)
 
 let test_maxmin_two_flows_one_link () =
@@ -639,8 +720,8 @@ let test_flowsim_series_grid () =
 (* ---------- Packetsim ---------- *)
 
 (* Two hosts connected through two routers in a line. *)
-let line_network ?(rate = 1e9) () =
-  let sim = Packetsim.create () in
+let line_network ?config ?(rate = 1e9) () =
+  let sim = Packetsim.create ?config () in
   let h1 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 1 1) in
   let h2 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 2 1) in
   let r1 = Packetsim.add_router sim ~as_id:1 in
@@ -698,6 +779,51 @@ let test_packetsim_two_flows_share () =
       | Some f -> Alcotest.(check bool) "both slower than solo" true (f > 0.02)
       | None -> Alcotest.fail "did not finish")
     results
+
+(* End-to-end bit-identity of the eventq engines: the same workload —
+   a TCP transfer with queue drops and retransmissions plus an
+   open-loop UDP blast — must produce identical observable results
+   under every (engine x packet_trains) combination.  The heap with
+   per-packet scheduling is the oracle; the wheel with trains is the
+   production fast path. *)
+let pkt_fingerprint sim =
+  let finishes =
+    Array.map
+      (fun (r : Packetsim.flow_result) ->
+        match r.Packetsim.finish with
+        | Some f -> Int64.bits_of_float f
+        | None -> Int64.minus_one)
+      (Packetsim.flow_results sim)
+  in
+  (Packetsim.events_processed sim, finishes, Packetsim.counters sim)
+
+let test_packetsim_engines_bit_identical () =
+  let run engine trains =
+    let config =
+      {
+        Packetsim.default_config with
+        Packetsim.eventq_engine = engine;
+        packet_trains = trains;
+        queue_bits = 100_000;
+      }
+    in
+    let sim, h1, h2 = line_network ~config ~rate:1e8 () in
+    let _ = Packetsim.add_flow sim ~src:h1 ~dst:h2 ~bytes:400_000 ~start:0. in
+    let _ = Packetsim.add_udp_flow sim ~src:h1 ~dst:h2 ~bytes:200_000 ~start:0.002 () in
+    Packetsim.run ~until:30. sim;
+    let c = Packetsim.counters sim in
+    Alcotest.(check bool) "small queue forces drops" true (c.Packetsim.dropped_queue > 0);
+    pkt_fingerprint sim
+  in
+  let oracle = run Eventq.Heap false in
+  List.iter
+    (fun (engine, trains) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/trains=%b bit-identical to the heap oracle"
+           (Eventq.engine_name engine) trains)
+        true
+        (run engine trains = oracle))
+    [ (Eventq.Heap, true); (Eventq.Wheel, false); (Eventq.Wheel, true) ]
 
 let test_packetsim_ttl_on_routing_loop () =
   (* misconfigured FIBs that point at each other: packets must die by TTL,
@@ -791,7 +917,7 @@ let test_packetsim_tunnel_transit () =
   let transits = ref 0 and leaked = ref 0 in
   Packetsim.set_tracer sim (fun _ node p action ->
       match action with
-      | Engine.Send { port; packet = p' } ->
+      | Engine.Send { port; packet = p'; _ } ->
         if node = r2 && p.Mifo_core.Packet.encap <> None then begin
           incr transits;
           if port <> r2_r3 || p'.Mifo_core.Packet.encap = None then incr leaked
@@ -818,7 +944,12 @@ let () =
           Alcotest.test_case "time order" `Quick test_eventq_order;
           Alcotest.test_case "stable on ties" `Quick test_eventq_stable;
           Alcotest.test_case "rejects bad times" `Quick test_eventq_rejects_bad_time;
+          Alcotest.test_case "clear resets the sequence counter" `Quick
+            test_eventq_clear_resets_seq;
+          Alcotest.test_case "pop_before drives the time cell" `Quick
+            test_eventq_pop_before_time_cell;
           QCheck_alcotest.to_alcotest prop_eventq_fifo_ties;
+          QCheck_alcotest.to_alcotest prop_eventq_engines_agree;
         ] );
       ( "maxmin",
         [
@@ -872,6 +1003,8 @@ let () =
           Alcotest.test_case "goodput series conserves bytes" `Quick test_packetsim_goodput_series;
           Alcotest.test_case "two flows share a link" `Quick test_packetsim_two_flows_share;
           Alcotest.test_case "routing loop dies by ttl" `Quick test_packetsim_ttl_on_routing_loop;
+          Alcotest.test_case "eventq engines bit-identical end to end" `Quick
+            test_packetsim_engines_bit_identical;
           Alcotest.test_case "tunnel transits an intermediate router" `Quick
             test_packetsim_tunnel_transit;
         ] );
