@@ -55,8 +55,11 @@ static-check:
 # packetsim event loop), both eventq engines must report bit-identical
 # event counts and completions (the bench exits 1 on any divergence,
 # and the JSON is re-checked here), and BENCH_sim.json must be
-# well-formed JSON.  Perf numbers at these sizes are meaningless; the
-# full run is `make bench`.
+# well-formed JSON.  A second leg runs the routing track on a downsized
+# 44K-shaped topology and asserts the CSR/boxed RIBs and the
+# incremental/full verifier verdicts agree, that jobs/peak-memory are
+# recorded, and that no speedup is quoted on a 1-core box.  Perf numbers
+# at these sizes are meaningless; the full run is `make bench`.
 bench-smoke:
 	MIFO_SIM_ASES=60 MIFO_SIM_FLOWS=60 MIFO_SIM_TIME=5 \
 	MIFO_PKT_ASES=4 MIFO_PKT_FLOWS=4 MIFO_PKT_KB=50 \
@@ -73,6 +76,24 @@ bad=[r["label"] for r in rows if not r["bit_identical"]]; \
 assert not bad, "engines diverged: %s" % bad' \
 			_build/BENCH_sim-smoke.json && \
 		echo "bench-smoke: heap and wheel engines bit-identical"; \
+	else \
+		echo "bench-smoke: python3 not installed, skipping JSON parse check"; \
+	fi
+	MIFO_ASES=300 MIFO_44K_ASES=2000 MIFO_44K_DESTS=8 MIFO_44K_DELTAS=6 \
+	MIFO_BENCH_ROUTING_OUT=_build/BENCH_routing-smoke.json \
+	MIFO_BENCH_SIM_OUT=_build/BENCH_sim-smoke.json \
+		dune exec bench/main.exe -- routing
+	@if command -v python3 >/dev/null 2>&1; then \
+		python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); \
+sc=d["scale44k"]; chk=sc["check"]; \
+assert sc["rep_identical"], "CSR and boxed RIBs diverged"; \
+assert chk["verdicts_identical"], "incremental and full verdicts diverged"; \
+assert sc["dests_per_sec"] > 0 and sc["peak_words"] > 0, "missing measurements"; \
+assert "jobs" in sc and "jobs" in d["precompute"]["parallel"], "jobs not recorded"; \
+assert d["machine"]["cores"] > 1 or "speedup" not in d["precompute"], \
+	"speedup quoted on a 1-core box"' \
+			_build/BENCH_routing-smoke.json && \
+		echo "bench-smoke: scale44k CSR/oracle and incremental/full checks agree"; \
 	else \
 		echo "bench-smoke: python3 not installed, skipping JSON parse check"; \
 	fi

@@ -27,6 +27,11 @@ let env_float name default =
 
 let seed = env_int "MIFO_SEED" 42
 
+(* Any bit-identity violation flips this; the process exits nonzero
+   after the JSON is written, so CI fails loudly but the numbers are
+   still on disk for debugging. *)
+let bench_failed = ref false
+
 let scale =
   {
     Context.default_scale with
@@ -120,6 +125,9 @@ let routing_precompute_bench () =
     let t0 = Unix.gettimeofday () in
     Routing_table.precompute ~pool table dests;
     let secs = Unix.gettimeofday () -. t0 in
+    (* the jobs the pool actually runs, not the request — on a 1-core
+       box MIFO_JOBS-less runs collapse to 1 and the JSON must say so *)
+    let jobs = Parallel.jobs pool in
     Parallel.shutdown pool;
     { jobs; secs; dests_per_sec = float_of_int k /. secs }
   in
@@ -136,6 +144,153 @@ let routing_precompute_bench () =
     parallel.dests_per_sec
     (serial.secs /. parallel.secs)
 
+(* --- Full-Internet-scale routing + incremental re-verification bench --- *)
+
+type check_bench = {
+  chk_full_secs : float;  (* mean wall clock of a full As_check DFS *)
+  chk_inc_secs : float;  (* mean wall clock of an incremental recheck *)
+  chk_deltas : int;  (* rechecks timed (2 per FIB delta: disable + re-enable) *)
+  chk_speedup : float;
+  chk_verdicts_identical : bool;
+}
+
+type scale_bench = {
+  sc_ases : int;
+  sc_links : int;
+  sc_dests : int;
+  sc_jobs : int;
+  sc_secs : float;
+  sc_dests_per_sec : float;
+  sc_peak_words : float;  (* routing.peak_words gauge: major-heap high water *)
+  sc_rep_identical : bool;  (* CSR rib == boxed-oracle rib, every node *)
+  sc_check : check_bench;
+}
+
+let scale_bench_result : scale_bench option ref = ref None
+
+(* The paper's evaluation scale: route computation throughput, peak
+   memory, and full-vs-incremental static verification on the 44,340-AS
+   preset (MIFO_44K_* shrink it for smoke runs).  The CSR representation
+   is cross-checked against the boxed oracle on a full destination's
+   RIBs, and every incremental verdict against a fresh full check —
+   mismatches flip [bench_failed]. *)
+let scale44k_bench () =
+  let module Generator = Mifo_topology.Generator in
+  let module As_graph = Mifo_topology.As_graph in
+  let module Routing = Mifo_bgp.Routing in
+  let module Routing_table = Mifo_bgp.Routing_table in
+  let module Parallel = Mifo_util.Parallel in
+  let module As_check = Mifo_analysis.As_check in
+  let module Obs = Mifo_util.Obs in
+  let ases = Stdlib.max 10 (env_int "MIFO_44K_ASES" 44_340) in
+  let ndests = Stdlib.max 1 (env_int "MIFO_44K_DESTS" 32) in
+  let ndeltas = Stdlib.max 1 (env_int "MIFO_44K_DELTAS" 12) in
+  let params = { Generator.paper_scale_params with Generator.ases } in
+  let topo = Obs.time_phase "bench.44k.generate" (fun () -> Generator.generate ~params ~seed ()) in
+  let g = topo.Generator.graph in
+  let n = As_graph.n g in
+  let links = As_graph.edge_count g in
+  Printf.printf "== Full-Internet scale (%d ASes, %d links) ==\n%!" n links;
+  (* Route-computation throughput through the pool, with a bounded cache
+     so 44K-node Routing.t values recycle instead of accumulating. *)
+  let pool = Parallel.create ~jobs:(Stdlib.max 1 (Parallel.default_jobs ())) () in
+  let jobs = Parallel.jobs pool in
+  let table = Routing_table.create ~max_cached:16 g in
+  let dests = Array.init ndests (fun i -> i * n / ndests) in
+  Gc.compact ();
+  let t0 = Unix.gettimeofday () in
+  Routing_table.precompute ~pool table dests;
+  let secs = Unix.gettimeofday () -. t0 in
+  Parallel.shutdown pool;
+  let dests_per_sec = float_of_int ndests /. secs in
+  Printf.printf "route compute: %d dests in %.2fs (%.1f dests/s, jobs=%d)\n%!"
+    ndests secs dests_per_sec jobs;
+  (* CSR vs boxed oracle: same destination, every node's RIB equal. *)
+  let d0 = dests.(Array.length dests / 2) in
+  let rt_csr = Routing.compute ~rep:Routing.Csr g d0 in
+  let rt_box = Routing.compute ~rep:Routing.Boxed g d0 in
+  let rep_identical = ref true in
+  for v = 0 to n - 1 do
+    if Routing.rib rt_csr v <> Routing.rib rt_box v then rep_identical := false
+  done;
+  if not !rep_identical then begin
+    Printf.printf "   <-- CSR / boxed RIB MISMATCH (dest %d)\n%!" d0;
+    bench_failed := true
+  end;
+  (* Incremental vs full static verification under single-entry FIB
+     deltas: disable then re-enable one alternative, recheck after each,
+     and compare every verdict against a fresh full DFS. *)
+  let inc = As_check.Inc.create g rt_csr in
+  let full_time = ref 0. and full_runs = ref 0 in
+  let inc_time = ref 0. and inc_runs = ref 0 in
+  let verdicts_identical = ref true in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let same_verdict (a : As_check.loop_result) (b : As_check.loop_result) =
+    a.As_check.counterexample = b.As_check.counterexample
+  in
+  (* Deltas target nodes that actually hold an alternative. *)
+  let deltas = ref [] in
+  let v = ref 0 in
+  while List.length !deltas < ndeltas && !v < n do
+    if !v <> d0 && Routing.rib_size rt_csr !v >= 2 then
+      deltas := (!v, Routing.rib_via rt_csr !v 1) :: !deltas;
+    v := !v + (Stdlib.max 1 (n / (4 * ndeltas)))
+  done;
+  List.iter
+    (fun (at, via) ->
+      List.iter
+        (fun enabled ->
+          As_check.Inc.set_deflection inc ~at ~via ~enabled;
+          let dt_inc, r_inc = time (fun () -> As_check.Inc.recheck inc) in
+          let dt_full, r_full = time (fun () -> As_check.Inc.full_check inc) in
+          inc_time := !inc_time +. dt_inc;
+          incr inc_runs;
+          full_time := !full_time +. dt_full;
+          incr full_runs;
+          if not (same_verdict r_inc r_full) then verdicts_identical := false)
+        [ false; true ])
+    !deltas;
+  if not !verdicts_identical then begin
+    Printf.printf "   <-- INCREMENTAL / FULL VERDICT MISMATCH\n%!";
+    bench_failed := true
+  end;
+  let runs = Stdlib.max 1 !inc_runs in
+  let chk_full_secs = !full_time /. float_of_int (Stdlib.max 1 !full_runs) in
+  let chk_inc_secs = Stdlib.max 1e-9 (!inc_time /. float_of_int runs) in
+  let check =
+    {
+      chk_full_secs;
+      chk_inc_secs;
+      chk_deltas = !inc_runs;
+      chk_speedup = chk_full_secs /. chk_inc_secs;
+      chk_verdicts_identical = !verdicts_identical;
+    }
+  in
+  let peak_words = Obs.gauge_value "routing.peak_words" in
+  Printf.printf
+    "static check: full %.4fs vs incremental %.6fs per delta (%d rechecks, \
+     %.0fx, verdicts identical: %b)\n\
+     peak heap: %.1f MWords   rep identical: %b\n\n%!"
+    check.chk_full_secs check.chk_inc_secs check.chk_deltas check.chk_speedup
+    check.chk_verdicts_identical (peak_words /. 1e6) !rep_identical;
+  scale_bench_result :=
+    Some
+      {
+        sc_ases = n;
+        sc_links = links;
+        sc_dests = ndests;
+        sc_jobs = jobs;
+        sc_secs = secs;
+        sc_dests_per_sec = dests_per_sec;
+        sc_peak_words = peak_words;
+        sc_rep_identical = !rep_identical;
+        sc_check = check;
+      }
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -147,13 +302,44 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let scale44k_json sc =
+  let c = sc.sc_check in
+  Printf.sprintf
+    "{\n\
+    \    \"ases\": %d,\n\
+    \    \"links\": %d,\n\
+    \    \"dests\": %d,\n\
+    \    \"jobs\": %d,\n\
+    \    \"secs\": %.3f,\n\
+    \    \"dests_per_sec\": %.3f,\n\
+    \    \"peak_words\": %.0f,\n\
+    \    \"rep_identical\": %b,\n\
+    \    \"check\": {\"full_secs\": %.6f, \"incremental_secs\": %.9f, \"speedup\": %.1f, \"deltas\": %d, \"verdicts_identical\": %b}\n\
+    \  }"
+    sc.sc_ases sc.sc_links sc.sc_dests sc.sc_jobs sc.sc_secs sc.sc_dests_per_sec
+    sc.sc_peak_words sc.sc_rep_identical c.chk_full_secs c.chk_inc_secs
+    c.chk_speedup c.chk_deltas c.chk_verdicts_identical
+
 let write_bench_json path =
   match !routing_bench_result with
   | None -> ()
   | Some b ->
+    let cores = Domain.recommended_domain_count () in
     let sample s =
       Printf.sprintf "{\"jobs\": %d, \"secs\": %.6f, \"dests_per_sec\": %.1f}" s.jobs
         s.secs s.dests_per_sec
+    in
+    (* A speedup quoted on a 1-core box (where the pool collapses to one
+       worker) is noise, not a measurement — omit the field entirely. *)
+    let speedup =
+      if cores > 1 && b.parallel.jobs > 1 then
+        Printf.sprintf ",\n    \"speedup\": %.3f" (b.serial.secs /. b.parallel.secs)
+      else ""
+    in
+    let scale44k =
+      match !scale_bench_result with
+      | None -> ""
+      | Some sc -> Printf.sprintf "  \"scale44k\": %s,\n" (scale44k_json sc)
     in
     let figures =
       String.concat ", "
@@ -169,15 +355,13 @@ let write_bench_json path =
       \  \"precompute\": {\n\
       \    \"dests\": %d,\n\
       \    \"serial\": %s,\n\
-      \    \"parallel\": %s,\n\
-      \    \"speedup\": %.3f\n\
+      \    \"parallel\": %s%s\n\
       \  },\n\
+       %s\
       \  \"figure_secs\": {%s}\n\
        }\n"
-      (Domain.recommended_domain_count ())
-      b.ases b.links b.dests (sample b.serial) (sample b.parallel)
-      (b.serial.secs /. b.parallel.secs)
-      figures;
+      cores b.ases b.links b.dests (sample b.serial) (sample b.parallel) speedup
+      scale44k figures;
     close_out oc;
     Printf.printf "[wrote %s]\n%!" path
 
@@ -213,11 +397,6 @@ type packetsim_size = {
 
 let flowsim_sizes : flowsim_size list ref = ref []
 let packetsim_sizes : packetsim_size list ref = ref []
-
-(* Any bit-identity violation flips this; the process exits nonzero
-   after the JSON is written, so CI fails loudly but the numbers are
-   still on disk for debugging. *)
-let bench_failed = ref false
 
 (* Flow-level simulator: wall time per epoch, reference engine (per-epoch
    Maxmin.allocate, the pre-optimization implementation kept as oracle)
@@ -706,7 +885,6 @@ let micro () =
         | Some _ | None -> Printf.printf "%-34s (no estimate)\n%!" name)
       results
   in
-  routing_precompute_bench ();
   Printf.printf "== Microbenchmarks (monotonic clock) ==\n%!";
   List.iter measure tests;
   (* the global-table-sized FIB (the paper's 500K-prefix scale) is
@@ -733,11 +911,19 @@ let validate () =
   timed "Validation: flow-level vs packet-level"
     (fun () -> Mifo_exp.Validation.render (Mifo_exp.Validation.run ~seed ()))
 
+(* The routing/verification track: precompute throughput on the default
+   graph, then the 44,340-AS scale run (CSR RIBs, peak-heap gauge,
+   incremental re-verification vs the full-DFS oracle). *)
+let routing () =
+  routing_precompute_bench ();
+  scale44k_bench ()
+
 (* [micro] runs first by default: the later experiments grow the heap by
    hundreds of MB, which would distort nanosecond-scale measurements. *)
 let registry =
   [
     ("micro", micro);
+    ("routing", routing);
     ("sim", sim);
     ("table1", table1);
     ("fig5", fig5);
@@ -766,14 +952,18 @@ let () =
         exit 2)
     requested;
   (* machine-readable perf trajectory, one file per run (see ISSUE/PRs).
-     MIFO_BENCH_SIM_OUT redirects the sim JSON so smoke runs (make
-     bench-smoke) don't clobber the committed full-size numbers. *)
-  write_bench_json "BENCH_routing.json";
+     MIFO_BENCH_ROUTING_OUT / MIFO_BENCH_SIM_OUT redirect the JSON so
+     smoke runs (make bench-smoke) don't clobber the committed full-size
+     numbers. *)
+  write_bench_json
+    (match Sys.getenv_opt "MIFO_BENCH_ROUTING_OUT" with
+    | Some p -> p
+    | None -> "BENCH_routing.json");
   write_sim_json
     (match Sys.getenv_opt "MIFO_BENCH_SIM_OUT" with
     | Some p -> p
     | None -> "BENCH_sim.json");
   if !bench_failed then begin
-    prerr_endline "bench: eventq engines disagreed (bit_identical: false)";
+    prerr_endline "bench: oracle representations disagreed (bit-identity broken)";
     exit 1
   end

@@ -42,6 +42,15 @@ let banned_substrings =
 (* Files shared across domains: a bare Hashtbl here needs a Mutex. *)
 let domain_shared = [ "routing.ml"; "routing_table.ml"; "obs.ml" ]
 
+(* Data-plane hot paths (lib/bgp, lib/core): new bare [Hashtbl] use is
+   banned — the CSR RIB arena and the open-addressed flat FIB are the
+   representations there, and a boxed hash table on those paths undoes
+   the 44K-scale memory/locality work.  Oracle representations and
+   mutex-guarded control-plane caches carry explicit [lint:allow]
+   waivers; pure control-plane parsers are exempt wholesale. *)
+let no_hashtbl_dirs = [ "bgp"; "core" ]
+let no_hashtbl_exempt = [ "bgp_proto.ml"; "prefix_table.ml" ]
+
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -94,8 +103,11 @@ let lint_file path =
      done
    with End_of_file -> close_in ic);
   let lines = Array.of_list (List.rev !lines) in
-  let on_hot_path =
-    List.mem (Filename.basename (Filename.dirname path)) hot_path_dirs
+  let dir = Filename.basename (Filename.dirname path) in
+  let on_hot_path = List.mem dir hot_path_dirs in
+  let no_hashtbl =
+    List.mem dir no_hashtbl_dirs
+    && not (List.mem (Filename.basename path) no_hashtbl_exempt)
   in
   Array.iteri
     (fun i line ->
@@ -107,7 +119,11 @@ let lint_file path =
         if on_hot_path && uses_polymorphic_compare line then
           report path (i + 1) line
             "polymorphic compare on a simulator hot path; use Float.compare / \
-             Int.compare (or waive with lint:allow)"
+             Int.compare (or waive with lint:allow)";
+        if no_hashtbl && contains ~sub:"Hashtbl." line then
+          report path (i + 1) line
+            "bare Hashtbl on a data-plane hot path; use the flat CSR/open-addressed \
+             representations (or waive an oracle with lint:allow)"
       end)
     lines;
   if List.mem (Filename.basename path) domain_shared then begin

@@ -51,7 +51,7 @@ let () =
   let default_port = 0 and alt_port = 1 and upstream_port = 2 in
   Fib.insert fib (Prefix.of_as dst) ~out_port:default_port ~alt_port ();
   (match Fib.find fib (Prefix.of_as dst) with
-   | Some entry -> entry.Fib.deflect_buckets <- Fib.buckets (* daemon: deflect everything *)
+   | Some entry -> Fib.set_deflect_buckets entry Fib.buckets (* daemon: deflect everything *)
    | None -> assert false);
   let env =
     {

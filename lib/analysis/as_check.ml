@@ -15,29 +15,49 @@ type counterexample = {
 
 type loop_result = { counterexample : counterexample option; states_explored : int }
 
-(* Tag carried after the hop [from -> w]: rewritten at the entering
-   point of [w] to "the upstream neighbor is my customer". *)
-let tag_after g ~from w = Policy.tag_of_upstream (As_graph.rel_exn g w from)
+let all_enabled ~at:_ ~via:_ = true
 
 (* Outgoing transitions of product state (v, tag): the default route is
    always available and never checked; every other RIB entry is a
-   deflection gated by the exit-point Tag-Check. *)
-let edges ~tag_check g rt v tag =
+   deflection gated by the exit-point Tag-Check (and, for incremental
+   rechecking, by the [enabled] overlay modelling withdrawn FIB
+   alternatives).  Iterates the RIB through the packed accessors — no
+   boxed entries materialise, which is what keeps the 44K product DFS
+   inside the CSR arena.  The tag after the hop [v -> via] is rewritten
+   at [via]'s entering point to "the upstream neighbor is my customer";
+   the stored relationship is [via]'s role relative to [v], so the
+   upstream role is its inverse. *)
+let edges ~tag_check ~enabled _g rt v tag =
   if v = Routing.dest rt then []
-  else
-    match Routing.rib rt v with
-    | [] -> []
-    | default :: alts ->
-      let edge deflected (e : Routing.rib_entry) =
-        ({ at = v; tag; via = e.via; deflected }, e.via, tag_after g ~from:v e.via)
+  else begin
+    let k = Routing.rib_size rt v in
+    if k = 0 then []
+    else begin
+      let edge i deflected =
+        let via = Routing.rib_via rt v i in
+        let rel = Routing.rib_rel_at rt v i in
+        ( { at = v; tag; via; deflected },
+          via,
+          Policy.tag_of_upstream (Mifo_topology.Relationship.inverse rel) )
       in
-      edge false default
-      :: List.filter_map
-           (fun (e : Routing.rib_entry) ->
-             if (not tag_check) || Policy.check ~tag ~downstream:e.rel then
-               Some (edge true e)
-             else None)
-           alts
+      let rec alts i acc =
+        if i < 1 then acc
+        else begin
+          let via = Routing.rib_via rt v i in
+          let acc =
+            if
+              ((not tag_check)
+              || Policy.check ~tag ~downstream:(Routing.rib_rel_at rt v i))
+              && enabled ~at:v ~via
+            then edge i true :: acc
+            else acc
+          in
+          alts (i - 1) acc
+        end
+      in
+      edge 0 false :: alts (k - 1) []
+    end
+  end
 
 type frame = {
   v : int;
@@ -46,7 +66,8 @@ type frame = {
   mutable rest : (move * int * bool) list;
 }
 
-let find_loop ?(tag_check = true) g rt =
+let find_loop ?(tag_check = true) ?(deflection_enabled = all_enabled) g rt =
+  let enabled = deflection_enabled in
   let n = As_graph.n g in
   let dest = Routing.dest rt in
   let enc v tag = (2 * v) + if tag then 1 else 0 in
@@ -63,7 +84,7 @@ let find_loop ?(tag_check = true) g rt =
     pos.(s) <- !depth;
     incr depth;
     incr explored;
-    path := { v; tag; entered_by; rest = edges ~tag_check g rt v tag } :: !path
+    path := { v; tag; entered_by; rest = edges ~tag_check ~enabled g rt v tag } :: !path
   in
   let pop () =
     match !path with
@@ -153,6 +174,166 @@ let replay ?(tag_check = true) g rt cx =
      one extra turn of the cycle, well inside this bound. *)
   let max_hops = 2 * (total + cyc_len) + 8 in
   Loop_walk.walk ~tag_check ~max_hops g rt ~decide ~src
+
+module Inc = struct
+  (* Incremental re-verification over FIB deltas.  A delta toggles one
+     deflection edge [(at, via)]; the invariant exploited is that a NEW
+     root-reachable cycle after a batch of deltas must traverse a
+     re-enabled edge (removing edges from a graph whose reachable region
+     was acyclic cannot create cycles).  So a recheck after removals is
+     free, and a recheck after additions DFSes only the region reachable
+     from the changed states; a full [find_loop] (with the same overlay)
+     runs only when that scan actually smells a cycle — which makes the
+     returned verdict bit-identical to the full check by construction,
+     counterexamples included. *)
+  type inc = {
+    g : As_graph.t;
+    rt : Routing.t;
+    tag_check : bool;
+    disabled : (int, unit) Hashtbl.t;  (* key = at * n + via *)
+    mutable pending_add : (int * int) list;  (* re-enabled since last recheck *)
+    mutable pending_remove : (int * int) list;  (* disabled since last recheck *)
+    mutable last : loop_result;
+    mutable epoch : int;
+    visit_epoch : int array;  (* scratch: 2n product states *)
+    scan_color : int array;  (* 1 = gray, 2 = black; valid iff epoch matches *)
+    mutable full_checks : int;
+    mutable region_scans : int;
+  }
+
+  type t = inc
+
+  let enabled_of t =
+    let n = As_graph.n t.g in
+    fun ~at ~via -> not (Hashtbl.mem t.disabled ((at * n) + via))
+
+  let full_check t =
+    t.full_checks <- t.full_checks + 1;
+    find_loop ~tag_check:t.tag_check ~deflection_enabled:(enabled_of t) t.g t.rt
+
+  let create ?(tag_check = true) g rt =
+    let n = As_graph.n g in
+    let t =
+      {
+        g;
+        rt;
+        tag_check;
+        disabled = Hashtbl.create 16;
+        pending_add = [];
+        pending_remove = [];
+        last = { counterexample = None; states_explored = 0 };
+        epoch = 0;
+        visit_epoch = Array.make (2 * n) 0;
+        scan_color = Array.make (2 * n) 0;
+        full_checks = 0;
+        region_scans = 0;
+      }
+    in
+    t.last <- full_check t;
+    t
+
+  let result t = t.last
+  let stats t = (t.full_checks, t.region_scans)
+
+  let deflection_enabled t ~at ~via = (enabled_of t) ~at ~via
+
+  let set_deflection t ~at ~via ~enabled =
+    let n = As_graph.n t.g in
+    let key = (at * n) + via in
+    if enabled then begin
+      if Hashtbl.mem t.disabled key then begin
+        Hashtbl.remove t.disabled key;
+        t.pending_add <- (at, via) :: t.pending_add
+      end
+    end
+    else if not (Hashtbl.mem t.disabled key) then begin
+      Hashtbl.add t.disabled key ();
+      t.pending_remove <- (at, via) :: t.pending_remove
+    end
+
+  (* DFS over the current edge set from the states touched by re-enabled
+     edges; true iff a cycle is reachable from them.  Epoch-stamped
+     colors so the 2n scratch arrays are never cleared between scans. *)
+  let region_scan t adds =
+    t.region_scans <- t.region_scans + 1;
+    t.epoch <- t.epoch + 1;
+    let epoch = t.epoch in
+    let color s = if t.visit_epoch.(s) = epoch then t.scan_color.(s) else 0 in
+    let set_color s c =
+      t.visit_epoch.(s) <- epoch;
+      t.scan_color.(s) <- c
+    in
+    let enabled = enabled_of t in
+    let enc v tag = (2 * v) + if tag then 1 else 0 in
+    let explored = ref 0 in
+    let found = ref false in
+    let stack = Stack.create () in
+    let push v tag =
+      set_color (enc v tag) 1;
+      incr explored;
+      Stack.push (v, tag, ref (edges ~tag_check:t.tag_check ~enabled t.g t.rt v tag)) stack
+    in
+    let drive () =
+      while (not !found) && not (Stack.is_empty stack) do
+        let v, tag, rest = Stack.top stack in
+        match !rest with
+        | [] ->
+          set_color (enc v tag) 2;
+          ignore (Stack.pop stack)
+        | (_, w, wtag) :: tl -> (
+          rest := tl;
+          match color (enc w wtag) with
+          | 1 -> found := true
+          | 0 -> push w wtag
+          | _ -> ())
+      done
+    in
+    (* Any new cycle, and any path newly connecting a source root to an
+       old cycle, runs through a re-enabled edge — its endpoints (both
+       tags, a conservative superset of the gated states) seed the
+       scan. *)
+    List.iter
+      (fun (at, via) ->
+        List.iter
+          (fun v ->
+            List.iter
+              (fun tag ->
+                if (not !found) && color (enc v tag) = 0 then begin
+                  push v tag;
+                  drive ()
+                end)
+              [ false; true ])
+          [ at; via ])
+      adds;
+    (!found, !explored)
+
+  let recheck t =
+    let adds = t.pending_add and removes = t.pending_remove in
+    t.pending_add <- [];
+    t.pending_remove <- [];
+    (match t.last.counterexample with
+    | Some _ ->
+      (* The standing verdict is a loop; a removal may have broken it
+         (and the cached counterexample may reference a now-disabled
+         edge), so anything pending forces a full re-verification. *)
+      if adds <> [] || removes <> [] then t.last <- full_check t
+    | None ->
+      if adds = [] then begin
+        (* Removals only: deleting edges from a graph whose reachable
+           region is acyclic cannot create a cycle.  Zero states. *)
+        if removes <> [] then t.last <- { counterexample = None; states_explored = 0 }
+      end
+      else begin
+        let found, explored = region_scan t adds in
+        if found then
+          (* The region scan's cycle may sit outside the root-reachable
+             region; the full check settles it and, when genuine, yields
+             the canonical replayable counterexample. *)
+          t.last <- full_check t
+        else t.last <- { counterexample = None; states_explored = explored }
+      end);
+    t.last
+end
 
 let check_paths g rt =
   let dest = Routing.dest rt in

@@ -28,13 +28,60 @@ type counterexample = {
 
 type loop_result = { counterexample : counterexample option; states_explored : int }
 
-val find_loop : ?tag_check:bool -> Mifo_topology.As_graph.t -> Mifo_bgp.Routing.t -> loop_result
+val find_loop :
+  ?tag_check:bool ->
+  ?deflection_enabled:(at:int -> via:int -> bool) ->
+  Mifo_topology.As_graph.t ->
+  Mifo_bgp.Routing.t ->
+  loop_result
 (** Exhaustive DFS over the product automaton from every source state
     [(s, source_tag)].  [None] counterexample = the data plane is
     loop-free toward this destination for {e every} deflection strategy
     and congestion pattern.  With [tag_check:false] the deflection gate
     is removed — the legacy multi-path ablation, which loops on the
-    Fig. 2(a) gadget.  O(states + transitions) = O(V + E). *)
+    Fig. 2(a) gadget.  [deflection_enabled] (default: everything) masks
+    individual deflection edges — the overlay {!Inc} uses to model
+    withdrawn FIB alternatives; the default route is never masked.
+    O(states + transitions) = O(V + E). *)
+
+(** Incremental re-verification.  Holds a verdict for one destination
+    and refreshes it as FIB deltas toggle deflection availability,
+    re-DFSing only the [(AS, tag)] region reachable from the changed
+    entries instead of the full product automaton.  Verdicts are
+    bit-identical to a fresh {!find_loop} under the same overlay: a
+    recheck that cannot prove cleanliness locally falls back to the full
+    DFS (which also yields the canonical, replayable counterexample). *)
+module Inc : sig
+  type t
+
+  val create : ?tag_check:bool -> Mifo_topology.As_graph.t -> Mifo_bgp.Routing.t -> t
+  (** Runs the initial full check. *)
+
+  val set_deflection : t -> at:int -> via:int -> enabled:bool -> unit
+  (** Record a FIB delta: the alternative at AS [at] via neighbor [via]
+      became available/unavailable.  Cheap; verdicts refresh at
+      {!recheck}.  Unknown [(at, via)] pairs are harmless (masking an
+      edge not in the RIB is a no-op on the automaton). *)
+
+  val deflection_enabled : t -> at:int -> via:int -> bool
+
+  val recheck : t -> loop_result
+  (** Refresh the verdict against the pending deltas.  Removals on a
+      clean verdict are free; additions trigger a region DFS from the
+      changed states and escalate to a full check only when that scan
+      finds a candidate cycle.  [states_explored] reflects the work
+      actually done (0 when nothing needed exploring). *)
+
+  val result : t -> loop_result
+  (** The standing verdict (without rechecking). *)
+
+  val full_check : t -> loop_result
+  (** A fresh full {!find_loop} under the current overlay — the oracle
+      the bench and the QCheck agreement property compare against. *)
+
+  val stats : t -> int * int
+  (** [(full_checks, region_scans)] performed so far. *)
+end
 
 val replay :
   ?tag_check:bool ->

@@ -76,8 +76,8 @@ let audit_fibs sim ~routing =
                 end
             end
           in
-          check_port ~role:"default" entry.Fib.out_port;
-          match entry.Fib.alt_port with
+          check_port ~role:"default" (Fib.out_port entry);
+          match Fib.alt_port entry with
           | Some a -> check_port ~role:"alt" a
           | None -> ())
   done;
@@ -147,7 +147,7 @@ let find_loops sim ~routing =
               | None ->
                 add (Report.Unreachable { dest = d; node = m });
                 None
-              | Some entry -> Some entry.Fib.out_port)
+              | Some entry -> Some (Fib.out_port entry))
           in
           match out with
           | None -> []
@@ -165,21 +165,21 @@ let find_loops sim ~routing =
             add (Report.Unreachable { dest = d; node = m });
             []
           | Some entry -> (
-            match Packetsim.port_kind sim m entry.Fib.out_port with
+            match Packetsim.port_kind sim m (Fib.out_port entry) with
             | Engine.Local -> []  (* delivered to the attached host *)
             | Engine.Ebgp _ | Engine.Ibgp _ ->
               let deflected_to_me =
                 match sender with
                 | None -> false
                 | Some s ->
-                  let peer, _ = Packetsim.port_peer sim m entry.Fib.out_port in
+                  let peer, _ = Packetsim.port_peer sim m (Fib.out_port entry) in
                   peer = s
               in
               let default_edge =
-                arrive m st.tag (Plain { sender = None }) entry.Fib.out_port
+                arrive m st.tag (Plain { sender = None }) (Fib.out_port entry)
               in
               let alt_edges =
-                match entry.Fib.alt_port with
+                match Fib.alt_port entry with
                 | None -> []
                 | Some a -> (
                   match Packetsim.port_kind sim m a with
@@ -194,7 +194,7 @@ let find_loops sim ~routing =
                     (* failed check: dropped when forced, default otherwise *)
                   | Engine.Local -> [ default_edge ])
               in
-              let forced = deflected_to_me && entry.Fib.alt_port <> None in
+              let forced = deflected_to_me && Fib.alt_port entry <> None in
               List.filter_map Fun.id
                 (if forced then alt_edges else default_edge :: alt_edges)))
       in

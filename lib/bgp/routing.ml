@@ -1,5 +1,15 @@
 module As_graph = Mifo_topology.As_graph
 module Relationship = Mifo_topology.Relationship
+module Obs = Mifo_util.Obs
+
+(* High-water mark of major-heap words observed at the end of every
+   [compute]; at 44K ASes the routing state dominates live memory, so
+   this gauge is the bench's peak-memory signal. *)
+let g_peak_words = Obs.gauge "routing.peak_words"
+
+type rep = Csr | Boxed
+
+let rep_name = function Csr -> "csr" | Boxed -> "boxed"
 
 type route_class = Customer_route | Peer_route | Provider_route
 
@@ -35,6 +45,16 @@ type t = {
   rib_lists : rib_entry list option array;
       (* list view of [rib_arrays.(v)], memoized for the list-returning
          public API so steady-state [rib] calls allocate nothing *)
+  csr_off : int array;
+      (* CSR representation of every node's sorted RIB, built eagerly at
+         [compute] under [rep = Csr] (both arrays empty under [Boxed]):
+         node [v]'s entries are [csr_cells.(csr_off.(v)) ..
+         csr_cells.(csr_off.(v+1) - 1)], each cell a packed
+         [(preference_rank lsl 60) lor (len lsl 32) lor via] int so
+         ascending int order IS [entry_order].  One flat arena for all
+         44K nodes instead of 44K boxed arrays — and being immutable
+         after construction, it shares across domains for free. *)
+  csr_cells : int array;
 }
 
 let dest t = t.dest
@@ -83,7 +103,7 @@ let build_tree_times n next d =
   done;
   (tin, tout)
 
-let compute g d =
+let compute ?(rep = Csr) g d =
   let n = As_graph.n g in
   if d < 0 || d >= n then invalid_arg "Routing.compute: destination out of range";
   let dist_cust = Array.make n (-1) in
@@ -185,19 +205,92 @@ let compute g d =
       end
     end
   done;
-  {
-    graph = g;
-    dest = d;
-    dist_cust;
-    peer_len;
-    prov_len;
-    export_len;
-    best_class;
-    next;
-    tree_times = build_tree_times n next d;
-    rib_arrays = Array.make n None;
-    rib_lists = Array.make n None;
-  }
+  let tree_times = build_tree_times n next d in
+  let csr_off, csr_cells =
+    match rep with
+    | Boxed -> ([||], [||])
+    | Csr ->
+      (* Admissibility repeats [compute_rib]'s export filter: a customer
+         or peer neighbor advertises its best customer route, a provider
+         its selected route, and the BGP loop filter drops routes whose
+         AS path runs through us (an ancestor query on the route tree). *)
+      let tin, tout = tree_times in
+      let on_path ~node x =
+        tin.(node) >= 0 && tin.(x) >= 0 && tin.(x) <= tin.(node) && tout.(node) <= tout.(x)
+      in
+      let off = Array.make (n + 1) 0 in
+      for v = 0 to n - 1 do
+        if v <> d then begin
+          let c = ref 0 in
+          let count_class nbrs advertised =
+            Array.iter
+              (fun nb -> if advertised nb >= 0 && not (on_path ~node:nb v) then incr c)
+              nbrs
+          in
+          count_class (As_graph.customers g v) (fun nb -> dist_cust.(nb));
+          count_class (As_graph.peers g v) (fun nb -> dist_cust.(nb));
+          count_class (As_graph.providers g v) (fun nb -> export_len.(nb));
+          off.(v + 1) <- !c
+        end
+      done;
+      for v = 0 to n - 1 do
+        off.(v + 1) <- off.(v + 1) + off.(v)
+      done;
+      let cells = Array.make off.(n) 0 in
+      let max_deg = ref 0 in
+      for v = 0 to n - 1 do
+        max_deg := Stdlib.max !max_deg (off.(v + 1) - off.(v))
+      done;
+      let scratch = Array.make !max_deg 0 in
+      for v = 0 to n - 1 do
+        if v <> d then begin
+          let p = ref off.(v) in
+          let push_class rank nbrs advertised =
+            Array.iter
+              (fun nb ->
+                let adv = advertised nb in
+                if adv >= 0 && not (on_path ~node:nb v) then begin
+                  cells.(!p) <- (rank lsl 60) lor ((1 + adv) lsl 32) lor nb;
+                  incr p
+                end)
+              nbrs
+          in
+          push_class 0 (As_graph.customers g v) (fun nb -> dist_cust.(nb));
+          push_class 1 (As_graph.peers g v) (fun nb -> dist_cust.(nb));
+          push_class 2 (As_graph.providers g v) (fun nb -> export_len.(nb));
+          (* Sort the segment: ascending packed ints = entry_order.  The
+             classes were pushed in rank order, so only (len, via) within
+             each class is out of order; the heapsort is O(k log k) even
+             on tier-1 hubs with thousands of entries. *)
+          let k = !p - off.(v) in
+          if k > 1 then begin
+            Array.blit cells off.(v) scratch 0 k;
+            Mifo_util.Sort.sort_prefix ~cmp:Int.compare scratch k;
+            Array.blit scratch 0 cells off.(v) k
+          end
+        end
+      done;
+      (off, cells)
+  in
+  let t =
+    {
+      graph = g;
+      dest = d;
+      dist_cust;
+      peer_len;
+      prov_len;
+      export_len;
+      best_class;
+      next;
+      tree_times;
+      rib_arrays = Array.make n None;
+      rib_lists = Array.make n None;
+      csr_off;
+      csr_cells;
+    }
+  in
+  Obs.max_gauge g_peak_words (float_of_int (Gc.quick_stat ()).Gc.heap_words);
+  t
 
 let reachable t v = v = t.dest || t.export_len.(v) >= 0
 
@@ -272,13 +365,35 @@ let compute_rib t v =
   Array.sort entry_order arr;
   arr
 
+let rep t = if Array.length t.csr_off = 0 then Boxed else Csr
+
+(* Packed-cell decode. *)
+let[@inline] cell_via c = c land 0xFFFFFFFF
+let[@inline] cell_len c = (c lsr 32) land 0xFFFFFFF
+
+let cell_rel c =
+  match c lsr 60 with
+  | 0 -> Relationship.Customer
+  | 1 -> Relationship.Peer
+  | _ -> Relationship.Provider
+
+let decode_csr t v =
+  let lo = t.csr_off.(v) in
+  Array.init
+    (t.csr_off.(v + 1) - lo)
+    (fun i ->
+      let c = t.csr_cells.(lo + i) in
+      { via = cell_via c; rel = cell_rel c; len = cell_len c })
+
 let rib_array t v =
   if v = t.dest then [||]
   else
     match t.rib_arrays.(v) with
     | Some arr -> arr
     | None ->
-      let arr = compute_rib t v in
+      let arr =
+        match rep t with Csr -> decode_csr t v | Boxed -> compute_rib t v
+      in
       t.rib_arrays.(v) <- Some arr;
       arr
 
@@ -295,7 +410,25 @@ let rib t v =
 let alternatives t v =
   match rib t v with [] -> [] | _default :: rest -> rest
 
-let rib_size t v = Array.length (rib_array t v)
+let rib_size t v =
+  if Array.length t.csr_off > 0 then t.csr_off.(v + 1) - t.csr_off.(v)
+  else Array.length (rib_array t v)
+
+(* Allocation-free per-entry accessors for hot loops (index 0 is the
+   default route, matching [rib]'s head).  Under [Boxed] they read the
+   memoized boxed RIB instead of packed cells. *)
+
+let[@inline] rib_via t v i =
+  if Array.length t.csr_off > 0 then cell_via t.csr_cells.(t.csr_off.(v) + i)
+  else (rib_array t v).(i).via
+
+let[@inline] rib_len_at t v i =
+  if Array.length t.csr_off > 0 then cell_len t.csr_cells.(t.csr_off.(v) + i)
+  else (rib_array t v).(i).len
+
+let[@inline] rib_rel_at t v i =
+  if Array.length t.csr_off > 0 then cell_rel t.csr_cells.(t.csr_off.(v) + i)
+  else (rib_array t v).(i).rel
 
 (* The concrete AS path behind a RIB entry.  A neighbor advertises, to a
    provider or peer, its best customer route; to a customer, its selected

@@ -31,13 +31,28 @@ type route_class = Customer_route | Peer_route | Provider_route
 val class_rank : route_class -> int
 val class_to_string : route_class -> string
 
+type rep = Csr | Boxed
+(** RIB representation.  {!Csr} (the default) packs every node's sorted
+    RIB into one shared arena of [(rank, len, via)]-packed ints plus an
+    offset array, built eagerly at {!compute} — at 44K ASes this is a
+    pair of flat arrays instead of 44K boxed per-node structures, and
+    {!rib_size}/{!rib_via}/{!rib_len_at}/{!rib_rel_at} never allocate.
+    {!Boxed} is the original on-demand per-node representation, kept as
+    the oracle; QCheck gates in [test_bgp] assert the two produce
+    identical RIBs.  The boxed {!rib}/{!rib_array} views exist under
+    both (thin memoized adapters over the cells under {!Csr}). *)
+
+val rep_name : rep -> string
+
 type t
 (** Routing state toward one destination. *)
 
 val dest : t -> int
 
-val compute : Mifo_topology.As_graph.t -> int -> t
+val compute : ?rep:rep -> Mifo_topology.As_graph.t -> int -> t
 (** [compute g d].  @raise Invalid_argument if [d] is out of range. *)
+
+val rep : t -> rep
 
 val reachable : t -> int -> bool
 (** Every AS is reachable in a connected topology (provider routes reach
@@ -92,6 +107,22 @@ val alternatives : t -> int -> rib_entry list
     to. *)
 
 val rib_size : t -> int -> int
+(** Number of RIB entries at an AS — O(1) and allocation-free under
+    {!Csr} (an offset subtraction). *)
+
+(** {2 Allocation-free entry accessors}
+
+    [rib_via t v i] / [rib_len_at t v i] / [rib_rel_at t v i] read field
+    by field what [(rib_array t v).(i)] holds, without materialising the
+    boxed view — index [0] is the default route, [1 ..] the
+    alternatives, exactly {!rib}'s order.  Under {!Csr} these are plain
+    reads of the packed cell arena; the static verifier's product-DFS
+    iterates RIBs this way at 44K without touching the memo.  Indices
+    must be [< rib_size t v]. *)
+
+val rib_via : t -> int -> int -> int
+val rib_len_at : t -> int -> int -> int
+val rib_rel_at : t -> int -> int -> Mifo_topology.Relationship.t
 
 val rib_path : t -> int -> rib_entry -> int list
 (** [rib_path t v e] is the concrete AS path [v; e.via; ...; dest t]

@@ -21,27 +21,27 @@ let h_util_alt = Obs.histogram "daemon.port_util.alt"
 
 let epoch ?(config = default_config) ~fib ~port_utilization ~choose_alt () =
   Fib.iter fib (fun prefix entry ->
-      let old_alt = entry.Fib.alt_port in
-      entry.Fib.alt_port <- choose_alt prefix entry;
-      if entry.Fib.alt_port <> old_alt then begin
+      let old_alt = Fib.alt_port_id entry in
+      Fib.set_alt_port entry (choose_alt prefix entry);
+      let alt = Fib.alt_port_id entry in
+      if alt <> old_alt then begin
         Obs.incr c_alt_changed;
         (* A freshly chosen alternative is cold — possibly slower than
            the one just dropped — so it must not inherit the deflected
            share accumulated against the old one.  Restart the ramp. *)
-        if entry.Fib.deflect_buckets > 0 then begin
+        if Fib.deflect_buckets entry > 0 then begin
           Obs.incr c_buckets_reset;
           Obs.event "alt_changed"
             [
               ("prefix", Obs.Str (Mifo_bgp.Prefix.to_string prefix));
-              ("buckets_dropped", Obs.Int entry.Fib.deflect_buckets);
+              ("buckets_dropped", Obs.Int (Fib.deflect_buckets entry));
             ];
-          entry.Fib.deflect_buckets <- 0
+          Fib.set_deflect_buckets entry 0
         end
       end;
-      match entry.Fib.alt_port with
-      | None -> entry.Fib.deflect_buckets <- 0
-      | Some alt ->
-        let util = port_utilization entry.Fib.out_port in
+      if alt < 0 then Fib.set_deflect_buckets entry 0
+      else begin
+        let util = port_utilization (Fib.out_port entry) in
         let alt_util = port_utilization alt in
         Obs.observe h_util_out util;
         Obs.observe h_util_alt alt_util;
@@ -50,14 +50,14 @@ let epoch ?(config = default_config) ~fib ~port_utilization ~choose_alt () =
            it (hold), and when the default drains we shift back. *)
         if util >= config.congest_threshold && alt_util < config.congest_threshold
         then begin
-          let before = entry.Fib.deflect_buckets in
-          entry.Fib.deflect_buckets <-
-            Stdlib.min Fib.buckets (entry.Fib.deflect_buckets + config.ramp_up);
-          Obs.add c_ramp_up (entry.Fib.deflect_buckets - before)
+          let before = Fib.deflect_buckets entry in
+          Fib.set_deflect_buckets entry
+            (Stdlib.min Fib.buckets (before + config.ramp_up));
+          Obs.add c_ramp_up (Fib.deflect_buckets entry - before)
         end
         else if util <= config.clear_threshold then begin
-          let before = entry.Fib.deflect_buckets in
-          entry.Fib.deflect_buckets <-
-            Stdlib.max 0 (entry.Fib.deflect_buckets - config.ramp_down);
-          Obs.add c_ramp_down (before - entry.Fib.deflect_buckets)
-        end)
+          let before = Fib.deflect_buckets entry in
+          Fib.set_deflect_buckets entry (Stdlib.max 0 (before - config.ramp_down));
+          Obs.add c_ramp_down (before - Fib.deflect_buckets entry)
+        end
+      end)

@@ -113,18 +113,19 @@ let forward_from ~tag_check ~ibgp_encap env ~ingress packet =
          | None -> drop env packet No_route
          | Some entry ->
            Obs.incr c_transit_fib;
-           Send { port = entry.Fib.out_port; packet; default_port = entry.Fib.out_port }))
+           let port = Fib.out_port entry in
+           Send { port; packet; default_port = port }))
     | None -> (
       (* Line 4: FIB lookup. *)
       match Fib.lookup env.fib packet.Packet.dst with
       | None -> drop env packet No_route
       | Some entry -> (
-        let default_port = entry.Fib.out_port in
-        match env.port_kind entry.Fib.out_port with
+        let default_port = Fib.out_port entry in
+        match env.port_kind default_port with
         | Local ->
           (* destination network attached here: hand the packet to the
              host-facing port, no deflection logic applies *)
-          Send { port = entry.Fib.out_port; packet; default_port }
+          Send { port = default_port; packet; default_port }
         | Ebgp _ | Ibgp _ -> (
           (* Line 11: use the alternative when this flow is being deflected
              (daemon-driven hash buckets over the congestion signal), or when
@@ -133,14 +134,15 @@ let forward_from ~tag_check ~ibgp_encap env ~ingress packet =
              With no alternative installed — the common case on an
              uncongested mesh — none of that can change the egress, so
              the deflection machinery (next-hop resolution, congestion
-             probe, flow hashing) is skipped entirely. *)
-          match entry.Fib.alt_port with
-          | None -> Send { port = entry.Fib.out_port; packet; default_port }
-          | Some alt ->
+             probe, flow hashing) is skipped entirely.  [alt_port_id]
+             keeps the probe allocation-free: no [Some] box per packet. *)
+          match Fib.alt_port_id entry with
+          | -1 -> Send { port = default_port; packet; default_port }
+          | alt ->
           let deflected_to_me =
             sender >= 0
             &&
-            match env.next_hop_router entry.Fib.out_port with
+            match env.next_hop_router default_port with
             | Some nh -> nh = sender
             | None -> false
           in
@@ -149,13 +151,13 @@ let forward_from ~tag_check ~ibgp_encap env ~ingress packet =
              first hash bucket so the reaction starts at line speed, before
              the next daemon epoch. *)
           let effective_buckets =
-            if env.is_congested entry.Fib.out_port then
-              Stdlib.max 1 entry.Fib.deflect_buckets
-            else entry.Fib.deflect_buckets
+            if env.is_congested default_port then
+              Stdlib.max 1 (Fib.deflect_buckets entry)
+            else Fib.deflect_buckets entry
           in
           let flow_deflected = Fib.flow_bucket packet.Packet.flow < effective_buckets in
           if not (deflected_to_me || flow_deflected) then
-            Send { port = entry.Fib.out_port; packet; default_port }
+            Send { port = default_port; packet; default_port }
           else (
             if deflected_to_me then Obs.incr c_deflect_sender;
             match env.port_kind alt with
@@ -195,9 +197,9 @@ let forward_from ~tag_check ~ibgp_encap env ~ingress packet =
               else begin
                 Obs.incr c_tag_fallback;
                 ev "tag_check_fail" env packet [ ("fate", Obs.Str "fallback") ];
-                Send { port = entry.Fib.out_port; packet; default_port }
+                Send { port = default_port; packet; default_port }
               end
-            | Local -> Send { port = entry.Fib.out_port; packet; default_port }))))
+            | Local -> Send { port = default_port; packet; default_port }))))
   end
 
 let forward ?(tag_check = true) ?(ibgp_encap = true) env ~ingress packet =

@@ -1,41 +1,85 @@
 module Prefix = Mifo_bgp.Prefix
+module Obs = Mifo_util.Obs
 
-type entry = {
-  mutable out_port : int;
-  mutable alt_port : int option;
-  mutable deflect_buckets : int;
+(* Live FIB entries across every table in the process: insert/remove
+   keep it current so `--metrics` can watch data-plane memory grow. *)
+let g_entries = Obs.gauge "fib.entries"
+
+type rep = Flat | Hashed
+
+let rep_name = function Flat -> "flat" | Hashed -> "hashed"
+
+(* Hashed-oracle entry: the original boxed record, one per prefix. *)
+type boxed = { mutable b_out : int; mutable b_alt : int; mutable b_defl : int }
+
+(* Flat store for one prefix length: an open-addressed index (linear
+   probing, power-of-two capacity, backward-shift deletion) over a
+   slot-stable arena of unboxed fields.  Arena ids survive index growth,
+   so an [entry] handle stays valid across inserts; only removing that
+   exact prefix retires it.  At 44K ASes the FIB is pure int arrays —
+   no per-entry boxes, no Hashtbl buckets. *)
+type flat = {
+  mutable cap : int;  (* index capacity, power of two; 0 = empty *)
+  mutable idx_key : int array;  (* masked addr, -1 = empty slot *)
+  mutable idx_id : int array;  (* arena id for the key in the same slot *)
+  mutable f_live : int;
+  mutable a_key : int array;  (* -1 = freed arena cell *)
+  mutable a_out : int array;
+  mutable a_alt : int array;  (* -1 = no alternative *)
+  mutable a_defl : int array;
+  mutable a_len : int;
+  mutable freed : int list;
 }
 
-(* One hash table per prefix length; longest-prefix match scans lengths
-   present in the table, longest first.  Interdomain tables are
-   dominated by a few lengths, so [len_mask] (bit [l] set iff length [l]
-   has entries) usually collapses the scan to one or two probes.
+type store =
+  | Flat_store of flat array
+  | Hash_store of (int, boxed) Hashtbl.t array (* lint:allow oracle representation *)
 
-   Keys are the masked network address as a plain [int]: int32 values
-   are boxed in OCaml, so hashing them — and building a [Prefix.t] per
-   probe, as the old lookup did — allocates on every probe of the
-   packet-forwarding hot path.  Unboxed int keys allocate nothing. *)
 type t = {
-  by_len : (int, entry) Hashtbl.t array;
+  store : store;
   mutable len_mask : int;
+  mutable count : int;
   mutable may_deflect : bool;
       (* sticky: an alternative port has been installed through this
-         interface at some point.  While false, no entry can have
-         [alt_port] set or [deflect_buckets] ramped (the daemon only
+         interface at some point.  While false, no entry can have an
+         alternative set or [deflect_buckets] ramped (the daemon only
          ramps entries with an alternative), so a caller may skip
          per-epoch deflection maintenance for this table entirely. *)
 }
 
+type entry = F of flat * int | H of boxed
+
 let buckets = 64
 
-let create () =
+let empty_ints : int array = [||]
+
+let flat_create () =
   {
-    by_len = Array.init 33 (fun _ -> Hashtbl.create 16);
-    len_mask = 0;
-    may_deflect = false;
+    cap = 0;
+    idx_key = empty_ints;
+    idx_id = empty_ints;
+    f_live = 0;
+    a_key = empty_ints;
+    a_out = empty_ints;
+    a_alt = empty_ints;
+    a_defl = empty_ints;
+    a_len = 0;
+    freed = [];
   }
 
+let create ?(rep = Flat) () =
+  let store =
+    match rep with
+    | Flat -> Flat_store (Array.init 33 (fun _ -> flat_create ()))
+    | Hashed ->
+      Hash_store
+        (Array.init 33 (fun _ -> Hashtbl.create 16 (* lint:allow oracle representation *)))
+  in
+  { store; len_mask = 0; count = 0; may_deflect = false }
+
+let rep t = match t.store with Flat_store _ -> Flat | Hash_store _ -> Hashed
 let may_deflect t = t.may_deflect
+let size t = t.count
 
 (* Network masks as plain ints, index = prefix length. *)
 let imask =
@@ -43,25 +87,195 @@ let imask =
 
 let ikey_of_addr addr = Int32.to_int addr land 0xFFFFFFFF
 
+(* Fibonacci-style multiplicative mix: keys are masked network addrs,
+   whose low bits are all zero for short prefixes — the multiply+xor
+   spreads them before the power-of-two mask. *)
+let[@inline] hash_key k =
+  let h = k * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+(* Slot of [key] in the index, -1 when absent. *)
+let find_index fl key =
+  if fl.cap = 0 then -1
+  else begin
+    let mask = fl.cap - 1 in
+    let i = ref (hash_key key land mask) in
+    let r = ref (-2) in
+    while !r = -2 do
+      let k = fl.idx_key.(!i) in
+      if k = key then r := !i
+      else if k = -1 then r := -1
+      else i := (!i + 1) land mask
+    done;
+    !r
+  end
+
+(* Rebuild the index at [new_cap] from the arena (arena ids unchanged). *)
+let rebuild_index fl new_cap =
+  let keys = Array.make new_cap (-1) in
+  let ids = Array.make new_cap 0 in
+  let mask = new_cap - 1 in
+  for id = 0 to fl.a_len - 1 do
+    let k = fl.a_key.(id) in
+    if k >= 0 then begin
+      let i = ref (hash_key k land mask) in
+      while keys.(!i) >= 0 do
+        i := (!i + 1) land mask
+      done;
+      keys.(!i) <- k;
+      ids.(!i) <- id
+    end
+  done;
+  fl.cap <- new_cap;
+  fl.idx_key <- keys;
+  fl.idx_id <- ids
+
+let grow_arena_field a len fill =
+  let n = Stdlib.max 16 (2 * Array.length a) in
+  let b = Array.make n fill in
+  Array.blit a 0 b 0 len;
+  b
+
+let arena_alloc fl key ~out_port ~alt =
+  let id =
+    match fl.freed with
+    | id :: rest ->
+      fl.freed <- rest;
+      id
+    | [] ->
+      if fl.a_len = Array.length fl.a_key then begin
+        fl.a_key <- grow_arena_field fl.a_key fl.a_len (-1);
+        fl.a_out <- grow_arena_field fl.a_out fl.a_len 0;
+        fl.a_alt <- grow_arena_field fl.a_alt fl.a_len (-1);
+        fl.a_defl <- grow_arena_field fl.a_defl fl.a_len 0
+      end;
+      let id = fl.a_len in
+      fl.a_len <- fl.a_len + 1;
+      id
+  in
+  fl.a_key.(id) <- key;
+  fl.a_out.(id) <- out_port;
+  fl.a_alt.(id) <- alt;
+  fl.a_defl.(id) <- 0;
+  id
+
+(* Returns true when a new entry was created. *)
+let flat_insert fl key ~out_port ~alt =
+  match find_index fl key with
+  | i when i >= 0 ->
+    let id = fl.idx_id.(i) in
+    if fl.a_out.(id) = out_port then begin
+      (* Route refresh with an unchanged default egress: keep the live
+         deflection state, adopt the alternative hint only when none. *)
+      if fl.a_alt.(id) < 0 then fl.a_alt.(id) <- alt
+    end
+    else begin
+      fl.a_out.(id) <- out_port;
+      fl.a_alt.(id) <- alt;
+      fl.a_defl.(id) <- 0
+    end;
+    false
+  | _ ->
+    if 4 * (fl.f_live + 1) > 3 * fl.cap then
+      rebuild_index fl (Stdlib.max 16 (2 * fl.cap));
+    let id = arena_alloc fl key ~out_port ~alt in
+    let mask = fl.cap - 1 in
+    let i = ref (hash_key key land mask) in
+    while fl.idx_key.(!i) >= 0 do
+      i := (!i + 1) land mask
+    done;
+    fl.idx_key.(!i) <- key;
+    fl.idx_id.(!i) <- id;
+    fl.f_live <- fl.f_live + 1;
+    true
+
+(* Backward-shift deletion: close the probe chain over the hole so
+   later lookups never hit a false empty slot. *)
+let flat_remove fl key =
+  match find_index fl key with
+  | -1 -> false
+  | hole ->
+    let id = fl.idx_id.(hole) in
+    fl.a_key.(id) <- -1;
+    fl.freed <- id :: fl.freed;
+    fl.f_live <- fl.f_live - 1;
+    let mask = fl.cap - 1 in
+    let i = ref hole in
+    let j = ref hole in
+    let continue = ref true in
+    while !continue do
+      j := (!j + 1) land mask;
+      let k = fl.idx_key.(!j) in
+      if k = -1 then begin
+        fl.idx_key.(!i) <- -1;
+        continue := false
+      end
+      else begin
+        let h = hash_key k land mask in
+        if (!j - h) land mask >= (!j - !i) land mask then begin
+          fl.idx_key.(!i) <- k;
+          fl.idx_id.(!i) <- fl.idx_id.(!j);
+          i := !j
+        end
+      end
+    done;
+    true
+
+let length_live t len =
+  match t.store with
+  | Flat_store fs -> fs.(len).f_live
+  | Hash_store hs -> Hashtbl.length hs.(len) (* lint:allow oracle representation *)
+
 let insert t prefix ~out_port ?alt_port () =
   let len = prefix.Prefix.length in
-  let table = t.by_len.(len) in
   let key = ikey_of_addr prefix.Prefix.network in
-  (match Hashtbl.find_opt table key with
-  | Some e when e.out_port = out_port ->
-    (* Route refresh with an unchanged default egress: the deflection
-       state ([alt_port] / [deflect_buckets]) is live, daemon-owned
-       congestion response — clobbering it mid-congestion would snap
-       every deflected flow back onto the congested default.  Keep it;
-       adopt the caller's alternative hint only when none is set. *)
-    if e.alt_port = None then e.alt_port <- alt_port
-  | Some e ->
-    e.out_port <- out_port;
-    e.alt_port <- alt_port;
-    e.deflect_buckets <- 0
-  | None -> Hashtbl.replace table key { out_port; alt_port; deflect_buckets = 0 });
-  if alt_port <> None then t.may_deflect <- true;
+  let alt = match alt_port with None -> -1 | Some p -> p in
+  let added =
+    match t.store with
+    | Flat_store fs -> flat_insert fs.(len) key ~out_port ~alt
+    | Hash_store hs ->
+      let table = hs.(len) in
+      (match Hashtbl.find_opt table key (* lint:allow oracle representation *) with
+      | Some e when e.b_out = out_port ->
+        if e.b_alt < 0 then e.b_alt <- alt;
+        false
+      | Some e ->
+        e.b_out <- out_port;
+        e.b_alt <- alt;
+        e.b_defl <- 0;
+        false
+      | None ->
+        Hashtbl.replace table key (* lint:allow oracle representation *)
+          { b_out = out_port; b_alt = alt; b_defl = 0 };
+        true)
+  in
+  if added then begin
+    t.count <- t.count + 1;
+    Obs.add_gauge g_entries 1.
+  end;
+  if alt >= 0 then t.may_deflect <- true;
   t.len_mask <- t.len_mask lor (1 lsl len)
+
+let remove t prefix =
+  let len = prefix.Prefix.length in
+  let key = ikey_of_addr prefix.Prefix.network in
+  let removed =
+    match t.store with
+    | Flat_store fs -> flat_remove fs.(len) key
+    | Hash_store hs ->
+      let table = hs.(len) in
+      if Hashtbl.mem table key (* lint:allow oracle representation *) then begin
+        Hashtbl.remove table key (* lint:allow oracle representation *);
+        true
+      end
+      else false
+  in
+  if removed then begin
+    t.count <- t.count - 1;
+    Obs.add_gauge g_entries (-1.);
+    if length_live t len = 0 then t.len_mask <- t.len_mask land lnot (1 lsl len)
+  end;
+  removed
 
 (* Highest set bit of a nonzero mask.  Lengths occupy 33 bits (0-32),
    one more than a power-of-two cascade covers, so bit 32 — host
@@ -90,13 +304,24 @@ let msb m =
     !r
   end
 
+let find_key t len key =
+  match t.store with
+  | Flat_store fs ->
+    let fl = fs.(len) in
+    let i = find_index fl key in
+    if i < 0 then None else Some (F (fl, fl.idx_id.(i)))
+  | Hash_store hs -> (
+    match Hashtbl.find_opt hs.(len) key (* lint:allow oracle representation *) with
+    | Some b -> Some (H b)
+    | None -> None)
+
 let lookup t addr =
   let a = ikey_of_addr addr in
   let rec scan m =
     if m = 0 then None
     else begin
       let len = msb m in
-      match Hashtbl.find_opt t.by_len.(len) (a land imask.(len)) with
+      match find_key t len (a land imask.(len)) with
       | Some _ as r -> r
       | None -> scan (m land lnot (1 lsl len))
     end
@@ -104,22 +329,52 @@ let lookup t addr =
   scan t.len_mask
 
 let find t prefix =
-  Hashtbl.find_opt t.by_len.(prefix.Prefix.length) (ikey_of_addr prefix.Prefix.network)
+  find_key t prefix.Prefix.length (ikey_of_addr prefix.Prefix.network)
+
+(* Entry accessors: handles are views into the owning store, so reads
+   and writes land directly on the unboxed arena fields (flat) or the
+   boxed record (hashed). *)
+
+let[@inline] out_port = function F (fl, id) -> fl.a_out.(id) | H b -> b.b_out
+let[@inline] alt_port_id = function F (fl, id) -> fl.a_alt.(id) | H b -> b.b_alt
+
+let alt_port e =
+  let a = alt_port_id e in
+  if a < 0 then None else Some a
+
+let[@inline] deflect_buckets = function F (fl, id) -> fl.a_defl.(id) | H b -> b.b_defl
+
+let set_alt_port e alt =
+  let a = match alt with None -> -1 | Some p -> p in
+  match e with F (fl, id) -> fl.a_alt.(id) <- a | H b -> b.b_alt <- a
+
+let set_deflect_buckets e n =
+  match e with F (fl, id) -> fl.a_defl.(id) <- n | H b -> b.b_defl <- n
 
 let set_alt t prefix alt =
   match find t prefix with
   | Some e ->
-    e.alt_port <- alt;
+    set_alt_port e alt;
     if alt <> None then t.may_deflect <- true
   | None -> raise Not_found
 
 let iter t f =
-  Array.iteri
-    (fun len table ->
-      Hashtbl.iter (fun net e -> f (Prefix.make (Int32.of_int net) len) e) table)
-    t.by_len
-
-let size t = Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.by_len
+  match t.store with
+  | Flat_store fs ->
+    for len = 0 to 32 do
+      let fl = fs.(len) in
+      for id = 0 to fl.a_len - 1 do
+        let k = fl.a_key.(id) in
+        if k >= 0 then f (Prefix.make (Int32.of_int k) len) (F (fl, id))
+      done
+    done
+  | Hash_store hs ->
+    Array.iteri
+      (fun len table ->
+        Hashtbl.iter (* lint:allow oracle representation *)
+          (fun net b -> f (Prefix.make (Int32.of_int net) len) (H b))
+          table)
+      hs
 
 (* SplitMix64-style mix so bucket spread does not depend on flow-id
    assignment patterns. *)
@@ -129,5 +384,4 @@ let flow_bucket flow =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   to_int (shift_right_logical z 40) mod buckets
 
-let deflects entry ~flow =
-  entry.alt_port <> None && flow_bucket flow < entry.deflect_buckets
+let deflects e ~flow = alt_port_id e >= 0 && flow_bucket flow < deflect_buckets e

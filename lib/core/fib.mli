@@ -1,7 +1,7 @@
 (** The MIFO-modified FIB (Fig. 1).
 
     A classic FIB maps a prefix to the default output port; MIFO adds an
-    [alt_port] field pointing at the best alternative path, kept up to
+    alternative port pointing at the best alternative path, kept up to
     date by the MIFO daemon, plus the adaptive deflection level the
     daemon uses to shift flows onto it.  Lookup is longest-prefix match.
 
@@ -9,20 +9,37 @@
     entry deflects the first [deflect_buckets] of them, so path choice is
     deterministic per flow (no packet reordering — Section II-A) while
     the daemon ramps the deflected share up under congestion and back
-    down when the default path drains. *)
+    down when the default path drains.
 
-type entry = {
-  mutable out_port : int;
-  mutable alt_port : int option;
-  mutable deflect_buckets : int;  (** 0 = all flows on the default path *)
-}
+    {b Representations.}  The default {!Flat} store keeps each prefix
+    length's entries in an open-addressed int-keyed index over a
+    slot-stable arena of unboxed [out_port]/[alt_port]/[deflect_buckets]
+    int arrays — no per-entry boxes, which is what lets a
+    full-Internet-scale FIB fit in flat memory.  The original
+    one-[Hashtbl]-per-length layout survives as the {!Hashed} oracle
+    behind the same API; QCheck gates in [test_core] assert the two are
+    observationally identical under random insert/remove churn. *)
+
+type rep = Flat | Hashed
+
+val rep_name : rep -> string
 
 type t
+
+type entry
+(** A handle onto one live FIB entry.  Valid until that exact prefix is
+    {!remove}d (an [insert] — even one that grows the table — never
+    invalidates handles); a handle kept across a [remove] of its prefix
+    must be dropped. *)
 
 val buckets : int
 (** Number of hash buckets (64). *)
 
-val create : unit -> t
+val create : ?rep:rep -> unit -> t
+(** Default representation is {!Flat}; {!Hashed} is the oracle. *)
+
+val rep : t -> rep
+
 val insert : t -> Mifo_bgp.Prefix.t -> out_port:int -> ?alt_port:int -> unit -> unit
 (** Installs or refreshes the entry for a prefix.  A re-insert whose
     [out_port] matches the existing entry is a route refresh: the live
@@ -30,6 +47,10 @@ val insert : t -> Mifo_bgp.Prefix.t -> out_port:int -> ?alt_port:int -> unit -> 
     preserved, and [alt_port] is taken from the call only when the entry
     has none yet.  A re-insert with a different [out_port] is a route
     change: the entry is replaced and the deflection level reset. *)
+
+val remove : t -> Mifo_bgp.Prefix.t -> bool
+(** Withdraw the exact prefix; [false] when absent.  Outstanding
+    {!entry} handles for that prefix become invalid. *)
 
 val lookup : t -> Mifo_bgp.Prefix.addr -> entry option
 (** Longest-prefix match. *)
@@ -41,18 +62,45 @@ val set_alt : t -> Mifo_bgp.Prefix.t -> int option -> unit
 (** @raise Not_found if no entry exists for the prefix. *)
 
 val iter : t -> (Mifo_bgp.Prefix.t -> entry -> unit) -> unit
+(** Iteration order is unspecified and differs between representations;
+    callers needing a canonical order must sort. *)
+
 val size : t -> int
+(** Number of live entries — a cached O(1) count (it sits on the
+    [validate]/metrics path). *)
 
 val may_deflect : t -> bool
 (** Sticky flag: true once any entry has ever been given an alternative
     port via {!insert} or {!set_alt}.  While false, no entry can be
-    deflecting (no [alt_port], no ramped [deflect_buckets]), so a
+    deflecting (no alternative, no ramped [deflect_buckets]), so a
     periodic maintenance pass — the daemon epoch walks every entry of
     every FIB — may skip this table, provided nothing else could be
-    installing alternatives behind the flag's back: mutating a returned
-    {!entry} directly bypasses it, which is exactly what a daemon
+    installing alternatives behind the flag's back: {!set_alt_port} on a
+    returned {!entry} bypasses it, which is exactly what a daemon
     chooser does.  {!Mifo_netsim.Packetsim} therefore skips only
     routers with no chooser installed. *)
+
+(** {1 Entry accessors}
+
+    Handles are views into the owning store; writes land directly on the
+    table's unboxed fields.  {!set_alt_port}/{!set_deflect_buckets}
+    mirror the direct record mutation of the old API — in particular
+    they do {e not} update the table's {!may_deflect} flag. *)
+
+val out_port : entry -> int
+
+val alt_port : entry -> int option
+
+val alt_port_id : entry -> int
+(** Allocation-free form of {!alt_port}: the port, or [-1] for none.
+    The packet-forwarding hot path uses this to avoid a [Some] box per
+    packet. *)
+
+val deflect_buckets : entry -> int
+(** [0] = all flows on the default path. *)
+
+val set_alt_port : entry -> int option -> unit
+val set_deflect_buckets : entry -> int -> unit
 
 val flow_bucket : int -> int
 (** Deterministic bucket of a flow id, in \[0, buckets). *)

@@ -20,7 +20,7 @@ let walk ?(tag_check = true) ?max_hops g rt ~decide ~src =
   let dest = Routing.dest rt in
   let n = As_graph.n g in
   let max_hops = match max_hops with Some m -> m | None -> (2 * n) + 4 in
-  let seen = Hashtbl.create 64 in
+  let seen = Hashtbl.create 64 in (* lint:allow replay-only cold path *)
   (* state: current AS, the AS we came from (None at the source), the
      reversed path so far *)
   let rec step v upstream rev_path hops =
@@ -32,12 +32,12 @@ let walk ?(tag_check = true) ?max_hops g rt ~decide ~src =
       Looped { path = List.rev rev_path; cycle = [] }
     else begin
       let state = (v, upstream) in
-      match Hashtbl.find_opt seen state with
+      match Hashtbl.find_opt seen state with (* lint:allow replay-only cold path *)
       | Some first_visit ->
         let path = List.rev rev_path in
         Looped { path; cycle = cycle_of_path path first_visit }
       | None ->
-        Hashtbl.add seen state hops;
+        Hashtbl.add seen state hops; (* lint:allow replay-only cold path *)
         let entries = Routing.rib rt v in
         match entries with
         | [] -> Dropped { path = List.rev rev_path; at = v; reason = Dead_end }

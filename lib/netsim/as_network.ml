@@ -106,7 +106,7 @@ let build ?config ?pool ?(link_rate = 1e9) ?host_rate table ~deployment ~hosts (
       let node = router_of_as.(v) in
       Packetsim.set_alt_chooser sim node (fun prefix entry ->
           match Hashtbl.find_opt alt_candidates (v, prefix.Prefix.network) with
-          | None | Some [] -> entry.Fib.alt_port
+          | None | Some [] -> Fib.alt_port entry
           | Some candidates ->
             let best = ref None in
             List.iter

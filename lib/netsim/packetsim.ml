@@ -707,7 +707,7 @@ let daemon_tick t =
       let choose_alt prefix entry =
         match r.chooser with
         | Some f -> f prefix entry
-        | None -> entry.Fib.alt_port
+        | None -> Fib.alt_port entry
       in
       Daemon.epoch ~config:t.cfg.daemon_config ~fib:r.r_fib ~port_utilization
         ~choose_alt ()

@@ -156,7 +156,7 @@ let build ?config ?(link_rate = 1e9) ?host_rate table ~expansion ~deployment ~ho
     (fun node ->
       Packetsim.set_alt_chooser sim node (fun prefix entry ->
           match Hashtbl.find_opt alt_candidates (node, prefix.Prefix.network) with
-          | None | Some [] -> entry.Fib.alt_port
+          | None | Some [] -> Fib.alt_port entry
           | Some candidates ->
             let best = ref None in
             List.iter

@@ -156,13 +156,13 @@ let build (config : config) protocol =
               when Ra's exit link is fully busy AND nothing is currently
               deflected (i.e. it would start at zero benefit) *)
            if
-             entry.Fib.deflect_buckets = 0
+             Fib.deflect_buckets entry = 0
              && Packetsim.spare_capacity sim ra ra_r6 < 0.02 *. rate
            then None
            else Some rd_ra
-         else entry.Fib.alt_port);
+         else Fib.alt_port entry);
      Packetsim.set_alt_chooser sim ra (fun prefix entry ->
-         if Prefix.equal prefix p5 then Some ra_r6 else entry.Fib.alt_port)
+         if Prefix.equal prefix p5 then Some ra_r6 else Fib.alt_port entry)
    | Bgp_routing -> ());
   ignore r5a_r5b;
   { sim; s1; s2; d1; d2; rd; ra; rd_ebgp = rd_r4a; ra_ebgp = ra_r6 }

@@ -81,6 +81,12 @@ let rec add_gauge g x =
   let base = if Float.is_nan old then 0. else old in
   if not (Atomic.compare_and_set g.g_cell old (base +. x)) then add_gauge g x
 
+let rec max_gauge g x =
+  let old = Atomic.get g.g_cell in
+  if Float.is_nan old || x > old then begin
+    if not (Atomic.compare_and_set g.g_cell old x) then max_gauge g x
+  end
+
 let gauge_value name =
   with_lock (fun () ->
       match List.assoc_opt name registry.gauges with

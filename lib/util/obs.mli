@@ -66,6 +66,11 @@ val set_gauge : gauge -> float -> unit
 val add_gauge : gauge -> float -> unit
 (** [add_gauge g x] accumulates: an unset ([nan]) gauge is treated as 0. *)
 
+val max_gauge : gauge -> float -> unit
+(** [max_gauge g x] keeps the running maximum: the gauge becomes
+    [max current x] (an unset [nan] gauge takes [x]).  The high-water
+    helper behind peak-memory gauges such as [routing.peak_words]. *)
+
 val gauge_value : string -> float
 (** Current value of the named gauge, [nan] if unset or unknown. *)
 

@@ -121,6 +121,77 @@ let prop_static_matches_dynamic =
       in
       static_on.As_check.counterexample = None && dynamic_ok && replay_ok)
 
+(* ---------- incremental re-verification ---------- *)
+
+(* Toggling deflection edges on the ablated (dirty) gadget: every
+   recheck must agree with a fresh full check under the same overlay,
+   and re-enabling everything restores the original counterexample. *)
+let test_inc_gadget_toggle () =
+  let g, rt = Lazy.force gadget in
+  let inc = As_check.Inc.create ~tag_check:false g rt in
+  match (As_check.Inc.result inc).As_check.counterexample with
+  | None -> Alcotest.fail "the ablated gadget must start with a loop"
+  | Some cx ->
+    let toggle enabled =
+      List.iter
+        (fun (m : As_check.move) ->
+          if m.As_check.deflected then
+            As_check.Inc.set_deflection inc ~at:m.As_check.at ~via:m.As_check.via
+              ~enabled)
+        cx.As_check.cycle_moves
+    in
+    toggle false;
+    let r = As_check.Inc.recheck inc in
+    let full = As_check.Inc.full_check inc in
+    Alcotest.(check bool) "verdict agrees with full after disabling" true
+      (r.As_check.counterexample = full.As_check.counterexample);
+    toggle true;
+    let r2 = As_check.Inc.recheck inc in
+    let full2 = As_check.Inc.full_check inc in
+    Alcotest.(check bool) "verdict agrees with full after re-enabling" true
+      (r2.As_check.counterexample = full2.As_check.counterexample);
+    Alcotest.(check bool) "re-enabling restores the loop" true
+      (r2.As_check.counterexample <> None)
+
+let prop_incremental_matches_full =
+  let topo =
+    lazy
+      (Generator.generate
+         ~params:{ Generator.default_params with Generator.ases = 120; tier1 = 4;
+                   content_providers = 2; content_peer_span = (3, 8) }
+         ~seed:7 ())
+  in
+  QCheck2.Test.make
+    ~name:"incremental recheck is bit-identical to a fresh full check" ~count:40
+    QCheck2.Gen.(
+      triple bool (int_bound 119)
+        (list_size (int_range 1 12) (triple (int_bound 119) (int_bound 7) bool)))
+    (fun (tag_check, dst, ops) ->
+      let t = Lazy.force topo in
+      let g = t.Generator.graph in
+      let rt = Routing.compute g dst in
+      let inc = As_check.Inc.create ~tag_check g rt in
+      let ok = ref true in
+      List.iter
+        (fun (at, idx, enabled) ->
+          let k = Routing.rib_size rt at in
+          if at <> dst && k >= 2 then begin
+            let via = Routing.rib_via rt at (1 + (idx mod (k - 1))) in
+            As_check.Inc.set_deflection inc ~at ~via ~enabled;
+            let r = As_check.Inc.recheck inc in
+            let full = As_check.Inc.full_check inc in
+            if r.As_check.counterexample <> full.As_check.counterexample then ok := false;
+            match r.As_check.counterexample with
+            | Some cx -> (
+              (* any surviving counterexample must still replay to a loop *)
+              match As_check.replay ~tag_check g rt cx with
+              | Loop_walk.Looped _ -> ()
+              | _ -> ok := false)
+            | None -> ()
+          end)
+        ops;
+      !ok)
+
 (* ---------- report serialisation ---------- *)
 
 let test_report_json () =
@@ -275,6 +346,9 @@ let () =
           Alcotest.test_case "generated topology: on clean, off loops" `Quick
             test_verify_as_level_generated;
           QCheck_alcotest.to_alcotest prop_static_matches_dynamic;
+          Alcotest.test_case "incremental toggles on the gadget" `Quick
+            test_inc_gadget_toggle;
+          QCheck_alcotest.to_alcotest prop_incremental_matches_full;
         ] );
       ("report", [ Alcotest.test_case "JSON round-trip" `Quick test_report_json ]);
       ( "net_check",

@@ -223,6 +223,54 @@ let prop_rib_entries_consistent =
             | None -> false))
         (Routing.rib rt s))
 
+(* The CSR arena representation (the default) must produce exactly the
+   RIBs of the boxed oracle, and the packed per-entry accessors must
+   read field-for-field what the boxed view holds. *)
+let prop_csr_matches_boxed =
+  QCheck2.Test.make ~name:"routing: CSR and boxed reps produce identical RIBs"
+    ~count:12 (QCheck2.Gen.int_bound 1_999)
+    (fun d ->
+      let g = graph () in
+      let csr = Routing.compute ~rep:Routing.Csr g d in
+      let boxed = Routing.compute ~rep:Routing.Boxed g d in
+      (match (Routing.rep csr, Routing.rep boxed) with
+       | Routing.Csr, Routing.Boxed -> ()
+       | _ -> QCheck2.Test.fail_report "rep accessor lies");
+      for v = 0 to As_graph.n g - 1 do
+        let rc = Routing.rib csr v and rb = Routing.rib boxed v in
+        if rc <> rb then QCheck2.Test.fail_report "rib lists diverged";
+        let k = Routing.rib_size csr v in
+        if k <> List.length rb || k <> Routing.rib_size boxed v then
+          QCheck2.Test.fail_report "rib_size diverged";
+        List.iteri
+          (fun i (e : Routing.rib_entry) ->
+            if
+              Routing.rib_via csr v i <> e.via
+              || Routing.rib_len_at csr v i <> e.len
+              || Routing.rib_rel_at csr v i <> e.rel
+              || Routing.rib_via boxed v i <> e.via
+              || Routing.rib_len_at boxed v i <> e.len
+              || Routing.rib_rel_at boxed v i <> e.rel
+            then QCheck2.Test.fail_report "packed accessors diverged")
+          rb
+      done;
+      true)
+
+(* The CSR build records its heap high-water mark. *)
+let test_peak_words_gauge () =
+  let g = graph () in
+  ignore (Routing.compute g 17);
+  let peak = Mifo_util.Obs.gauge_value "routing.peak_words" in
+  Alcotest.(check bool) "routing.peak_words is a positive word count" true (peak > 0.);
+  let snapshot = Mifo_util.Obs.snapshot_json () in
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "gauge appears in the --metrics snapshot" true
+    (contains ~sub:"\"routing.peak_words\"" snapshot)
+
 let prop_everything_reachable =
   QCheck2.Test.make ~name:"connected topology: every AS reaches every destination"
     ~count:10 (QCheck2.Gen.int_bound 1_999)
@@ -388,6 +436,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_default_paths_simple;
           QCheck_alcotest.to_alcotest prop_rib_entries_consistent;
           QCheck_alcotest.to_alcotest prop_everything_reachable;
+          QCheck_alcotest.to_alcotest prop_csr_matches_boxed;
+          Alcotest.test_case "peak-words gauge exposed" `Quick test_peak_words_gauge;
         ] );
       ( "path_count",
         [

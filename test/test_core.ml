@@ -105,7 +105,7 @@ let test_fib_lpm () =
   Fib.insert fib (Prefix.of_string "10.1.2.0/24") ~out_port:3 ~alt_port:9 ();
   let port addr =
     match Fib.lookup fib (Prefix.addr_of_string addr) with
-    | Some e -> e.Fib.out_port
+    | Some e -> Fib.out_port e
     | None -> -1
   in
   Alcotest.(check int) "/24 wins" 3 (port "10.1.2.5");
@@ -120,7 +120,7 @@ let test_fib_set_alt () =
   Fib.insert fib p ~out_port:1 ();
   Fib.set_alt fib p (Some 5);
   (match Fib.find fib p with
-   | Some e -> Alcotest.(check (option int)) "alt set" (Some 5) e.Fib.alt_port
+   | Some e -> Alcotest.(check (option int)) "alt set" (Some 5) (Fib.alt_port e)
    | None -> Alcotest.fail "entry missing");
   Alcotest.check_raises "unknown prefix" Not_found (fun () ->
       Fib.set_alt fib (Prefix.of_string "11.0.0.0/8") None)
@@ -147,37 +147,130 @@ let test_fib_reinsert_preserves_deflection () =
   let p = Prefix.of_as 2 in
   Fib.insert fib p ~out_port:0 ~alt_port:1 ();
   let e = Option.get (Fib.find fib p) in
-  e.Fib.deflect_buckets <- 17;
+  Fib.set_deflect_buckets e 17;
   (* refresh: same default egress, no alternative hint *)
   Fib.insert fib p ~out_port:0 ();
   let e = Option.get (Fib.find fib p) in
-  Alcotest.(check (option int)) "alt preserved" (Some 1) e.Fib.alt_port;
-  Alcotest.(check int) "buckets preserved" 17 e.Fib.deflect_buckets;
+  Alcotest.(check (option int)) "alt preserved" (Some 1) (Fib.alt_port e);
+  Alcotest.(check int) "buckets preserved" 17 (Fib.deflect_buckets e);
   (* refresh with an alternative hint: the live choice wins *)
   Fib.insert fib p ~out_port:0 ~alt_port:9 ();
   Alcotest.(check (option int)) "live alt wins over the hint" (Some 1)
-    (Option.get (Fib.find fib p)).Fib.alt_port;
+    (Fib.alt_port (Option.get (Fib.find fib p)));
   (* the hint is adopted when no alternative is set *)
   let q = Prefix.of_as 3 in
   Fib.insert fib q ~out_port:4 ();
   Fib.insert fib q ~out_port:4 ~alt_port:6 ();
   Alcotest.(check (option int)) "hint adopted when alt unset" (Some 6)
-    (Option.get (Fib.find fib q)).Fib.alt_port;
+    (Fib.alt_port (Option.get (Fib.find fib q)));
   (* a genuine route change resets everything *)
   Fib.insert fib p ~out_port:5 ~alt_port:9 ();
   let e = Option.get (Fib.find fib p) in
-  Alcotest.(check int) "new default egress" 5 e.Fib.out_port;
-  Alcotest.(check (option int)) "new alternative" (Some 9) e.Fib.alt_port;
-  Alcotest.(check int) "buckets reset on route change" 0 e.Fib.deflect_buckets;
+  Alcotest.(check int) "new default egress" 5 (Fib.out_port e);
+  Alcotest.(check (option int)) "new alternative" (Some 9) (Fib.alt_port e);
+  Alcotest.(check int) "buckets reset on route change" 0 (Fib.deflect_buckets e);
   Alcotest.(check int) "still two entries" 2 (Fib.size fib)
 
 let test_fib_deflects () =
-  let entry = { Fib.out_port = 0; alt_port = Some 1; deflect_buckets = Fib.buckets } in
+  let fib = Fib.create () in
+  let p = Prefix.of_as 2 in
+  Fib.insert fib p ~out_port:0 ~alt_port:1 ();
+  let entry = Option.get (Fib.find fib p) in
+  Fib.set_deflect_buckets entry Fib.buckets;
   Alcotest.(check bool) "all buckets deflect" true (Fib.deflects entry ~flow:7);
-  let entry0 = { entry with Fib.deflect_buckets = 0 } in
-  Alcotest.(check bool) "zero buckets never deflect" false (Fib.deflects entry0 ~flow:7);
-  let no_alt = { entry with Fib.alt_port = None } in
-  Alcotest.(check bool) "no alt never deflects" false (Fib.deflects no_alt ~flow:7)
+  Fib.set_deflect_buckets entry 0;
+  Alcotest.(check bool) "zero buckets never deflect" false (Fib.deflects entry ~flow:7);
+  Fib.set_deflect_buckets entry Fib.buckets;
+  Fib.set_alt_port entry None;
+  Alcotest.(check bool) "no alt never deflects" false (Fib.deflects entry ~flow:7)
+
+(* [size] is a cached O(1) count, maintained through refreshes and
+   removals, and mirrored into the [fib.entries] gauge. *)
+let test_fib_size_and_gauge () =
+  let before = Obs.gauge_value "fib.entries" in
+  let base = if Float.is_nan before then 0. else before in
+  let fib = Fib.create () in
+  Alcotest.(check int) "empty" 0 (Fib.size fib);
+  Fib.insert fib (Prefix.of_string "10.0.0.0/8") ~out_port:1 ();
+  Fib.insert fib (Prefix.of_string "10.1.0.0/16") ~out_port:2 ();
+  Fib.insert fib (Prefix.of_string "10.1.0.0/16") ~out_port:3 ();
+  Alcotest.(check int) "refresh does not double-count" 2 (Fib.size fib);
+  Alcotest.(check bool) "remove hit" true (Fib.remove fib (Prefix.of_string "10.0.0.0/8"));
+  Alcotest.(check bool) "remove miss" false (Fib.remove fib (Prefix.of_string "10.0.0.0/8"));
+  Alcotest.(check int) "size tracks removal" 1 (Fib.size fib);
+  Alcotest.(check (float 1e-6)) "fib.entries gauge tracks net insertions" (base +. 1.)
+    (Obs.gauge_value "fib.entries")
+
+(* Flat (open-addressed) and Hashed (legacy oracle) representations must
+   be observationally identical under arbitrary insert / remove /
+   set-alt / set-deflect churn. *)
+let fib_universe =
+  Array.map Prefix.of_string
+    [|
+      "0.0.0.0/0"; "10.0.0.0/8"; "10.1.0.0/16"; "10.1.2.0/24"; "10.1.2.64/26";
+      "10.1.2.128/25"; "10.2.0.0/16"; "172.16.0.0/12"; "192.168.0.0/16";
+      "192.168.7.0/24"; "192.168.7.42/32"; "203.0.113.0/24";
+    |]
+
+let fib_probes =
+  Array.map Prefix.addr_of_string
+    [|
+      "10.1.2.5"; "10.1.2.70"; "10.1.2.130"; "10.9.9.9"; "10.2.3.4"; "172.16.5.5";
+      "192.168.7.42"; "192.168.1.1"; "203.0.113.9"; "8.8.8.8";
+    |]
+
+let apply_fib_op fib (kind, pidx, a, b) =
+  let p = fib_universe.(pidx mod Array.length fib_universe) in
+  match kind with
+  | 0 ->
+    if b mod 3 = 0 then Fib.insert fib p ~out_port:(a land 15) ()
+    else Fib.insert fib p ~out_port:(a land 15) ~alt_port:(16 + (b land 15)) ()
+  | 1 -> ignore (Fib.remove fib p)
+  | 2 ->
+    (match Fib.find fib p with
+     | Some e -> Fib.set_deflect_buckets e (a mod (Fib.buckets + 1))
+     | None -> ())
+  | _ ->
+    (match Fib.find fib p with
+     | Some _ -> Fib.set_alt fib p (if b land 1 = 0 then None else Some (32 + (b land 7)))
+     | None -> ())
+
+let fib_dump fib =
+  let acc = ref [] in
+  Fib.iter fib (fun p e ->
+      acc :=
+        (Prefix.to_string p, Fib.out_port e, Fib.alt_port_id e, Fib.deflect_buckets e)
+        :: !acc);
+  List.sort compare !acc
+
+let prop_fib_flat_matches_hashed =
+  QCheck2.Test.make ~name:"fib: flat and hashed reps agree under churn" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 0 80)
+        (quad (int_bound 3) (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+    (fun ops ->
+      let flat = Fib.create ~rep:Fib.Flat () in
+      let hashed = Fib.create ~rep:Fib.Hashed () in
+      List.iter
+        (fun op ->
+          apply_fib_op flat op;
+          apply_fib_op hashed op)
+        ops;
+      if Fib.size flat <> Fib.size hashed then
+        QCheck2.Test.fail_report "sizes diverged";
+      if fib_dump flat <> fib_dump hashed then
+        QCheck2.Test.fail_report "iterated contents diverged";
+      Array.iter
+        (fun addr ->
+          let view fib =
+            match Fib.lookup fib addr with
+            | None -> None
+            | Some e -> Some (Fib.out_port e, Fib.alt_port_id e, Fib.deflect_buckets e)
+          in
+          if view flat <> view hashed then
+            QCheck2.Test.fail_report "lookup diverged")
+        fib_probes;
+      true)
 
 (* ---------- Engine ---------- *)
 
@@ -191,7 +284,7 @@ let make_env ?(alt_kind = Engine.Ebgp { neighbor_as = 9; rel = Relationship.Peer
   let dst_prefix = Prefix.of_as 2 in
   Fib.insert fib dst_prefix ~out_port:0 ?alt_port:alt ();
   (match Fib.find fib dst_prefix with
-   | Some e -> e.Fib.deflect_buckets <- deflect_buckets
+   | Some e -> Fib.set_deflect_buckets e deflect_buckets
    | None -> assert false);
   {
     Engine.router_id = 100;
@@ -536,12 +629,12 @@ let prop_engine_invariants =
 let daemon_fib () =
   let fib = Fib.create () in
   Fib.insert fib (Prefix.of_as 2) ~out_port:0 ~alt_port:1 ();
-  (fib, fun () -> (Option.get (Fib.find fib (Prefix.of_as 2))).Fib.deflect_buckets)
+  (fib, fun () -> Fib.deflect_buckets (Option.get (Fib.find fib (Prefix.of_as 2))))
 
 let run_epoch fib ~out_util ~alt_util =
   Daemon.epoch ~fib
     ~port_utilization:(fun p -> if p = 0 then out_util else alt_util)
-    ~choose_alt:(fun _ e -> e.Fib.alt_port)
+    ~choose_alt:(fun _ e -> Fib.alt_port e)
     ()
 
 let test_daemon_ramps_up () =
@@ -608,7 +701,7 @@ let test_daemon_alt_change_resets_buckets () =
   Alcotest.(check int) "cold alternative restarts the ramp"
     Daemon.default_config.Daemon.ramp_up (buckets ());
   Alcotest.(check (option int)) "alternative switched" (Some 2)
-    (Option.get (Fib.find fib (Prefix.of_as 2))).Fib.alt_port;
+    (Fib.alt_port (Option.get (Fib.find fib (Prefix.of_as 2))));
   Alcotest.(check int) "switch counted" (changes0 + 1)
     (Obs.counter_value "daemon.alt_changed");
   Alcotest.(check int) "reset counted" (resets0 + 1)
@@ -733,6 +826,9 @@ let () =
           Alcotest.test_case "re-insert preserves deflection state" `Quick
             test_fib_reinsert_preserves_deflection;
           Alcotest.test_case "deflects" `Quick test_fib_deflects;
+          Alcotest.test_case "O(1) size + fib.entries gauge" `Quick
+            test_fib_size_and_gauge;
+          QCheck_alcotest.to_alcotest prop_fib_flat_matches_hashed;
         ] );
       ( "engine",
         [

@@ -901,7 +901,7 @@ let test_packetsim_tunnel_transit () =
   in
   let pin fib prefix ~out_port ~alt_port =
     Fib.insert fib prefix ~out_port ~alt_port ();
-    (Option.get (Fib.find fib prefix)).Fib.deflect_buckets <- Fib.buckets
+    Fib.set_deflect_buckets (Option.get (Fib.find fib prefix)) Fib.buckets
   in
   let dst = Prefix.of_as 2 and back = Prefix.of_as 1 in
   (* r1: default egress rx (a dead end), alternative = tunnel to r3 *)

@@ -291,7 +291,7 @@ let prop_trie_agrees_with_fib =
           let addr = Prefix.host_of_as asn 2 in
           let from_fib =
             match Mifo_core.Fib.lookup fib addr with
-            | Some e -> Some e.Mifo_core.Fib.out_port
+            | Some e -> Some (Mifo_core.Fib.out_port e)
             | None -> None
           in
           let from_trie =

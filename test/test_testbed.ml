@@ -16,13 +16,13 @@ let test_build_structure () =
   let net = Testbed.build small_config Testbed.Mifo_routing in
   (* Rd's FIB toward AS5 must have the iBGP alternative installed *)
   match Fib.find (Packetsim.fib net.Testbed.sim net.Testbed.rd) (Prefix.of_as 5) with
-  | Some entry -> Alcotest.(check bool) "alt installed" true (entry.Fib.alt_port <> None)
+  | Some entry -> Alcotest.(check bool) "alt installed" true (Fib.alt_port entry <> None)
   | None -> Alcotest.fail "Rd has no route to AS5"
 
 let test_build_bgp_has_no_alt () =
   let net = Testbed.build small_config Testbed.Bgp_routing in
   match Fib.find (Packetsim.fib net.Testbed.sim net.Testbed.rd) (Prefix.of_as 5) with
-  | Some entry -> Alcotest.(check bool) "no alt under BGP" true (entry.Fib.alt_port = None)
+  | Some entry -> Alcotest.(check bool) "no alt under BGP" true (Fib.alt_port entry = None)
   | None -> Alcotest.fail "Rd has no route to AS5"
 
 let test_bgp_run_completes () =

@@ -461,6 +461,17 @@ let test_obs_counters_gauges () =
   Obs.set_gauge g 7.0;
   check_float "set overrides" 7.0 (Obs.gauge_value "test.obs.gauge")
 
+let test_obs_max_gauge () =
+  let g = Obs.gauge "test.obs.maxgauge" in
+  Alcotest.(check bool) "fresh max gauge is nan" true
+    (Float.is_nan (Obs.gauge_value "test.obs.maxgauge"));
+  Obs.max_gauge g 3.0;
+  check_float "first observation seeds the max" 3.0 (Obs.gauge_value "test.obs.maxgauge");
+  Obs.max_gauge g 1.0;
+  check_float "lower observation ignored" 3.0 (Obs.gauge_value "test.obs.maxgauge");
+  Obs.max_gauge g 9.5;
+  check_float "higher observation wins" 9.5 (Obs.gauge_value "test.obs.maxgauge")
+
 let test_obs_histogram () =
   let h = Obs.histogram ~bounds:[| 1.; 2.; 4. |] "test.obs.hist" in
   List.iter (Obs.observe h) [ 0.5; 1.; 1.5; 3.; 100. ];
@@ -701,6 +712,7 @@ let () =
       ( "obs",
         [
           Alcotest.test_case "counters and gauges" `Quick test_obs_counters_gauges;
+          Alcotest.test_case "max gauge high-water mark" `Quick test_obs_max_gauge;
           Alcotest.test_case "histogram buckets" `Quick test_obs_histogram;
           Alcotest.test_case "trace ring buffer" `Quick test_obs_trace_ring;
           Alcotest.test_case "snapshot is valid sorted JSON" `Quick test_obs_snapshot_parses;
