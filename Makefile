@@ -37,10 +37,16 @@ lint:
 	dune exec bin/mifo_lint.exe
 
 # Static data-plane verifier gate: the default configuration must verify
-# clean, and the Tag-Check ablation must fail WITH a concrete loop
-# counterexample (exit 1 + a forwarding-loop violation in the JSON).
+# clean (both unbounded and with the k=2 bounded automaton), and the
+# Tag-Check ablations must fail WITH a concrete loop counterexample
+# (exit 1 + a forwarding-loop violation in the JSON).  The k2 gadget leg
+# pins the ranked-set semantics: its ablated automaton is loop-free when
+# only the first alternative is admissible (-k 1) and must loop the
+# moment the second ranked slot opens (-k 2).
 static-check:
 	dune exec bin/mifo_sim.exe -- check --ases 150 --seed 42 >/dev/null
+	dune exec bin/mifo_sim.exe -- check --ases 150 --seed 42 -k 2 >/dev/null
+	dune exec bin/mifo_sim.exe -- check --k2-gadget --no-tag-check -k 1 >/dev/null
 	@out=$$(dune exec bin/mifo_sim.exe -- check --gadget --no-tag-check 2>/dev/null); \
 	if [ $$? -eq 0 ]; then \
 		echo "static-check: ablated gadget unexpectedly verified clean"; exit 1; \
@@ -48,6 +54,14 @@ static-check:
 	case "$$out" in \
 	*forwarding-loop*) echo "static-check: ablation fails with a machine-checked loop";; \
 	*) echo "static-check: ablation failed without a loop counterexample"; exit 1;; \
+	esac
+	@out=$$(dune exec bin/mifo_sim.exe -- check --k2-gadget --no-tag-check -k 2 2>/dev/null); \
+	if [ $$? -eq 0 ]; then \
+		echo "static-check: ablated k2 gadget unexpectedly verified clean at k=2"; exit 1; \
+	fi; \
+	case "$$out" in \
+	*forwarding-loop*) echo "static-check: k=2 ablation fails with a machine-checked loop";; \
+	*) echo "static-check: k=2 ablation failed without a loop counterexample"; exit 1;; \
 	esac
 
 # Smoke-test the sim benchmark suite at tiny sizes: the incremental

@@ -107,6 +107,13 @@ type routing_bench = {
 
 let routing_bench_result : routing_bench option ref = ref None
 
+(* Engine forwarding throughput on a deflecting entry, single-alternative
+   vs. a ranked pair (the ECMP bucket->slot spread) — filled by [micro],
+   recorded in BENCH_routing.json. *)
+type forward_bench = { fwd_k1_ns : float; fwd_k2_ns : float }
+
+let forward_bench_result : forward_bench option ref = ref None
+
 (* Throughput of [Routing_table.precompute] over [dests] destinations on
    a fresh (cold) table, serial vs. the MIFO_JOBS / ncores pool.  The
    parallel-vs-serial determinism is asserted by the test suite; this
@@ -321,20 +328,41 @@ let scale44k_json sc =
     c.chk_speedup c.chk_deltas c.chk_verdicts_identical
 
 let write_bench_json path =
-  match !routing_bench_result with
-  | None -> ()
-  | Some b ->
+  match (!routing_bench_result, !forward_bench_result) with
+  | None, None -> ()
+  | routing, forward ->
     let cores = Domain.recommended_domain_count () in
-    let sample s =
-      Printf.sprintf "{\"jobs\": %d, \"secs\": %.6f, \"dests_per_sec\": %.1f}" s.jobs
-        s.secs s.dests_per_sec
+    let precompute =
+      match routing with
+      | None -> ""
+      | Some b ->
+        let sample s =
+          Printf.sprintf "{\"jobs\": %d, \"secs\": %.6f, \"dests_per_sec\": %.1f}" s.jobs
+            s.secs s.dests_per_sec
+        in
+        (* A speedup quoted on a 1-core box (where the pool collapses to one
+           worker) is noise, not a measurement — omit the field entirely. *)
+        let speedup =
+          if cores > 1 && b.parallel.jobs > 1 then
+            Printf.sprintf ",\n    \"speedup\": %.3f" (b.serial.secs /. b.parallel.secs)
+          else ""
+        in
+        Printf.sprintf
+          "  \"topology\": {\"ases\": %d, \"links\": %d},\n\
+          \  \"precompute\": {\n\
+          \    \"dests\": %d,\n\
+          \    \"serial\": %s,\n\
+          \    \"parallel\": %s%s\n\
+          \  },\n"
+          b.ases b.links b.dests (sample b.serial) (sample b.parallel) speedup
     in
-    (* A speedup quoted on a 1-core box (where the pool collapses to one
-       worker) is noise, not a measurement — omit the field entirely. *)
-    let speedup =
-      if cores > 1 && b.parallel.jobs > 1 then
-        Printf.sprintf ",\n    \"speedup\": %.3f" (b.serial.secs /. b.parallel.secs)
-      else ""
+    let forward =
+      match forward with
+      | None -> ""
+      | Some f ->
+        Printf.sprintf
+          "  \"forward\": {\"deflect_k1_ns\": %.1f, \"deflect_k2_ns\": %.1f},\n"
+          f.fwd_k1_ns f.fwd_k2_ns
     in
     let scale44k =
       match !scale_bench_result with
@@ -351,17 +379,10 @@ let write_bench_json path =
     Printf.fprintf oc
       "{\n\
       \  \"machine\": {\"cores\": %d},\n\
-      \  \"topology\": {\"ases\": %d, \"links\": %d},\n\
-      \  \"precompute\": {\n\
-      \    \"dests\": %d,\n\
-      \    \"serial\": %s,\n\
-      \    \"parallel\": %s%s\n\
-      \  },\n\
-       %s\
+       %s%s%s\
       \  \"figure_secs\": {%s}\n\
        }\n"
-      cores b.ases b.links b.dests (sample b.serial) (sample b.parallel) speedup
-      scale44k figures;
+      cores precompute forward scale44k figures;
     close_out oc;
     Printf.printf "[wrote %s]\n%!" path
 
@@ -872,21 +893,55 @@ let micro () =
              Mifo_core.Policy.check ~tag:true ~downstream:Mifo_topology.Relationship.Peer));
     ]
   in
-  let measure test =
+  let measure_est test =
     let instance = Toolkit.Instance.monotonic_clock in
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
     let raw = Benchmark.all cfg [ instance ] test in
     let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
     let results = Analyze.all ols instance raw in
+    let est = ref 0. in
     Hashtbl.iter
       (fun name ols ->
         match Analyze.OLS.estimates ols with
-        | Some [ est ] -> Printf.printf "%-34s %12.1f ns/op\n%!" name est
+        | Some [ e ] ->
+          Printf.printf "%-34s %12.1f ns/op\n%!" name e;
+          est := e
         | Some _ | None -> Printf.printf "%-34s (no estimate)\n%!" name)
-      results
+      results;
+    !est
   in
+  let measure test = ignore (measure_est test) in
   Printf.printf "== Microbenchmarks (monotonic clock) ==\n%!";
   List.iter measure tests;
+  (* k=1 vs k=2 forwarding on a deflecting entry: the default egress is
+     the congested port, every bucket is deflected, so each forward takes
+     the alternative path — k=2 additionally pays the bucket->slot spread. *)
+  let dfib = Mifo_core.Fib.create () in
+  Mifo_core.Fib.insert dfib (Mifo_bgp.Prefix.of_as 1) ~out_port:1 ();
+  let dentry =
+    match Mifo_core.Fib.find dfib (Mifo_bgp.Prefix.of_as 1) with
+    | Some e -> e
+    | None -> assert false
+  in
+  Mifo_core.Fib.set_deflect_buckets dentry Mifo_core.Fib.buckets;
+  let denv = { env with Mifo_core.Engine.fib = dfib } in
+  let dpkt =
+    Mifo_core.Packet.make ~src:(Mifo_bgp.Prefix.host_of_as 2 1)
+      ~dst:(Mifo_bgp.Prefix.host_of_as 1 1) ~flow:5 ()
+  in
+  Mifo_core.Fib.set_alt_port dentry (Some 2);
+  let fwd_k1_ns =
+    measure_est
+      (Test.make ~name:"engine-forward-deflect-k1"
+         (Staged.stage (fun () -> Mifo_core.Engine.forward denv ~ingress:(Some 3) dpkt)))
+  in
+  Mifo_core.Fib.set_alts dentry [ 2; 4 ];
+  let fwd_k2_ns =
+    measure_est
+      (Test.make ~name:"engine-forward-deflect-k2"
+         (Staged.stage (fun () -> Mifo_core.Engine.forward denv ~ingress:(Some 3) dpkt)))
+  in
+  forward_bench_result := Some { fwd_k1_ns; fwd_k2_ns };
   (* the global-table-sized FIB (the paper's 500K-prefix scale) is
      measured separately: its hundreds of MB of live data would distort
      the small benches' GC behaviour *)

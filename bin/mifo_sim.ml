@@ -269,6 +269,23 @@ let check_cmd =
       & info [ "gadget" ]
           ~doc:"Check the Fig. 2(a) gadget instead of a generated topology.")
   in
+  let k2_gadget_t =
+    Arg.(
+      value & flag
+      & info [ "k2-gadget" ]
+          ~doc:
+            "Check the k-alternative gadget: loop-free at $(b,--k 1), loops at \
+             $(b,--k 2) when the Tag-Check is ablated.")
+  in
+  let k_t =
+    Arg.(
+      value & opt int 0
+      & info [ "k" ] ~docv:"K"
+          ~doc:
+            "Verify the k-alternative data plane: deflections bounded to the first \
+             $(docv) RIB alternatives, automaton state widened to (AS, tag, slot).  \
+             0 (the default) = the unbounded automaton.")
+  in
   let no_tag_t =
     Arg.(
       value & flag
@@ -298,12 +315,13 @@ let check_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the JSON report to $(docv) instead of stdout.")
   in
-  let run obs seed ases topo_file gadget no_tag dests hosts out =
+  let run obs seed ases topo_file gadget k2_gadget no_tag k dests hosts out =
     with_obs obs @@ fun () ->
     let module Report = Mifo_analysis.Report in
     let tag_check = not no_tag in
     let g =
       if gadget then Generator.fig2a_gadget ()
+      else if k2_gadget then Generator.k2_gadget ()
       else
         match topo_file with
         | Some path -> (Mifo_topology.As_rel_io.load path).Mifo_topology.As_rel_io.graph
@@ -321,7 +339,11 @@ let check_cmd =
     let as_dests = sample dests in
     let host_ases = sample hosts in
     Mifo_bgp.Routing_table.precompute table (Array.of_list as_dests);
-    let as_report = Mifo_analysis.Verifier.verify_as_level ~tag_check g ~table ~dests:as_dests in
+    let as_report =
+      Mifo_analysis.Verifier.verify_as_level ~tag_check
+        ?k:(if k > 0 then Some k else None)
+        g ~table ~dests:as_dests
+    in
     let config =
       { Mifo_netsim.Packetsim.default_config with Mifo_netsim.Packetsim.tag_check }
     in
@@ -353,8 +375,8 @@ let check_cmd =
           valley-free compliance of every RIB path, and FIB/RIB consistency of the \
           built packet network.  Emits a JSON report; exits non-zero on any violation.")
     Term.(
-      const run $ obs_t $ seed_t $ ases_t $ topo_file_t $ gadget_t $ no_tag_t
-      $ check_dests_t $ hosts_t $ out_t)
+      const run $ obs_t $ seed_t $ ases_t $ topo_file_t $ gadget_t $ k2_gadget_t
+      $ no_tag_t $ k_t $ check_dests_t $ hosts_t $ out_t)
 
 let topo_cmd =
   let out_t =
@@ -372,32 +394,169 @@ let topo_cmd =
     (Cmd.info "topo" ~doc:"Generate a topology and save it in as-rel format.")
     Term.(const run $ seed_t $ ases_t $ out_t)
 
+(* ---- path-diversity probe ----------------------------------------------
+
+   Counts the distinct AS paths a k-alternative data plane can realize
+   toward one destination by replaying {!Mifo_core.Loop_walk} walks under
+   prime-spaced flow-id variations: each variation hashes (flow, AS) into
+   a choice over the default and the first [k] ranked RIB alternatives —
+   the same bucket->slot spreading the engine applies — and delivered
+   paths are deduplicated.  A probe stops once [max_paths] distinct paths
+   are on record or [early_stop] consecutive variations found nothing
+   new (the SwiftFTR-style budget). *)
+
+let c_path_probes = Obs.counter "paths.probes"
+let c_path_distinct = Obs.counter "paths.distinct"
+let c_path_early = Obs.counter "paths.early_stopped"
+
+let probe_paths g rt ~src ~k ~max_paths ~early_stop =
+  let module Fib = Mifo_core.Fib in
+  let module Loop_walk = Mifo_core.Loop_walk in
+  let early_stop = max 1 early_stop in
+  let rec take n l =
+    match l with [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+  in
+  let seen = Hashtbl.create 16 in
+  let ordered = ref [] in
+  let no_new = ref 0 in
+  let variation = ref 0 in
+  let early = ref false in
+  while (not !early) && Hashtbl.length seen < max_paths do
+    (* prime stride decorrelates successive variations under the bucket hash *)
+    let flow = 1 + (7919 * !variation) in
+    Obs.add c_path_probes 1;
+    let decide ~as_id ~upstream:_ ~entries =
+      match entries with
+      | [] | [ _ ] -> Loop_walk.Default
+      | _default :: alternatives ->
+        let pool = take k alternatives in
+        let m = List.length pool in
+        let c = Fib.flow_bucket (flow + (8191 * as_id)) mod (m + 1) in
+        if c = 0 then Loop_walk.Default
+        else Loop_walk.Deflect (List.nth pool (c - 1)).Mifo_bgp.Routing.via
+    in
+    (match Loop_walk.walk g rt ~decide ~src with
+    | Loop_walk.Delivered path ->
+      let key = String.concat "," (List.map string_of_int path) in
+      if Hashtbl.mem seen key then incr no_new
+      else begin
+        Hashtbl.replace seen key ();
+        ordered := path :: !ordered;
+        no_new := 0
+      end
+    | Loop_walk.Dropped _ | Loop_walk.Looped _ -> incr no_new);
+    incr variation;
+    if !no_new >= early_stop then begin
+      early := true;
+      Obs.add c_path_early 1
+    end
+  done;
+  Obs.add c_path_distinct (Hashtbl.length seen);
+  (List.rev !ordered, !variation, !early)
+
 let paths_cmd =
-  let src_t = Arg.(required & opt (some int) None & info [ "src" ] ~docv:"AS" ~doc:"Source AS.") in
-  let dst_t = Arg.(required & opt (some int) None & info [ "dst" ] ~docv:"AS" ~doc:"Destination AS.") in
+  let src_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "src" ] ~docv:"AS"
+          ~doc:
+            "Source AS: inspect its RIB and probe from it alone.  Omitted, the probe \
+             runs from every AS toward the destination and reports the aggregate.")
+  in
+  let dst_t =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "dst"; "dest" ] ~docv:"AS" ~doc:"Destination AS.")
+  in
   let limit_t = Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc:"Paths to list.") in
-  let run ctx src dst limit =
+  let max_paths_t =
+    Arg.(
+      value & opt int 16
+      & info [ "max-paths" ] ~docv:"N"
+          ~doc:"Probe budget: stop once $(docv) distinct deflection paths are found.")
+  in
+  let early_stop_t =
+    Arg.(
+      value & opt int 3
+      & info [ "early-stop" ] ~docv:"T"
+          ~doc:
+            "Stop a probe after $(docv) consecutive flow variations that discover no \
+             new path.")
+  in
+  let k_t =
+    Arg.(
+      value
+      & opt int (Mifo_core.Fib.default_k ())
+      & info [ "k" ] ~docv:"K"
+          ~doc:
+            "Ranked alternatives considered per hop (default: the $(b,MIFO_K_ALT) \
+             environment knob, else 4).")
+  in
+  let run obs ctx src dst limit max_paths early_stop k =
+    with_obs obs @@ fun () ->
     let g = Context.graph ctx in
     let rt = Mifo_bgp.Routing_table.get ctx.Context.table dst in
     let show path = String.concat " -> " (List.map string_of_int path) in
-    Printf.printf "default path: %s\n" (show (Mifo_bgp.Routing.default_path rt src));
-    Printf.printf "local RIB at AS %d toward AS %d:\n" src dst;
-    List.iter
-      (fun (e : Mifo_bgp.Routing.rib_entry) ->
-        Printf.printf "  via AS %-6d (%s route, %d AS hops)\n" e.via
-          (Mifo_topology.Relationship.to_string e.rel)
-          e.len)
-      (Mifo_bgp.Routing.rib rt src);
-    let paths =
-      Mifo_bgp.Path_count.enumerate_mifo_paths g rt ~capable:(fun _ -> true) ~src ~limit
-    in
-    Printf.printf "first %d MIFO forwarding paths (of %.0f):\n" (List.length paths)
-      (Mifo_bgp.Path_count.mifo_counts g rt ~capable:(fun _ -> true)).(src);
-    List.iter (fun p -> Printf.printf "  %s\n" (show p)) paths
+    match src with
+    | Some src ->
+      Printf.printf "default path: %s\n" (show (Mifo_bgp.Routing.default_path rt src));
+      Printf.printf "local RIB at AS %d toward AS %d:\n" src dst;
+      List.iter
+        (fun (e : Mifo_bgp.Routing.rib_entry) ->
+          Printf.printf "  via AS %-6d (%s route, %d AS hops)\n" e.via
+            (Mifo_topology.Relationship.to_string e.rel)
+            e.len)
+        (Mifo_bgp.Routing.rib rt src);
+      let paths =
+        Mifo_bgp.Path_count.enumerate_mifo_paths g rt ~capable:(fun _ -> true) ~src ~limit
+      in
+      Printf.printf "first %d MIFO forwarding paths (of %.0f):\n" (List.length paths)
+        (Mifo_bgp.Path_count.mifo_counts g rt ~capable:(fun _ -> true)).(src);
+      List.iter (fun p -> Printf.printf "  %s\n" (show p)) paths;
+      let distinct, probes, early = probe_paths g rt ~src ~k ~max_paths ~early_stop in
+      Printf.printf "deflection probe (k=%d): %d distinct paths in %d flow variations%s:\n"
+        k (List.length distinct) probes
+        (if early then ", early-stopped" else "");
+      List.iter (fun p -> Printf.printf "  %s\n" (show p)) distinct
+    | None ->
+      let n = Mifo_topology.As_graph.n g in
+      let sources = ref 0 in
+      let probes = ref 0 in
+      let total = ref 0 in
+      let max_distinct = ref 0 in
+      let early_stopped = ref 0 in
+      for s = 0 to n - 1 do
+        if s <> dst then begin
+          incr sources;
+          let distinct, p, early = probe_paths g rt ~src:s ~k ~max_paths ~early_stop in
+          let d = List.length distinct in
+          probes := !probes + p;
+          total := !total + d;
+          if d > !max_distinct then max_distinct := d;
+          if early then incr early_stopped
+        end
+      done;
+      Printf.printf "deflection probe toward AS %d (k=%d, max-paths %d, early-stop %d):\n"
+        dst k max_paths early_stop;
+      Printf.printf "  sources probed  : %d\n" !sources;
+      Printf.printf "  flow variations : %d\n" !probes;
+      Printf.printf "  distinct paths  : %d (mean %.2f per source, max %d)\n" !total
+        (if !sources = 0 then 0. else float_of_int !total /. float_of_int !sources)
+        !max_distinct;
+      Printf.printf "  early-stopped   : %d sources\n" !early_stopped
   in
   Cmd.v
-    (Cmd.info "paths" ~doc:"Inspect the RIB and MIFO path diversity of an AS pair.")
-    Term.(const run $ context_t $ src_t $ dst_t $ limit_t)
+    (Cmd.info "paths"
+       ~doc:
+         "Probe the deflection path diversity toward a destination: enumerate the \
+          distinct AS paths a k-alternative data plane realizes under flow-hash \
+          spreading, with deduplication and early stopping.  With $(b,--src), also \
+          inspect that AS's RIB.")
+    Term.(
+      const run $ obs_t $ context_t $ src_t $ dst_t $ limit_t $ max_paths_t
+      $ early_stop_t $ k_t)
 
 let main_cmd =
   Cmd.group

@@ -3,7 +3,7 @@ module Routing = Mifo_bgp.Routing
 module Policy = Mifo_core.Policy
 module Loop_walk = Mifo_core.Loop_walk
 
-type move = { at : int; tag : bool; via : int; deflected : bool }
+type move = { at : int; tag : bool; via : int; slot : int; deflected : bool }
 
 type counterexample = {
   dest : int;
@@ -27,7 +27,7 @@ let all_enabled ~at:_ ~via:_ = true
    at [via]'s entering point to "the upstream neighbor is my customer";
    the stored relationship is [via]'s role relative to [v], so the
    upstream role is its inverse. *)
-let edges ~tag_check ~enabled _g rt v tag =
+let edges ~tag_check ~enabled ~max_alt _g rt v tag =
   if v = Routing.dest rt then []
   else begin
     let k = Routing.rib_size rt v in
@@ -36,10 +36,14 @@ let edges ~tag_check ~enabled _g rt v tag =
       let edge i deflected =
         let via = Routing.rib_via rt v i in
         let rel = Routing.rib_rel_at rt v i in
-        ( { at = v; tag; via; deflected },
+        ( { at = v; tag; via; slot = i; deflected },
           via,
           Policy.tag_of_upstream (Mifo_topology.Relationship.inverse rel) )
       in
+      (* [max_alt] caps the deflectable RIB indices: a k-limited data
+         plane only ever installs the first k RIB alternatives
+         (Alt_select pool-caps in preference order), so admitting
+         exactly indices 1..k soundly over-approximates it. *)
       let rec alts i acc =
         if i < 1 then acc
         else begin
@@ -55,42 +59,61 @@ let edges ~tag_check ~enabled _g rt v tag =
           alts (i - 1) acc
         end
       in
-      edge 0 false :: alts (k - 1) []
+      edge 0 false :: alts (Stdlib.min max_alt (k - 1)) []
     end
   end
 
 type frame = {
   v : int;
   tag : bool;
+  slot : int;  (* ranked slot the packet entered this AS by; 0 = default *)
   entered_by : move option;  (* the move taken at the parent frame *)
   mutable rest : (move * int * bool) list;
 }
 
-let find_loop ?(tag_check = true) ?(deflection_enabled = all_enabled) g rt =
+let find_loop ?(tag_check = true) ?(deflection_enabled = all_enabled) ?k g rt =
   let enabled = deflection_enabled in
+  (* [?k = None] is the unbounded legacy automaton over [(AS, tag)]
+     states — bit-identical to the historical checker, slot collapsed
+     to 0.  [Some kk] bounds deflections to the first [kk] RIB
+     alternatives and widens the state to the k-way choice
+     [(AS, tag, slot)], [slot] = the ranked slot the packet entered by
+     (0 = default/root).  The widening is verdict-equivalent to the
+     collapsed bounded automaton (the entering slot does not constrain
+     the next move) but counterexample moves record which ranked slot
+     closed the cycle. *)
+  let max_alt = match k with None -> Stdlib.max_int | Some kk -> kk in
+  let slots = match k with None -> 1 | Some kk -> kk + 1 in
   let n = As_graph.n g in
   let dest = Routing.dest rt in
-  let enc v tag = (2 * v) + if tag then 1 else 0 in
-  let color = Array.make (2 * n) 0 in
+  let enc v tag slot = (((2 * v) + (if tag then 1 else 0)) * slots) + slot in
+  let slot_of entered_by =
+    if slots = 1 then 0
+    else match entered_by with None -> 0 | Some (m : move) -> m.slot
+  in
+  let color = Array.make (2 * n * slots) 0 in
   (* index of the state's frame in the current DFS path, bottom-first *)
-  let pos = Array.make (2 * n) (-1) in
+  let pos = Array.make (2 * n * slots) (-1) in
   let explored = ref 0 in
   let result = ref None in
   let path = ref [] (* top of the DFS path first *) in
   let depth = ref 0 in
   let push v tag entered_by =
-    let s = enc v tag in
+    let slot = slot_of entered_by in
+    let s = enc v tag slot in
     color.(s) <- 1;
     pos.(s) <- !depth;
     incr depth;
     incr explored;
-    path := { v; tag; entered_by; rest = edges ~tag_check ~enabled g rt v tag } :: !path
+    path :=
+      { v; tag; slot; entered_by; rest = edges ~tag_check ~enabled ~max_alt g rt v tag }
+      :: !path
   in
   let pop () =
     match !path with
     | [] -> ()
     | f :: rest ->
-      let s = enc f.v f.tag in
+      let s = enc f.v f.tag f.slot in
       color.(s) <- 2;
       pos.(s) <- -1;
       decr depth;
@@ -136,7 +159,7 @@ let find_loop ?(tag_check = true) ?(deflection_enabled = all_enabled) g rt =
         | [] -> pop ()
         | (m, w, wtag) :: rest ->
           f.rest <- rest;
-          let s = enc w wtag in
+          let s = enc w wtag (slot_of (Some m)) in
           if color.(s) = 1 then result := Some (extract m pos.(s))
           else if color.(s) = 0 then push w wtag (Some m));
         dfs ()
@@ -145,7 +168,7 @@ let find_loop ?(tag_check = true) ?(deflection_enabled = all_enabled) g rt =
      which carries the source tag (it may use any of its RIB routes). *)
   let v = ref 0 in
   while Option.is_none !result && !v < n do
-    if !v <> dest && color.(enc !v Policy.source_tag) = 0 then begin
+    if !v <> dest && color.(enc !v Policy.source_tag 0) = 0 then begin
       push !v Policy.source_tag None;
       dfs ()
     end;
@@ -190,12 +213,14 @@ module Inc = struct
     g : As_graph.t;
     rt : Routing.t;
     tag_check : bool;
+    k : int option;  (* k-alternative bound, None = unbounded *)
+    slots : int;  (* widened-state slot count: 1 or k+1 *)
     disabled : (int, unit) Hashtbl.t;  (* key = at * n + via *)
     mutable pending_add : (int * int) list;  (* re-enabled since last recheck *)
     mutable pending_remove : (int * int) list;  (* disabled since last recheck *)
     mutable last : loop_result;
     mutable epoch : int;
-    visit_epoch : int array;  (* scratch: 2n product states *)
+    visit_epoch : int array;  (* scratch: 2n * slots product states *)
     scan_color : int array;  (* 1 = gray, 2 = black; valid iff epoch matches *)
     mutable full_checks : int;
     mutable region_scans : int;
@@ -209,22 +234,26 @@ module Inc = struct
 
   let full_check t =
     t.full_checks <- t.full_checks + 1;
-    find_loop ~tag_check:t.tag_check ~deflection_enabled:(enabled_of t) t.g t.rt
+    find_loop ~tag_check:t.tag_check ~deflection_enabled:(enabled_of t) ?k:t.k t.g
+      t.rt
 
-  let create ?(tag_check = true) g rt =
+  let create ?(tag_check = true) ?k g rt =
     let n = As_graph.n g in
+    let slots = match k with None -> 1 | Some kk -> kk + 1 in
     let t =
       {
         g;
         rt;
         tag_check;
+        k;
+        slots;
         disabled = Hashtbl.create 16;
         pending_add = [];
         pending_remove = [];
         last = { counterexample = None; states_explored = 0 };
         epoch = 0;
-        visit_epoch = Array.make (2 * n) 0;
-        scan_color = Array.make (2 * n) 0;
+        visit_epoch = Array.make (2 * n * slots) 0;
+        scan_color = Array.make (2 * n * slots) 0;
         full_checks = 0;
         region_scans = 0;
       }
@@ -264,44 +293,54 @@ module Inc = struct
       t.scan_color.(s) <- c
     in
     let enabled = enabled_of t in
-    let enc v tag = (2 * v) + if tag then 1 else 0 in
+    let slots = t.slots in
+    let max_alt = match t.k with None -> Stdlib.max_int | Some kk -> kk in
+    let enc v tag slot = (((2 * v) + (if tag then 1 else 0)) * slots) + slot in
+    let mslot (m : move) = if slots = 1 then 0 else m.slot in
     let explored = ref 0 in
     let found = ref false in
     let stack = Stack.create () in
-    let push v tag =
-      set_color (enc v tag) 1;
+    let push v tag slot =
+      set_color (enc v tag slot) 1;
       incr explored;
-      Stack.push (v, tag, ref (edges ~tag_check:t.tag_check ~enabled t.g t.rt v tag)) stack
+      Stack.push
+        ( v,
+          tag,
+          slot,
+          ref (edges ~tag_check:t.tag_check ~enabled ~max_alt t.g t.rt v tag) )
+        stack
     in
     let drive () =
       while (not !found) && not (Stack.is_empty stack) do
-        let v, tag, rest = Stack.top stack in
+        let v, tag, slot, rest = Stack.top stack in
         match !rest with
         | [] ->
-          set_color (enc v tag) 2;
+          set_color (enc v tag slot) 2;
           ignore (Stack.pop stack)
-        | (_, w, wtag) :: tl -> (
+        | (m, w, wtag) :: tl -> (
           rest := tl;
-          match color (enc w wtag) with
+          match color (enc w wtag (mslot m)) with
           | 1 -> found := true
-          | 0 -> push w wtag
+          | 0 -> push w wtag (mslot m)
           | _ -> ())
       done
     in
     (* Any new cycle, and any path newly connecting a source root to an
        old cycle, runs through a re-enabled edge — its endpoints (both
-       tags, a conservative superset of the gated states) seed the
-       scan. *)
+       tags and every entering slot, a conservative superset of the
+       gated states) seed the scan. *)
     List.iter
       (fun (at, via) ->
         List.iter
           (fun v ->
             List.iter
               (fun tag ->
-                if (not !found) && color (enc v tag) = 0 then begin
-                  push v tag;
-                  drive ()
-                end)
+                for slot = 0 to slots - 1 do
+                  if (not !found) && color (enc v tag slot) = 0 then begin
+                    push v tag slot;
+                    drive ()
+                  end
+                done)
               [ false; true ])
           [ at; via ])
       adds;

@@ -15,6 +15,7 @@ type move = {
   at : int;  (** the AS making the decision *)
   tag : bool;  (** the tag the packet carries there *)
   via : int;  (** the chosen next-hop AS *)
+  slot : int;  (** RIB index of the choice: 0 = default, i = i-th alternative *)
   deflected : bool;  (** [false] = default route, [true] = deflection *)
 }
 
@@ -31,6 +32,7 @@ type loop_result = { counterexample : counterexample option; states_explored : i
 val find_loop :
   ?tag_check:bool ->
   ?deflection_enabled:(at:int -> via:int -> bool) ->
+  ?k:int ->
   Mifo_topology.As_graph.t ->
   Mifo_bgp.Routing.t ->
   loop_result
@@ -42,7 +44,15 @@ val find_loop :
     Fig. 2(a) gadget.  [deflection_enabled] (default: everything) masks
     individual deflection edges — the overlay {!Inc} uses to model
     withdrawn FIB alternatives; the default route is never masked.
-    O(states + transitions) = O(V + E). *)
+
+    [?k] models the k-alternative data plane: deflections are bounded
+    to the first [k] RIB alternatives (the pool
+    {!Mifo_core.Alt_select.ranked_alternatives} draws from, so the
+    bounded check soundly over-approximates every runtime ranked set)
+    and the automaton state widens from [(AS, tag)] to the k-way choice
+    [(AS, tag, slot)] where [slot] is the ranked slot the packet
+    entered by.  Omitted = the unbounded legacy automaton, bit-identical
+    to the historical checker.  O(states + transitions) = O(k·V + E). *)
 
 (** Incremental re-verification.  Holds a verdict for one destination
     and refreshes it as FIB deltas toggle deflection availability,
@@ -54,8 +64,11 @@ val find_loop :
 module Inc : sig
   type t
 
-  val create : ?tag_check:bool -> Mifo_topology.As_graph.t -> Mifo_bgp.Routing.t -> t
-  (** Runs the initial full check. *)
+  val create :
+    ?tag_check:bool -> ?k:int -> Mifo_topology.As_graph.t -> Mifo_bgp.Routing.t -> t
+  (** Runs the initial full check.  [?k] as in {!find_loop}: bound the
+      automaton to the k-alternative data plane (deltas and verdicts
+      then refer to the bounded automaton). *)
 
   val set_deflection : t -> at:int -> via:int -> enabled:bool -> unit
   (** Record a FIB delta: the alternative at AS [at] via neighbor [via]

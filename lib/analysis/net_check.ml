@@ -77,9 +77,9 @@ let audit_fibs sim ~routing =
             end
           in
           check_port ~role:"default" (Fib.out_port entry);
-          match Fib.alt_port entry with
-          | Some a -> check_port ~role:"alt" a
-          | None -> ())
+          for slot = 0 to Fib.alt_count entry - 1 do
+            check_port ~role:(Printf.sprintf "alt[%d]" slot) (Fib.alt_at entry slot)
+          done)
   done;
   (List.rev !violations, !checked)
 
@@ -179,22 +179,38 @@ let find_loops sim ~routing =
                 arrive m st.tag (Plain { sender = None }) (Fib.out_port entry)
               in
               let alt_edges =
-                match Fib.alt_port entry with
-                | None -> []
-                | Some a -> (
-                  match Packetsim.port_kind sim m a with
-                  | Engine.Ibgp { peer_router } ->
-                    if ibgp_encap then
-                      [ arrive m st.tag (Tunnel { src = m; ep = peer_router }) a ]
-                    else [ arrive m st.tag (Plain { sender = None }) a ]
-                  | Engine.Ebgp { rel; _ } ->
-                    if (not tag_check) || Policy.check ~tag:st.tag ~downstream:rel
-                    then [ arrive m st.tag (Plain { sender = None }) a ]
-                    else []
-                    (* failed check: dropped when forced, default otherwise *)
-                  | Engine.Local -> [ default_edge ])
+                (* One edge per ranked slot — the bucket→slot spread can
+                   place a deflected packet onto any live alternative.
+                   The router-level state is deliberately NOT widened by
+                   slot: the entering slot does not constrain later
+                   moves, so the collapsed automaton is
+                   verdict-equivalent (slot-distinct multi-edges between
+                   the same states change nothing for cycle
+                   detection). *)
+                let rec slot_edges i acc =
+                  if i < 0 then acc
+                  else begin
+                    let a = Fib.alt_at entry i in
+                    let acc =
+                      match Packetsim.port_kind sim m a with
+                      | Engine.Ibgp { peer_router } ->
+                        (if ibgp_encap then
+                           arrive m st.tag (Tunnel { src = m; ep = peer_router }) a
+                         else arrive m st.tag (Plain { sender = None }) a)
+                        :: acc
+                      | Engine.Ebgp { rel; _ } ->
+                        if (not tag_check) || Policy.check ~tag:st.tag ~downstream:rel
+                        then arrive m st.tag (Plain { sender = None }) a :: acc
+                        else acc
+                        (* failed check: dropped when forced, default otherwise *)
+                      | Engine.Local -> default_edge :: acc
+                    in
+                    slot_edges (i - 1) acc
+                  end
+                in
+                slot_edges (Fib.alt_count entry - 1) []
               in
-              let forced = deflected_to_me && Fib.alt_port entry <> None in
+              let forced = deflected_to_me && Fib.alt_count entry > 0 in
               List.filter_map Fun.id
                 (if forced then alt_edges else default_edge :: alt_edges)))
       in

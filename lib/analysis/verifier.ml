@@ -2,13 +2,13 @@ module As_graph = Mifo_topology.As_graph
 module Routing_table = Mifo_bgp.Routing_table
 module Packetsim = Mifo_netsim.Packetsim
 
-let verify_as_level ?(tag_check = true) g ~table ~dests =
+let verify_as_level ?(tag_check = true) ?k g ~table ~dests =
   let reports =
     List.map
       (fun d ->
         let rt = Routing_table.get table d in
         let { As_check.counterexample; states_explored } =
-          As_check.find_loop ~tag_check g rt
+          As_check.find_loop ~tag_check ?k g rt
         in
         let loop_viols =
           match counterexample with

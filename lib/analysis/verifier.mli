@@ -9,6 +9,7 @@
 
 val verify_as_level :
   ?tag_check:bool ->
+  ?k:int ->
   Mifo_topology.As_graph.t ->
   table:Mifo_bgp.Routing_table.t ->
   dests:int list ->
@@ -16,7 +17,8 @@ val verify_as_level :
 (** Run {!As_check.find_loop} and {!As_check.check_paths} for every
     listed destination (routing states pulled — and cached — through the
     table).  [tag_check:false] verifies the ablated data plane, which is
-    expected to produce loop counterexamples. *)
+    expected to produce loop counterexamples.  [?k] bounds the automaton
+    to the k-alternative data plane (see {!As_check.find_loop}). *)
 
 val verify_network :
   Mifo_netsim.Packetsim.t -> routing:(int * Mifo_bgp.Routing.t) list -> Report.t

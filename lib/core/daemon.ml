@@ -14,22 +14,45 @@ let is_congested ?(config = default_config) util = util >= config.congest_thresh
 
 let c_alt_changed = Obs.counter "daemon.alt_changed"
 let c_buckets_reset = Obs.counter "daemon.buckets_reset"
+let c_slots_rotated = Obs.counter "daemon.slots_rotated"
 let c_ramp_up = Obs.counter "daemon.ramp_up_buckets"
 let c_ramp_down = Obs.counter "daemon.ramp_down_buckets"
 let h_util_out = Obs.histogram "daemon.port_util.out"
 let h_util_alt = Obs.histogram "daemon.port_util.alt"
 
-let epoch ?(config = default_config) ~fib ~port_utilization ~choose_alt () =
+let epoch_ranked ?(config = default_config) ~fib ~port_utilization ~choose_alts () =
+  (* Per-epoch scratch for the previous ranked set; outside the closure
+     so the per-entry loop does not allocate. *)
+  let olds = Array.make Fib.max_alts (-1) in
   Fib.iter fib (fun prefix entry ->
-      let old_alt = Fib.alt_port_id entry in
-      Fib.set_alt_port entry (choose_alt prefix entry);
-      let alt = Fib.alt_port_id entry in
-      if alt <> old_alt then begin
+      for i = 0 to Fib.max_alts - 1 do
+        olds.(i) <- Fib.alt_at entry i
+      done;
+      Fib.set_alts entry (choose_alts prefix entry);
+      let changed = ref false in
+      let survives = ref false in
+      for i = 0 to Fib.max_alts - 1 do
+        let a = Fib.alt_at entry i in
+        if a <> olds.(i) then changed := true;
+        if a >= 0 then
+          for j = 0 to Fib.max_alts - 1 do
+            if olds.(j) = a then survives := true
+          done
+      done;
+      if !changed then begin
         Obs.incr c_alt_changed;
-        (* A freshly chosen alternative is cold — possibly slower than
-           the one just dropped — so it must not inherit the deflected
-           share accumulated against the old one.  Restart the ramp. *)
-        if Fib.deflect_buckets entry > 0 then begin
+        if !survives then
+          (* Per-slot demotion/promotion: at least one previously ramped
+             alternative is still in the set, so the deflected share
+             keeps flowing onto warm paths — hold the ramp and only note
+             the rotation.  (Dropped slots stop receiving traffic
+             immediately: the bucket→slot spread follows the live
+             count.) *)
+          Obs.incr c_slots_rotated
+        else if Fib.deflect_buckets entry > 0 then begin
+          (* A wholly fresh set is cold — possibly slower than the paths
+             just dropped — so it must not inherit the deflected share
+             accumulated against them.  Restart the ramp. *)
           Obs.incr c_buckets_reset;
           Obs.event "alt_changed"
             [
@@ -39,25 +62,47 @@ let epoch ?(config = default_config) ~fib ~port_utilization ~choose_alt () =
           Fib.set_deflect_buckets entry 0
         end
       end;
-      if alt < 0 then Fib.set_deflect_buckets entry 0
+      let n = Fib.alt_count entry in
+      if n = 0 then Fib.set_deflect_buckets entry 0
       else begin
         let util = port_utilization (Fib.out_port entry) in
-        let alt_util = port_utilization alt in
+        (* Headroom of the ranked set = the least-loaded live slot:
+           ramping shifts whole buckets, and the spread deals each
+           bucket to one slot, so there must be at least one slot that
+           can absorb more. *)
+        let alt_util = ref (port_utilization (Fib.alt_at entry 0)) in
+        for i = 1 to n - 1 do
+          let u = port_utilization (Fib.alt_at entry i) in
+          if u < !alt_util then alt_util := u
+        done;
         Obs.observe h_util_out util;
-        Obs.observe h_util_alt alt_util;
-        (* Shift more flows onto the alternative only while it still has
-           headroom; when both egresses run hot the split is where we want
-           it (hold), and when the default drains we shift back. *)
-        if util >= config.congest_threshold && alt_util < config.congest_threshold
+        Obs.observe h_util_alt !alt_util;
+        (* Shift more flows onto the alternatives only while the set
+           still has headroom; when every egress runs hot the split is
+           where we want it (hold), and when the default drains we shift
+           back.  Both ramps clamp to [0, Fib.buckets] and account only
+           the buckets actually shifted — an entry already at an edge
+           emits no spurious ramp count. *)
+        let before = Fib.deflect_buckets entry in
+        if util >= config.congest_threshold && !alt_util < config.congest_threshold
         then begin
-          let before = Fib.deflect_buckets entry in
-          Fib.set_deflect_buckets entry
-            (Stdlib.min Fib.buckets (before + config.ramp_up));
-          Obs.add c_ramp_up (Fib.deflect_buckets entry - before)
+          let target = Stdlib.min Fib.buckets (before + config.ramp_up) in
+          if target > before then begin
+            Fib.set_deflect_buckets entry target;
+            Obs.add c_ramp_up (target - before)
+          end
         end
         else if util <= config.clear_threshold then begin
-          let before = Fib.deflect_buckets entry in
-          Fib.set_deflect_buckets entry (Stdlib.max 0 (before - config.ramp_down));
-          Obs.add c_ramp_down (before - Fib.deflect_buckets entry)
+          let target = Stdlib.max 0 (before - config.ramp_down) in
+          if target < before then begin
+            Fib.set_deflect_buckets entry target;
+            Obs.add c_ramp_down (before - target)
+          end
         end
       end)
+
+let epoch ?config ~fib ~port_utilization ~choose_alt () =
+  epoch_ranked ?config ~fib ~port_utilization
+    ~choose_alts:(fun prefix entry ->
+      match choose_alt prefix entry with None -> [] | Some a -> [ a ])
+    ()

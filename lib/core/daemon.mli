@@ -3,28 +3,37 @@
     In the paper's implementation this is a XORP module: it obtains
     alternative paths from the BGP module, collects per-link utilization
     from the kernel forwarding engine, exchanges measurements with iBGP
-    peers over the existing TCP sessions, and updates the [alt] port in
-    the FIB.  Here it is a pure epoch function over a {!Fib.t} plus
-    callbacks, so the packet simulator and the testbed can run it at any
-    cadence.
+    peers over the existing TCP sessions, and updates the alternative
+    ports in the FIB.  Here it is a pure epoch function over a {!Fib.t}
+    plus callbacks, so the packet simulator and the testbed can run it
+    at any cadence.
 
     Each epoch, for every FIB entry the daemon
-    + refreshes the alternative port (best spare capacity, greedy rule);
-      when the refresh {e changes} the alternative, the accumulated
-      deflection level is reset to zero — the new egress is cold and
-      possibly slower, so it must not inherit the share ramped up
-      against the old one;
+    + refreshes the ranked alternative set (best spare capacity first,
+      greedy rule).  The ramp state is {e per-set}: when at least one
+      previously installed alternative survives the refresh, the
+      accumulated deflection level is held — a congested or withdrawn
+      slot drops out without resetting the others' ramp (the bucket→slot
+      spread re-deals its share to the survivors instantly) — while a
+      wholly fresh set is cold and possibly slower, so it must not
+      inherit the share ramped up against the old one and the level
+      resets to zero;
     + ramps the deflection level up while the default egress stays above
-      the congestion threshold {e and the alternative still has headroom}
-      — once both run hot the split is held, and it ramps back down when
-      the default drains below the clear threshold (hysteresis keeps path
-      switching rare — Fig. 9).
+      the congestion threshold {e and the least-loaded alternative still
+      has headroom} — once everything runs hot the split is held, and it
+      ramps back down when the default drains below the clear threshold
+      (hysteresis keeps path switching rare — Fig. 9).  The level is
+      clamped to \[0, {!Fib.buckets}\] and the ramp counters account
+      only buckets actually shifted: an entry already at an edge emits
+      no spurious [daemon.ramp_up_buckets]/[daemon.ramp_down_buckets]
+      count.
 
-    The epoch is accounted in {!Mifo_util.Obs}: [daemon.alt_changed],
-    [daemon.buckets_reset], [daemon.ramp_up_buckets] /
-    [daemon.ramp_down_buckets] (total buckets shifted) and the
-    [daemon.port_util.out] / [daemon.port_util.alt] utilization
-    histograms. *)
+    The epoch is accounted in {!Mifo_util.Obs}: [daemon.alt_changed]
+    (any change to the ranked set), [daemon.slots_rotated] (set changed
+    but overlaps the old one — ramp held), [daemon.buckets_reset],
+    [daemon.ramp_up_buckets] / [daemon.ramp_down_buckets] (total buckets
+    shifted) and the [daemon.port_util.out] / [daemon.port_util.alt]
+    utilization histograms. *)
 
 type config = {
   congest_threshold : float;  (** egress utilization >= this = congested (default 0.9) *)
@@ -35,6 +44,19 @@ type config = {
 
 val default_config : config
 
+val epoch_ranked :
+  ?config:config ->
+  fib:Fib.t ->
+  port_utilization:(int -> float) ->
+  choose_alts:(Mifo_bgp.Prefix.t -> Fib.entry -> int list) ->
+  unit ->
+  unit
+(** One daemon tick over ranked sets.  [port_utilization p] is the
+    smoothed utilization of egress port [p] in \[0, 1\];
+    [choose_alts prefix entry] returns the ranked alternative ports for
+    [prefix] (best first, truncated at {!Fib.max_alts}), typically via
+    {!Alt_select.ranked_alternatives} plus the router's port map. *)
+
 val epoch :
   ?config:config ->
   fib:Fib.t ->
@@ -42,11 +64,10 @@ val epoch :
   choose_alt:(Mifo_bgp.Prefix.t -> Fib.entry -> int option) ->
   unit ->
   unit
-(** One daemon tick.  [port_utilization p] is the smoothed utilization of
-    egress port [p] in \[0, 1\]; [choose_alt prefix entry] returns the
-    port of the currently best alternative path for [prefix] (or [None]),
-    typically via {!Alt_select.best_alternative} plus the router's
-    port map. *)
+(** The k=1 compatibility shim: {!epoch_ranked} with the chooser's
+    option wrapped as a singleton ranked set.  Behavior (FIB state and
+    Obs accounting) is identical to the historical single-alternative
+    daemon. *)
 
 val is_congested : ?config:config -> float -> bool
 (** The congestion predicate on a utilization sample, shared with the

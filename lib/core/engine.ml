@@ -138,7 +138,7 @@ let forward_from ~tag_check ~ibgp_encap env ~ingress packet =
              keeps the probe allocation-free: no [Some] box per packet. *)
           match Fib.alt_port_id entry with
           | -1 -> Send { port = default_port; packet; default_port }
-          | alt ->
+          | alt0 ->
           let deflected_to_me =
             sender >= 0
             &&
@@ -155,11 +155,21 @@ let forward_from ~tag_check ~ibgp_encap env ~ingress packet =
               Stdlib.max 1 (Fib.deflect_buckets entry)
             else Fib.deflect_buckets entry
           in
-          let flow_deflected = Fib.flow_bucket packet.Packet.flow < effective_buckets in
+          let bucket = Fib.flow_bucket packet.Packet.flow in
+          let flow_deflected = bucket < effective_buckets in
           if not (deflected_to_me || flow_deflected) then
             Send { port = default_port; packet; default_port }
           else (
             if deflected_to_me then Obs.incr c_deflect_sender;
+            (* ECMP spread over the ranked set: this bucket's slot is
+               [bucket mod count].  With one alternative that is always
+               slot 0, so the k=1 data plane is bit-identical to the
+               historical single-alt engine. *)
+            let alt =
+              match Fib.alt_count entry with
+              | 1 -> alt0
+              | c -> Fib.alt_at entry (Fib.slot_of_bucket ~bucket ~count:c)
+            in
             match env.port_kind alt with
             | Ibgp { peer_router } ->
               (* Lines 12-15: tunnel to the iBGP peer that owns the

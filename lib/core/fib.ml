@@ -9,15 +9,35 @@ type rep = Flat | Hashed
 
 let rep_name = function Flat -> "flat" | Hashed -> "hashed"
 
-(* Hashed-oracle entry: the original boxed record, one per prefix. *)
-type boxed = { mutable b_out : int; mutable b_alt : int; mutable b_defl : int }
+let max_alts = 4
+
+(* The MIFO_K_ALT knob: how many ranked alternative slots the daemon and
+   the tools fill, clamped to [1, max_alts].  The FIB itself always has
+   max_alts slots; the knob only caps how many get used. *)
+let default_k =
+  let v =
+    match Sys.getenv_opt "MIFO_K_ALT" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> Stdlib.min k max_alts
+      | Some _ | None -> max_alts)
+    | None -> max_alts
+  in
+  fun () -> v
+
+(* Hashed-oracle entry: the original boxed record, one per prefix, with
+   the single alt field widened to the ranked slot array. *)
+type boxed = { mutable b_out : int; b_alt : int array; mutable b_defl : int }
 
 (* Flat store for one prefix length: an open-addressed index (linear
    probing, power-of-two capacity, backward-shift deletion) over a
    slot-stable arena of unboxed fields.  Arena ids survive index growth,
    so an [entry] handle stays valid across inserts; only removing that
    exact prefix retires it.  At 44K ASes the FIB is pure int arrays —
-   no per-entry boxes, no Hashtbl buckets. *)
+   no per-entry boxes, no Hashtbl buckets.  [a_alt] is strided: entry
+   [id]'s ranked alternative slots live at
+   [a_alt.(id * max_alts) .. a_alt.(id * max_alts + max_alts - 1)],
+   compacted (filled slots first, -1 afterwards). *)
 type flat = {
   mutable cap : int;  (* index capacity, power of two; 0 = empty *)
   mutable idx_key : int array;  (* masked addr, -1 = empty slot *)
@@ -25,7 +45,7 @@ type flat = {
   mutable f_live : int;
   mutable a_key : int array;  (* -1 = freed arena cell *)
   mutable a_out : int array;
-  mutable a_alt : int array;  (* -1 = no alternative *)
+  mutable a_alt : int array;  (* stride max_alts; -1 = empty slot *)
   mutable a_defl : int array;
   mutable a_len : int;
   mutable freed : int list;
@@ -39,15 +59,15 @@ type t = {
   store : store;
   mutable len_mask : int;
   mutable count : int;
-  mutable may_deflect : bool;
-      (* sticky: an alternative port has been installed through this
-         interface at some point.  While false, no entry can have an
-         alternative set or [deflect_buckets] ramped (the daemon only
-         ramps entries with an alternative), so a caller may skip
-         per-epoch deflection maintenance for this table entirely. *)
+  mutable alt_entries : int;
+      (* number of live entries whose ranked alternative set is
+         nonempty.  Kept exact by insert/remove AND by the entry-handle
+         writers (handles carry their owning table), so [may_deflect]
+         reflects the current state rather than a sticky historical
+         bit. *)
 }
 
-type entry = F of flat * int | H of boxed
+type entry = F of t * flat * int | H of t * boxed
 
 let buckets = 64
 
@@ -75,10 +95,10 @@ let create ?(rep = Flat) () =
       Hash_store
         (Array.init 33 (fun _ -> Hashtbl.create 16 (* lint:allow oracle representation *)))
   in
-  { store; len_mask = 0; count = 0; may_deflect = false }
+  { store; len_mask = 0; count = 0; alt_entries = 0 }
 
 let rep t = match t.store with Flat_store _ -> Flat | Hash_store _ -> Hashed
-let may_deflect t = t.may_deflect
+let may_deflect t = t.alt_entries > 0
 let size t = t.count
 
 (* Network masks as plain ints, index = prefix length. *)
@@ -131,10 +151,23 @@ let rebuild_index fl new_cap =
   fl.idx_id <- ids
 
 let grow_arena_field a len fill =
-  let n = Stdlib.max 16 (2 * Array.length a) in
+  let n = Stdlib.max 16 (2 * len) in
   let b = Array.make n fill in
   Array.blit a 0 b 0 len;
   b
+
+(* The strided alt field grows in lockstep with the others: same entry
+   capacity, [max_alts] cells per entry. *)
+let grow_arena_alts a len =
+  let n = Stdlib.max 16 (2 * len) in
+  let b = Array.make (n * max_alts) (-1) in
+  Array.blit a 0 b 0 (len * max_alts);
+  b
+
+let[@inline] clear_alt_slots alts base =
+  for j = 0 to max_alts - 1 do
+    alts.(base + j) <- -1
+  done
 
 let arena_alloc fl key ~out_port ~alt =
   let id =
@@ -146,7 +179,7 @@ let arena_alloc fl key ~out_port ~alt =
       if fl.a_len = Array.length fl.a_key then begin
         fl.a_key <- grow_arena_field fl.a_key fl.a_len (-1);
         fl.a_out <- grow_arena_field fl.a_out fl.a_len 0;
-        fl.a_alt <- grow_arena_field fl.a_alt fl.a_len (-1);
+        fl.a_alt <- grow_arena_alts fl.a_alt fl.a_len;
         fl.a_defl <- grow_arena_field fl.a_defl fl.a_len 0
       end;
       let id = fl.a_len in
@@ -155,26 +188,48 @@ let arena_alloc fl key ~out_port ~alt =
   in
   fl.a_key.(id) <- key;
   fl.a_out.(id) <- out_port;
-  fl.a_alt.(id) <- alt;
+  clear_alt_slots fl.a_alt (id * max_alts);
+  fl.a_alt.(id * max_alts) <- alt;
   fl.a_defl.(id) <- 0;
   id
 
-(* Returns true when a new entry was created. *)
+(* Outcome of a store-level insert, so [insert] can maintain the
+   alt-entry count without re-probing. *)
+type insert_effect = { created : bool; had_alt : bool; has_alt : bool }
+
+(* Refresh/replace semantics shared by both representations, applied to
+   one entry whose current primary alternative is [cur0]:
+   - same [out_port]: the call's [alt] hint is authoritative for the
+     single-alt API.  [-1] (no alternative) clears the whole ranked set
+     and resets the deflection level; a hint equal to the current
+     primary preserves the live ranked set and deflection state; a new
+     primary replaces the set with the singleton and restarts the ramp.
+   - changed [out_port]: full route change — set and ramp reset. *)
+let refresh_action ~same_out ~cur0 ~alt =
+  if not same_out then `Replace
+  else if alt < 0 then `Clear
+  else if alt = cur0 then `Keep
+  else `Replace
+
 let flat_insert fl key ~out_port ~alt =
   match find_index fl key with
   | i when i >= 0 ->
     let id = fl.idx_id.(i) in
-    if fl.a_out.(id) = out_port then begin
-      (* Route refresh with an unchanged default egress: keep the live
-         deflection state, adopt the alternative hint only when none. *)
-      if fl.a_alt.(id) < 0 then fl.a_alt.(id) <- alt
-    end
-    else begin
-      fl.a_out.(id) <- out_port;
-      fl.a_alt.(id) <- alt;
+    let base = id * max_alts in
+    let had_alt = fl.a_alt.(base) >= 0 in
+    (match
+       refresh_action ~same_out:(fl.a_out.(id) = out_port) ~cur0:fl.a_alt.(base) ~alt
+     with
+    | `Keep -> ()
+    | `Clear ->
+      clear_alt_slots fl.a_alt base;
       fl.a_defl.(id) <- 0
-    end;
-    false
+    | `Replace ->
+      fl.a_out.(id) <- out_port;
+      clear_alt_slots fl.a_alt base;
+      fl.a_alt.(base) <- alt;
+      fl.a_defl.(id) <- 0);
+    { created = false; had_alt; has_alt = fl.a_alt.(base) >= 0 }
   | _ ->
     if 4 * (fl.f_live + 1) > 3 * fl.cap then
       rebuild_index fl (Stdlib.max 16 (2 * fl.cap));
@@ -187,15 +242,17 @@ let flat_insert fl key ~out_port ~alt =
     fl.idx_key.(!i) <- key;
     fl.idx_id.(!i) <- id;
     fl.f_live <- fl.f_live + 1;
-    true
+    { created = true; had_alt = false; has_alt = alt >= 0 }
 
 (* Backward-shift deletion: close the probe chain over the hole so
-   later lookups never hit a false empty slot. *)
+   later lookups never hit a false empty slot.  Returns the freed
+   entry's had-alternative bit, -1 when the key was absent. *)
 let flat_remove fl key =
   match find_index fl key with
-  | -1 -> false
+  | -1 -> -1
   | hole ->
     let id = fl.idx_id.(hole) in
+    let had_alt = if fl.a_alt.(id * max_alts) >= 0 then 1 else 0 in
     fl.a_key.(id) <- -1;
     fl.freed <- id :: fl.freed;
     fl.f_live <- fl.f_live - 1;
@@ -219,7 +276,7 @@ let flat_remove fl key =
         end
       end
     done;
-    true
+    had_alt
 
 let length_live t len =
   match t.store with
@@ -230,52 +287,65 @@ let insert t prefix ~out_port ?alt_port () =
   let len = prefix.Prefix.length in
   let key = ikey_of_addr prefix.Prefix.network in
   let alt = match alt_port with None -> -1 | Some p -> p in
-  let added =
+  let eff =
     match t.store with
     | Flat_store fs -> flat_insert fs.(len) key ~out_port ~alt
     | Hash_store hs ->
       let table = hs.(len) in
       (match Hashtbl.find_opt table key (* lint:allow oracle representation *) with
-      | Some e when e.b_out = out_port ->
-        if e.b_alt < 0 then e.b_alt <- alt;
-        false
       | Some e ->
-        e.b_out <- out_port;
-        e.b_alt <- alt;
-        e.b_defl <- 0;
-        false
+        let had_alt = e.b_alt.(0) >= 0 in
+        (match refresh_action ~same_out:(e.b_out = out_port) ~cur0:e.b_alt.(0) ~alt with
+        | `Keep -> ()
+        | `Clear ->
+          Array.fill e.b_alt 0 max_alts (-1);
+          e.b_defl <- 0
+        | `Replace ->
+          e.b_out <- out_port;
+          Array.fill e.b_alt 0 max_alts (-1);
+          e.b_alt.(0) <- alt;
+          e.b_defl <- 0);
+        { created = false; had_alt; has_alt = e.b_alt.(0) >= 0 }
       | None ->
+        let b_alt = Array.make max_alts (-1) in
+        b_alt.(0) <- alt;
         Hashtbl.replace table key (* lint:allow oracle representation *)
-          { b_out = out_port; b_alt = alt; b_defl = 0 };
-        true)
+          { b_out = out_port; b_alt; b_defl = 0 };
+        { created = true; had_alt = false; has_alt = alt >= 0 })
   in
-  if added then begin
+  if eff.created then begin
     t.count <- t.count + 1;
     Obs.add_gauge g_entries 1.
   end;
-  if alt >= 0 then t.may_deflect <- true;
+  (match (eff.had_alt, eff.has_alt) with
+  | false, true -> t.alt_entries <- t.alt_entries + 1
+  | true, false -> t.alt_entries <- t.alt_entries - 1
+  | _ -> ());
   t.len_mask <- t.len_mask lor (1 lsl len)
 
 let remove t prefix =
   let len = prefix.Prefix.length in
   let key = ikey_of_addr prefix.Prefix.network in
-  let removed =
+  let removed_alt =
     match t.store with
     | Flat_store fs -> flat_remove fs.(len) key
     | Hash_store hs ->
       let table = hs.(len) in
-      if Hashtbl.mem table key (* lint:allow oracle representation *) then begin
+      (match Hashtbl.find_opt table key (* lint:allow oracle representation *) with
+      | Some e ->
+        let had_alt = if e.b_alt.(0) >= 0 then 1 else 0 in
         Hashtbl.remove table key (* lint:allow oracle representation *);
-        true
-      end
-      else false
+        had_alt
+      | None -> -1)
   in
-  if removed then begin
+  if removed_alt >= 0 then begin
     t.count <- t.count - 1;
     Obs.add_gauge g_entries (-1.);
-    if length_live t len = 0 then t.len_mask <- t.len_mask land lnot (1 lsl len)
-  end;
-  removed
+    if removed_alt = 1 then t.alt_entries <- t.alt_entries - 1;
+    if length_live t len = 0 then t.len_mask <- t.len_mask land lnot (1 lsl len);
+    true
+  end
+  else false
 
 (* Highest set bit of a nonzero mask.  Lengths occupy 33 bits (0-32),
    one more than a power-of-two cascade covers, so bit 32 — host
@@ -309,10 +379,10 @@ let find_key t len key =
   | Flat_store fs ->
     let fl = fs.(len) in
     let i = find_index fl key in
-    if i < 0 then None else Some (F (fl, fl.idx_id.(i)))
+    if i < 0 then None else Some (F (t, fl, fl.idx_id.(i)))
   | Hash_store hs -> (
     match Hashtbl.find_opt hs.(len) key (* lint:allow oracle representation *) with
-    | Some b -> Some (H b)
+    | Some b -> Some (H (t, b))
     | None -> None)
 
 let lookup t addr =
@@ -333,29 +403,101 @@ let find t prefix =
 
 (* Entry accessors: handles are views into the owning store, so reads
    and writes land directly on the unboxed arena fields (flat) or the
-   boxed record (hashed). *)
+   boxed record (hashed).  Handles also carry the owning table, so the
+   alternative writers below can keep its alt-entry count exact. *)
 
-let[@inline] out_port = function F (fl, id) -> fl.a_out.(id) | H b -> b.b_out
-let[@inline] alt_port_id = function F (fl, id) -> fl.a_alt.(id) | H b -> b.b_alt
+let[@inline] out_port = function F (_, fl, id) -> fl.a_out.(id) | H (_, b) -> b.b_out
+
+let[@inline] alt_port_id = function
+  | F (_, fl, id) -> fl.a_alt.(id * max_alts)
+  | H (_, b) -> b.b_alt.(0)
 
 let alt_port e =
   let a = alt_port_id e in
   if a < 0 then None else Some a
 
-let[@inline] deflect_buckets = function F (fl, id) -> fl.a_defl.(id) | H b -> b.b_defl
+let[@inline] alt_at e slot =
+  if slot < 0 || slot >= max_alts then -1
+  else
+    match e with
+    | F (_, fl, id) -> fl.a_alt.((id * max_alts) + slot)
+    | H (_, b) -> b.b_alt.(slot)
+
+(* Slots are compacted, so the count is the first empty index. *)
+let alt_count e =
+  match e with
+  | F (_, fl, id) ->
+    let base = id * max_alts in
+    if fl.a_alt.(base) < 0 then 0
+    else if fl.a_alt.(base + 1) < 0 then 1
+    else if fl.a_alt.(base + 2) < 0 then 2
+    else if fl.a_alt.(base + 3) < 0 then 3
+    else 4
+  | H (_, b) ->
+    if b.b_alt.(0) < 0 then 0
+    else if b.b_alt.(1) < 0 then 1
+    else if b.b_alt.(2) < 0 then 2
+    else if b.b_alt.(3) < 0 then 3
+    else 4
+
+let[@inline] deflect_buckets = function
+  | F (_, fl, id) -> fl.a_defl.(id)
+  | H (_, b) -> b.b_defl
+
+let owner = function F (t, _, _) -> t | H (t, _) -> t
+
+let[@inline] note_alt_transition t ~had ~has =
+  if had && not has then t.alt_entries <- t.alt_entries - 1
+  else if has && not had then t.alt_entries <- t.alt_entries + 1
+
+(* Write the ranked set [ports] (first [n] elements) into the entry's
+   slots: negatives are skipped, the rest kept in order, truncated at
+   [max_alts], compacted, higher slots cleared. *)
+let set_alt_array e ports n =
+  let write =
+    match e with
+    | F (_, fl, id) ->
+      let base = id * max_alts in
+      fun j p -> fl.a_alt.(base + j) <- p
+    | H (_, b) -> fun j p -> b.b_alt.(j) <- p
+  in
+  let had = alt_port_id e >= 0 in
+  let filled = ref 0 in
+  for i = 0 to n - 1 do
+    let p = ports.(i) in
+    if p >= 0 && !filled < max_alts then begin
+      write !filled p;
+      incr filled
+    end
+  done;
+  for j = !filled to max_alts - 1 do
+    write j (-1)
+  done;
+  note_alt_transition (owner e) ~had ~has:(!filled > 0)
+
+let set_alts e ports =
+  let arr = Array.of_list ports in
+  set_alt_array e arr (Array.length arr)
 
 let set_alt_port e alt =
   let a = match alt with None -> -1 | Some p -> p in
-  match e with F (fl, id) -> fl.a_alt.(id) <- a | H b -> b.b_alt <- a
+  let had = alt_port_id e >= 0 in
+  (match e with
+  | F (_, fl, id) ->
+    let base = id * max_alts in
+    clear_alt_slots fl.a_alt base;
+    fl.a_alt.(base) <- a
+  | H (_, b) ->
+    Array.fill b.b_alt 0 max_alts (-1);
+    b.b_alt.(0) <- a);
+  note_alt_transition (owner e) ~had ~has:(a >= 0)
 
 let set_deflect_buckets e n =
-  match e with F (fl, id) -> fl.a_defl.(id) <- n | H b -> b.b_defl <- n
+  match e with F (_, fl, id) -> fl.a_defl.(id) <- n | H (_, b) -> b.b_defl <- n
 
 let set_alt t prefix alt =
   match find t prefix with
-  | Some e ->
-    set_alt_port e alt;
-    if alt <> None then t.may_deflect <- true
+  | Some e -> set_alt_port e alt
   | None -> raise Not_found
 
 let iter t f =
@@ -365,14 +507,14 @@ let iter t f =
       let fl = fs.(len) in
       for id = 0 to fl.a_len - 1 do
         let k = fl.a_key.(id) in
-        if k >= 0 then f (Prefix.make (Int32.of_int k) len) (F (fl, id))
+        if k >= 0 then f (Prefix.make (Int32.of_int k) len) (F (t, fl, id))
       done
     done
   | Hash_store hs ->
     Array.iteri
       (fun len table ->
         Hashtbl.iter (* lint:allow oracle representation *)
-          (fun net b -> f (Prefix.make (Int32.of_int net) len) (H b))
+          (fun net b -> f (Prefix.make (Int32.of_int net) len) (H (t, b)))
           table)
       hs
 
@@ -385,3 +527,14 @@ let flow_bucket flow =
   to_int (shift_right_logical z 40) mod buckets
 
 let deflects e ~flow = alt_port_id e >= 0 && flow_bucket flow < deflect_buckets e
+
+(* ECMP spreading: deflected buckets are dealt round-robin over the
+   ranked slots, so each alternative receives a deterministic slice of
+   the flow space and a single-alternative entry behaves exactly like
+   the k=1 data plane (every bucket maps to slot 0). *)
+let[@inline] slot_of_bucket ~bucket ~count = bucket mod count
+
+let alt_for_flow e ~flow =
+  match alt_count e with
+  | 0 -> -1
+  | c -> alt_at e (slot_of_bucket ~bucket:(flow_bucket flow) ~count:c)

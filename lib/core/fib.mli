@@ -1,24 +1,36 @@
-(** The MIFO-modified FIB (Fig. 1).
+(** The MIFO-modified FIB (Fig. 1), generalized to ranked alternatives.
 
-    A classic FIB maps a prefix to the default output port; MIFO adds an
-    alternative port pointing at the best alternative path, kept up to
+    A classic FIB maps a prefix to the default output port; MIFO adds
+    alternative ports pointing at the best alternative paths, kept up to
     date by the MIFO daemon, plus the adaptive deflection level the
-    daemon uses to shift flows onto it.  Lookup is longest-prefix match.
+    daemon uses to shift flows onto them.  Lookup is longest-prefix
+    match.
+
+    Each entry holds a {e ranked set} of up to {!max_alts} alternative
+    port ids (slot 0 = most preferred).  The historical single-alt API
+    ({!alt_port}, {!set_alt_port}, the [?alt_port] insert argument) is
+    the k=1 compatibility shim: it reads/writes slot 0 and clears the
+    higher slots.
 
     Deflection granularity: flows hash into [buckets] (64) buckets and an
     entry deflects the first [deflect_buckets] of them, so path choice is
     deterministic per flow (no packet reordering — Section II-A) while
     the daemon ramps the deflected share up under congestion and back
-    down when the default path drains.
+    down when the default path drains.  Deflected buckets are spread
+    ECMP-style over the ranked slots: bucket [b] of an entry with [c]
+    live alternatives uses slot [b mod c], so each alternative receives
+    a deterministic slice of the flow space and a single-alternative
+    entry behaves exactly like the k=1 data plane.
 
     {b Representations.}  The default {!Flat} store keeps each prefix
     length's entries in an open-addressed int-keyed index over a
-    slot-stable arena of unboxed [out_port]/[alt_port]/[deflect_buckets]
-    int arrays — no per-entry boxes, which is what lets a
-    full-Internet-scale FIB fit in flat memory.  The original
-    one-[Hashtbl]-per-length layout survives as the {!Hashed} oracle
-    behind the same API; QCheck gates in [test_core] assert the two are
-    observationally identical under random insert/remove churn. *)
+    slot-stable arena of unboxed [out_port]/[alt]/[deflect_buckets]
+    int arrays (the alt array strided {!max_alts} cells per entry) — no
+    per-entry boxes, which is what lets a full-Internet-scale FIB fit in
+    flat memory.  The original one-[Hashtbl]-per-length layout survives
+    as the {!Hashed} oracle behind the same API; QCheck gates in
+    [test_core] assert the two are observationally identical under
+    random insert/remove/set-alts churn. *)
 
 type rep = Flat | Hashed
 
@@ -35,18 +47,32 @@ type entry
 val buckets : int
 (** Number of hash buckets (64). *)
 
+val max_alts : int
+(** Number of ranked alternative slots per entry (4). *)
+
+val default_k : unit -> int
+(** The [MIFO_K_ALT] knob: how many ranked slots the daemon and the
+    command-line tools fill, clamped to \[1, {!max_alts}\]; defaults to
+    {!max_alts} when unset or unparsable.  The FIB itself always has
+    {!max_alts} slots — this only caps how many get used. *)
+
 val create : ?rep:rep -> unit -> t
 (** Default representation is {!Flat}; {!Hashed} is the oracle. *)
 
 val rep : t -> rep
 
 val insert : t -> Mifo_bgp.Prefix.t -> out_port:int -> ?alt_port:int -> unit -> unit
-(** Installs or refreshes the entry for a prefix.  A re-insert whose
-    [out_port] matches the existing entry is a route refresh: the live
-    deflection state ([alt_port], [deflect_buckets]) is daemon-owned and
-    preserved, and [alt_port] is taken from the call only when the entry
-    has none yet.  A re-insert with a different [out_port] is a route
-    change: the entry is replaced and the deflection level reset. *)
+(** Installs or refreshes the entry for a prefix.
+
+    On a re-insert whose [out_port] matches the existing entry (a route
+    refresh), the call's [alt_port] is authoritative for the single-alt
+    shim: omitted ([None]) means {e no alternative} and clears the whole
+    ranked set and the deflection level; a hint equal to the entry's
+    current slot-0 alternative preserves the live daemon-owned state
+    (ranked set and [deflect_buckets]) untouched; any other hint
+    replaces the set with that singleton and resets the deflection
+    level.  A re-insert with a different [out_port] is a route change:
+    the entry is replaced outright and the deflection state reset. *)
 
 val remove : t -> Mifo_bgp.Prefix.t -> bool
 (** Withdraw the exact prefix; [false] when absent.  Outstanding
@@ -70,40 +96,65 @@ val size : t -> int
     [validate]/metrics path). *)
 
 val may_deflect : t -> bool
-(** Sticky flag: true once any entry has ever been given an alternative
-    port via {!insert} or {!set_alt}.  While false, no entry can be
-    deflecting (no alternative, no ramped [deflect_buckets]), so a
-    periodic maintenance pass — the daemon epoch walks every entry of
-    every FIB — may skip this table, provided nothing else could be
-    installing alternatives behind the flag's back: {!set_alt_port} on a
-    returned {!entry} bypasses it, which is exactly what a daemon
-    chooser does.  {!Mifo_netsim.Packetsim} therefore skips only
-    routers with no chooser installed. *)
+(** Whether any live entry currently has a nonempty ranked alternative
+    set — an exact count, {e not} a sticky historical flag: it is
+    maintained by {!insert}/{!remove} and by the entry-handle writers
+    ({!set_alt_port}, {!set_alts}), so withdrawing the last alternative
+    turns it back off and re-enables callers' no-deflection fast paths
+    (e.g. the {!Mifo_netsim.Packetsim} daemon tick skips chooser-less
+    routers whose table cannot deflect). *)
 
 (** {1 Entry accessors}
 
     Handles are views into the owning store; writes land directly on the
-    table's unboxed fields.  {!set_alt_port}/{!set_deflect_buckets}
-    mirror the direct record mutation of the old API — in particular
-    they do {e not} update the table's {!may_deflect} flag. *)
+    table's unboxed fields.  Ranked slots are kept compacted: live
+    alternatives occupy slots [0 .. alt_count-1] in rank order and the
+    remaining slots read [-1]. *)
 
 val out_port : entry -> int
 
 val alt_port : entry -> int option
+(** Slot 0 of the ranked set (the most preferred alternative). *)
 
 val alt_port_id : entry -> int
 (** Allocation-free form of {!alt_port}: the port, or [-1] for none.
     The packet-forwarding hot path uses this to avoid a [Some] box per
     packet. *)
 
+val alt_count : entry -> int
+(** Number of live ranked alternatives, in \[0, {!max_alts}\]. *)
+
+val alt_at : entry -> int -> int
+(** [alt_at e slot] is the port in ranked slot [slot], or [-1] when the
+    slot is empty or out of range. *)
+
 val deflect_buckets : entry -> int
 (** [0] = all flows on the default path. *)
 
 val set_alt_port : entry -> int option -> unit
+(** k=1 shim: [Some p] makes the ranked set the singleton [{p}]
+    (clearing higher slots); [None] clears the whole set.  Does not
+    touch [deflect_buckets]. *)
+
+val set_alts : entry -> int list -> unit
+(** Install a ranked alternative set: negatives are dropped, order kept,
+    truncated at {!max_alts}, higher slots cleared.  Does not touch
+    [deflect_buckets] — per-slot ramp policy lives in [Daemon]. *)
+
 val set_deflect_buckets : entry -> int -> unit
 
 val flow_bucket : int -> int
 (** Deterministic bucket of a flow id, in \[0, buckets). *)
 
 val deflects : entry -> flow:int -> bool
-(** Whether this flow currently hashes onto the alternative path. *)
+(** Whether this flow currently hashes onto an alternative path. *)
+
+val slot_of_bucket : bucket:int -> count:int -> int
+(** The ECMP spreading function: ranked slot used by deflected bucket
+    [bucket] when [count] ≥ 1 alternatives are live ([bucket mod
+    count]). *)
+
+val alt_for_flow : entry -> flow:int -> int
+(** The alternative port this flow's bucket spreads onto, or [-1] when
+    the entry has no alternatives.  Note this does {e not} consult
+    [deflect_buckets]; pair with {!deflects}. *)

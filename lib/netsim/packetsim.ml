@@ -123,6 +123,9 @@ type router = {
          record), so rebuilding it per packet — as [handle_router] used
          to — was four closure allocations per hop for nothing *)
   mutable chooser : (Prefix.t -> Fib.entry -> int option) option;
+  mutable chooser_k : (Prefix.t -> Fib.entry -> int list) option;
+      (* ranked-set chooser; when present it wins over [chooser] and the
+         daemon tick runs [Daemon.epoch_ranked] *)
   last_egress : int Vec.t;  (* flow -> last egress port; -1 = none yet *)
   switches : int Vec.t;  (* flow -> egress change count *)
   ibgp_peers : (int, int) Hashtbl.t;
@@ -258,6 +261,7 @@ let add_router t ~as_id =
       r_fib = Fib.create ();
       r_env = None;
       chooser = None;
+      chooser_k = None;
       last_egress = Vec.create ();
       switches = Vec.create ();
       ibgp_peers = Hashtbl.create 8;
@@ -333,6 +337,7 @@ let connect t ~a ~b ~kind_ab ~kind_ba ~rate ?(delay = 50e-6) ?queue_bits () =
 
 let fib t id = (router_exn t id).r_fib
 let set_alt_chooser t id chooser = (router_exn t id).chooser <- Some chooser
+let set_ranked_chooser t id chooser = (router_exn t id).chooser_k <- Some chooser
 
 let port t id p = Vec.get (node t id).ports p
 
@@ -691,26 +696,32 @@ let daemon_tick t =
   for id = 0 to Vec.length t.nodes - 1 do
     match (node t id).kind with
     | Host _ -> ()
-    | Router r when r.chooser = None && not (Fib.may_deflect r.r_fib) ->
-      (* No chooser and no alternative ever installed: the epoch walk
+    | Router r
+      when r.chooser = None && r.chooser_k = None && not (Fib.may_deflect r.r_fib) ->
+      (* No chooser and no live alternative in the table: the epoch walk
          over this FIB would visit every entry only to write back the
          state it already has.  On a benign mesh this skip turns the
          tick from O(routers x prefixes) into O(routers). *)
       ()
-    | Router r ->
+    | Router r -> (
       let port_utilization p =
         let link = (port t id p).link in
         let elapsed = Float.max 1e-9 (t.clk.(0) -. t.last_epoch_time) in
         let used = (link.bits_carried -. link.carried_at_epoch) /. elapsed in
         Float.min 1. (used /. link.rate)
       in
-      let choose_alt prefix entry =
-        match r.chooser with
-        | Some f -> f prefix entry
-        | None -> Fib.alt_port entry
-      in
-      Daemon.epoch ~config:t.cfg.daemon_config ~fib:r.r_fib ~port_utilization
-        ~choose_alt ()
+      match r.chooser_k with
+      | Some choose_alts ->
+        Daemon.epoch_ranked ~config:t.cfg.daemon_config ~fib:r.r_fib
+          ~port_utilization ~choose_alts ()
+      | None ->
+        let choose_alt prefix entry =
+          match r.chooser with
+          | Some f -> f prefix entry
+          | None -> Fib.alt_port entry
+        in
+        Daemon.epoch ~config:t.cfg.daemon_config ~fib:r.r_fib ~port_utilization
+          ~choose_alt ())
   done;
   (* snapshot link counters for the next epoch's utilization window *)
   for id = 0 to Vec.length t.nodes - 1 do

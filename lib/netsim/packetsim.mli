@@ -70,6 +70,13 @@ val set_alt_chooser :
     [alt_port].  Without a chooser the daemon keeps the configured
     alternative. *)
 
+val set_ranked_chooser :
+  t -> node_id -> (Mifo_bgp.Prefix.t -> Mifo_core.Fib.entry -> int list) -> unit
+(** Ranked-set variant (best first, truncated at {!Mifo_core.Fib.max_alts}):
+    when installed it wins over {!set_alt_chooser} and the daemon tick
+    runs {!Mifo_core.Daemon.epoch_ranked} for this router, spreading the
+    deflected buckets across the returned slots. *)
+
 val spare_capacity : t -> node_id -> int -> float
 (** Smoothed spare capacity (bits/s) of the link behind a port since the
     last daemon epoch — the measurement border routers exchange over

@@ -235,3 +235,16 @@ let fig2a_gadget () =
         (2, 3, As_graph.Peer_peer);
         (1, 3, As_graph.Peer_peer);
       ]
+
+let k2_gadget () =
+  As_graph.create ~n:5
+    ~edges:
+      [
+        (1, 3, As_graph.Provider_customer);
+        (3, 0, As_graph.Provider_customer);
+        (2, 4, As_graph.Provider_customer);
+        (4, 0, As_graph.Provider_customer);
+        (1, 0, As_graph.Peer_peer);
+        (2, 0, As_graph.Peer_peer);
+        (1, 2, As_graph.Peer_peer);
+      ]

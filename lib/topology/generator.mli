@@ -52,3 +52,15 @@ val fig2a_gadget : unit -> As_graph.t
     pairwise, AS 0 a customer of all three.  Node 0 is the customer.
     This is the canonical data-plane loop example used in tests and the
     loop-breaking ablation. *)
+
+val k2_gadget : unit -> As_graph.t
+(** A 5-AS topology whose ablated (no Tag-Check) deflection automaton
+    toward destination 0 is loop-free at k=1 but loops at k=2: ASes 1
+    and 2 each reach 0 through a customer chain (1→3→0, 2→4→0, the
+    preferred default), hold a direct peer link to 0 (their
+    second-choice RIB entry — a safe delivery sink and the only
+    alternative a k=1 data plane can install), and peer with each
+    other, making the mutual 1↔2 routes each side's {e third} RIB
+    entry.  Only when the ranked set admits the second-ranked
+    alternative (k ≥ 2) do the 1→2 and 2→1 deflection edges both
+    open, closing the cycle. *)

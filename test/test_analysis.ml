@@ -121,6 +121,93 @@ let prop_static_matches_dynamic =
       in
       static_on.As_check.counterexample = None && dynamic_ok && replay_ok)
 
+(* ---------- the k-alternative automaton ---------- *)
+
+let test_k2_gadget () =
+  let g = Generator.k2_gadget () in
+  let rt = Routing.compute g 0 in
+  (* with the Tag-Check the gadget is clean at any k *)
+  let on = As_check.find_loop ~tag_check:true g rt in
+  Alcotest.(check bool) "tag-check on: clean (unbounded)" true
+    (on.As_check.counterexample = None);
+  (* ablated: the single-alternative data plane is loop-free (each AS's
+     first alternative is the direct peer link to the destination)... *)
+  let k1 = As_check.find_loop ~tag_check:false ~k:1 g rt in
+  Alcotest.(check bool) "ablated k=1: clean" true (k1.As_check.counterexample = None);
+  (* ...but the second-ranked alternatives 1->2 and 2->1 close a cycle *)
+  let k2 = As_check.find_loop ~tag_check:false ~k:2 g rt in
+  (match k2.As_check.counterexample with
+   | None -> Alcotest.fail "ablated k=2 gadget must loop"
+   | Some cx ->
+     Alcotest.(check bool) "a second-ranked slot closes the cycle" true
+       (List.exists
+          (fun (m : As_check.move) -> m.As_check.slot >= 2)
+          cx.As_check.cycle_moves);
+     (* the machine check: the counterexample replays to a dynamic loop *)
+     (match As_check.replay ~tag_check:false g rt cx with
+      | Loop_walk.Looped _ -> ()
+      | _ -> Alcotest.fail "k=2 replay did not loop"));
+  (* the incremental checker carries the bound through *)
+  let inc1 = As_check.Inc.create ~tag_check:false ~k:1 g rt in
+  Alcotest.(check bool) "Inc k=1: clean" true
+    ((As_check.Inc.result inc1).As_check.counterexample = None);
+  let inc2 = As_check.Inc.create ~tag_check:false ~k:2 g rt in
+  Alcotest.(check bool) "Inc k=2: loop" true
+    ((As_check.Inc.result inc2).As_check.counterexample <> None)
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+(* k-bounded static verdicts vs a dynamic walker restricted to the
+   first k RIB alternatives — the pool Alt_select.ranked_alternatives
+   draws from, so a clean bounded verdict must cover every ranked-set
+   strategy; and any ablated counterexample must replay dynamically. *)
+let prop_ranked_static_matches_dynamic =
+  let topo =
+    lazy
+      (Generator.generate
+         ~params:{ Generator.default_params with Generator.ases = 120; tier1 = 4;
+                   content_providers = 2; content_peer_span = (3, 8) }
+         ~seed:5 ())
+  in
+  QCheck2.Test.make
+    ~name:"k-bounded static verdict agrees with the ranked dynamic walker" ~count:60
+    QCheck2.Gen.(
+      quad (int_range 1 4) (int_bound 119) (int_bound 119) (int_bound 1_000_000))
+    (fun (k, dst, src, salt) ->
+      QCheck2.assume (dst <> src);
+      let t = Lazy.force topo in
+      let g = t.Generator.graph in
+      let rt = Routing.compute g dst in
+      let static_on = As_check.find_loop ~tag_check:true ~k g rt in
+      (* adversarial ranked strategy: pseudo-randomly deflect onto any of
+         the first k alternatives (preference order), like a random
+         bucket landing on a random slot of a ranked set *)
+      let decide ~as_id ~upstream:_ ~entries =
+        match entries with
+        | [] | [ _ ] -> Loop_walk.Default
+        | _ :: alternatives -> (
+          let pool = take k alternatives in
+          let c = Hashtbl.hash (as_id, salt, k) mod (List.length pool + 1) in
+          if c = 0 then Loop_walk.Default
+          else Loop_walk.Deflect (List.nth pool (c - 1)).Routing.via)
+      in
+      let dynamic_ok =
+        match Loop_walk.walk ~tag_check:true g rt ~decide ~src with
+        | Loop_walk.Looped _ -> false
+        | _ -> true
+      in
+      let replay_ok =
+        match (As_check.find_loop ~tag_check:false ~k g rt).As_check.counterexample with
+        | None -> true
+        | Some cx -> (
+          match As_check.replay ~tag_check:false g rt cx with
+          | Loop_walk.Looped _ -> true
+          | _ -> false)
+      in
+      static_on.As_check.counterexample = None && dynamic_ok && replay_ok)
+
 (* ---------- incremental re-verification ---------- *)
 
 (* Toggling deflection edges on the ablated (dirty) gadget: every
@@ -346,6 +433,9 @@ let () =
           Alcotest.test_case "generated topology: on clean, off loops" `Quick
             test_verify_as_level_generated;
           QCheck_alcotest.to_alcotest prop_static_matches_dynamic;
+          Alcotest.test_case "k2 gadget: clean at k=1, loops at k=2" `Quick
+            test_k2_gadget;
+          QCheck_alcotest.to_alcotest prop_ranked_static_matches_dynamic;
           Alcotest.test_case "incremental toggles on the gadget" `Quick
             test_inc_gadget_toggle;
           QCheck_alcotest.to_alcotest prop_incremental_matches_full;

@@ -140,36 +140,111 @@ let test_fib_buckets () =
     (Array.for_all (fun c -> c > 0) seen)
 
 let test_fib_reinsert_preserves_deflection () =
-  (* Regression (deflection-state bug): a BGP route refresh re-inserts
-     the same prefix.  With the default egress unchanged it must not
-     clobber the daemon's live deflection state. *)
+  (* A BGP route refresh re-inserts the same prefix.  With the default
+     egress unchanged, the call's alternative hint is authoritative: a
+     matching hint must not clobber the daemon's live deflection state,
+     while an omitted hint means "no alternative" and clears it
+     (regression for the old behavior that silently preserved a stale
+     alternative forever). *)
   let fib = Fib.create () in
   let p = Prefix.of_as 2 in
   Fib.insert fib p ~out_port:0 ~alt_port:1 ();
   let e = Option.get (Fib.find fib p) in
+  Fib.set_alts e [ 1; 3 ];
   Fib.set_deflect_buckets e 17;
-  (* refresh: same default egress, no alternative hint *)
-  Fib.insert fib p ~out_port:0 ();
+  (* refresh: same default egress, hint matches the live primary — the
+     whole ranked set and the ramp survive *)
+  Fib.insert fib p ~out_port:0 ~alt_port:1 ();
   let e = Option.get (Fib.find fib p) in
   Alcotest.(check (option int)) "alt preserved" (Some 1) (Fib.alt_port e);
+  Alcotest.(check int) "ranked set preserved" 3 (Fib.alt_at e 1);
   Alcotest.(check int) "buckets preserved" 17 (Fib.deflect_buckets e);
-  (* refresh with an alternative hint: the live choice wins *)
+  (* refresh with a different hint: the new alternative replaces the
+     set and the ramp restarts *)
   Fib.insert fib p ~out_port:0 ~alt_port:9 ();
-  Alcotest.(check (option int)) "live alt wins over the hint" (Some 1)
-    (Fib.alt_port (Option.get (Fib.find fib p)));
-  (* the hint is adopted when no alternative is set *)
-  let q = Prefix.of_as 3 in
-  Fib.insert fib q ~out_port:4 ();
-  Fib.insert fib q ~out_port:4 ~alt_port:6 ();
-  Alcotest.(check (option int)) "hint adopted when alt unset" (Some 6)
-    (Fib.alt_port (Option.get (Fib.find fib q)));
+  let e = Option.get (Fib.find fib p) in
+  Alcotest.(check (option int)) "new hint wins" (Some 9) (Fib.alt_port e);
+  Alcotest.(check int) "higher slots cleared" (-1) (Fib.alt_at e 1);
+  Alcotest.(check int) "buckets reset on alt change" 0 (Fib.deflect_buckets e);
+  (* regression: refresh WITHOUT an alternative clears the old one *)
+  Fib.set_deflect_buckets e 5;
+  Fib.insert fib p ~out_port:0 ();
+  let e = Option.get (Fib.find fib p) in
+  Alcotest.(check (option int)) "None hint clears the alternative" None
+    (Fib.alt_port e);
+  Alcotest.(check int) "buckets reset on clear" 0 (Fib.deflect_buckets e);
   (* a genuine route change resets everything *)
+  Fib.insert fib p ~out_port:0 ~alt_port:1 ();
+  Fib.set_deflect_buckets (Option.get (Fib.find fib p)) 11;
   Fib.insert fib p ~out_port:5 ~alt_port:9 ();
   let e = Option.get (Fib.find fib p) in
   Alcotest.(check int) "new default egress" 5 (Fib.out_port e);
   Alcotest.(check (option int)) "new alternative" (Some 9) (Fib.alt_port e);
   Alcotest.(check int) "buckets reset on route change" 0 (Fib.deflect_buckets e);
-  Alcotest.(check int) "still two entries" 2 (Fib.size fib)
+  Alcotest.(check int) "one entry" 1 (Fib.size fib)
+
+let test_fib_may_deflect_clears () =
+  (* Regression: [may_deflect] used to be a sticky flag that stayed on
+     forever after any entry transiently gained an alternative.  It must
+     track the live alt-bearing entry count through every clearing
+     path. *)
+  let fib = Fib.create () in
+  let p = Prefix.of_as 2 and q = Prefix.of_as 3 in
+  Alcotest.(check bool) "empty fib" false (Fib.may_deflect fib);
+  Fib.insert fib p ~out_port:0 ~alt_port:1 ();
+  Alcotest.(check bool) "alt inserted" true (Fib.may_deflect fib);
+  (* withdraw via set_alt_port on the handle *)
+  Fib.set_alt_port (Option.get (Fib.find fib p)) None;
+  Alcotest.(check bool) "cleared by set_alt_port" false (Fib.may_deflect fib);
+  (* ... via set_alts [] *)
+  Fib.set_alts (Option.get (Fib.find fib p)) [ 1; 3 ];
+  Alcotest.(check bool) "ranked set installed" true (Fib.may_deflect fib);
+  Fib.set_alts (Option.get (Fib.find fib p)) [];
+  Alcotest.(check bool) "cleared by empty set_alts" false (Fib.may_deflect fib);
+  (* ... via a refresh without a hint *)
+  Fib.set_alt fib p (Some 7);
+  Fib.insert fib p ~out_port:0 ();
+  Alcotest.(check bool) "cleared by refresh" false (Fib.may_deflect fib);
+  (* ... via remove of the only alt-bearing entry *)
+  Fib.insert fib q ~out_port:2 ~alt_port:5 ();
+  Fib.set_alt fib p (Some 7);
+  ignore (Fib.remove fib q);
+  Alcotest.(check bool) "other alt entry still live" true (Fib.may_deflect fib);
+  ignore (Fib.remove fib p);
+  Alcotest.(check bool) "cleared by remove" false (Fib.may_deflect fib)
+
+let test_fib_ranked_slots () =
+  let fib = Fib.create () in
+  let p = Prefix.of_as 2 in
+  Fib.insert fib p ~out_port:0 ();
+  let e = Option.get (Fib.find fib p) in
+  Alcotest.(check int) "empty count" 0 (Fib.alt_count e);
+  Alcotest.(check int) "empty slot" (-1) (Fib.alt_at e 0);
+  (* negatives dropped, order kept, truncated at max_alts, compacted *)
+  Fib.set_alts e [ 4; -1; 7; 2; 9; 11 ];
+  Alcotest.(check int) "count capped" Fib.max_alts (Fib.alt_count e);
+  Alcotest.(check (list int)) "slots in rank order" [ 4; 7; 2; 9 ]
+    (List.init Fib.max_alts (Fib.alt_at e));
+  Alcotest.(check int) "out of range" (-1) (Fib.alt_at e Fib.max_alts);
+  (* single-alt shim reads slot 0 and writes a singleton *)
+  Alcotest.(check int) "alt_port_id = slot 0" 4 (Fib.alt_port_id e);
+  Fib.set_alt_port e (Some 5);
+  Alcotest.(check (list int)) "shim clears higher slots" [ 5; -1; -1; -1 ]
+    (List.init Fib.max_alts (Fib.alt_at e));
+  (* ECMP spreading: bucket b -> slot (b mod count); a one-alt entry
+     always uses slot 0 (the k=1 data plane) *)
+  Fib.set_alts e [ 4; 7 ];
+  for flow = 0 to 99 do
+    let want = Fib.alt_at e (Fib.flow_bucket flow mod 2) in
+    Alcotest.(check int) "spread matches slot_of_bucket" want
+      (Fib.alt_for_flow e ~flow)
+  done;
+  Fib.set_alts e [ 4 ];
+  for flow = 0 to 99 do
+    Alcotest.(check int) "k=1: always slot 0" 4 (Fib.alt_for_flow e ~flow)
+  done;
+  let k = Fib.default_k () in
+  Alcotest.(check bool) "default_k within bounds" true (k >= 1 && k <= Fib.max_alts)
 
 let test_fib_deflects () =
   let fib = Fib.create () in
@@ -230,16 +305,27 @@ let apply_fib_op fib (kind, pidx, a, b) =
     (match Fib.find fib p with
      | Some e -> Fib.set_deflect_buckets e (a mod (Fib.buckets + 1))
      | None -> ())
-  | _ ->
+  | 3 ->
     (match Fib.find fib p with
      | Some _ -> Fib.set_alt fib p (if b land 1 = 0 then None else Some (32 + (b land 7)))
+     | None -> ())
+  | _ ->
+    (* ranked set of 0..5 candidate ports (possibly with negatives /
+       overflow, exercising drop+truncate+compact) *)
+    (match Fib.find fib p with
+     | Some e ->
+       let n = b mod 6 in
+       Fib.set_alts e (List.init n (fun i -> ((a + (7 * i)) land 31) - 4))
      | None -> ())
 
 let fib_dump fib =
   let acc = ref [] in
   Fib.iter fib (fun p e ->
       acc :=
-        (Prefix.to_string p, Fib.out_port e, Fib.alt_port_id e, Fib.deflect_buckets e)
+        ( Prefix.to_string p,
+          Fib.out_port e,
+          List.init Fib.max_alts (Fib.alt_at e),
+          Fib.deflect_buckets e )
         :: !acc);
   List.sort compare !acc
 
@@ -247,7 +333,7 @@ let prop_fib_flat_matches_hashed =
   QCheck2.Test.make ~name:"fib: flat and hashed reps agree under churn" ~count:300
     QCheck2.Gen.(
       list_size (int_range 0 80)
-        (quad (int_bound 3) (int_bound 1000) (int_bound 1000) (int_bound 1000)))
+        (quad (int_bound 4) (int_bound 1000) (int_bound 1000) (int_bound 1000)))
     (fun ops ->
       let flat = Fib.create ~rep:Fib.Flat () in
       let hashed = Fib.create ~rep:Fib.Hashed () in
@@ -258,6 +344,8 @@ let prop_fib_flat_matches_hashed =
         ops;
       if Fib.size flat <> Fib.size hashed then
         QCheck2.Test.fail_report "sizes diverged";
+      if Fib.may_deflect flat <> Fib.may_deflect hashed then
+        QCheck2.Test.fail_report "may_deflect diverged";
       if fib_dump flat <> fib_dump hashed then
         QCheck2.Test.fail_report "iterated contents diverged";
       Array.iter
@@ -265,7 +353,11 @@ let prop_fib_flat_matches_hashed =
           let view fib =
             match Fib.lookup fib addr with
             | None -> None
-            | Some e -> Some (Fib.out_port e, Fib.alt_port_id e, Fib.deflect_buckets e)
+            | Some e ->
+              Some
+                ( Fib.out_port e,
+                  List.init Fib.max_alts (Fib.alt_at e),
+                  Fib.deflect_buckets e )
           in
           if view flat <> view hashed then
             QCheck2.Test.fail_report "lookup diverged")
@@ -544,6 +636,29 @@ let test_engine_congestion_deflects_first_bucket () =
   | Engine.Send { port; _ } -> Alcotest.(check int) "deflected" 1 port
   | Engine.Drop _ -> Alcotest.fail "dropped"
 
+let test_engine_k2_spreads_buckets () =
+  (* ranked pair [1; 4]: each deflected flow picks its slot by
+     flow_bucket mod 2 — deterministic per flow, and both alternatives
+     carry traffic across the flow population *)
+  let env =
+    make_env ~deflect_buckets:Fib.buckets
+      ~alt_kind:(Engine.Ebgp { neighbor_as = 9; rel = Relationship.Customer })
+      ()
+  in
+  let entry = Option.get (Fib.find env.Engine.fib (Prefix.of_as 2)) in
+  Fib.set_alts entry [ 1; 4 ];
+  let seen_slot0 = ref 0 and seen_slot1 = ref 0 in
+  for flow = 0 to 40 do
+    let expected = if Fib.flow_bucket flow mod 2 = 0 then 1 else 4 in
+    let p = Packet.make ~src:(Prefix.host_of_as 1 1) ~dst:(Prefix.host_of_as 2 1) ~flow () in
+    match Engine.forward env ~ingress:(Some 2) p with
+    | Engine.Send { port; _ } ->
+      Alcotest.(check int) "slot chosen by flow bucket" expected port;
+      if port = 1 then incr seen_slot0 else incr seen_slot1
+    | Engine.Drop _ -> Alcotest.fail "dropped"
+  done;
+  Alcotest.(check bool) "both ranked slots used" true (!seen_slot0 > 0 && !seen_slot1 > 0)
+
 let test_engine_local_delivery () =
   let fib = Fib.create () in
   Fib.insert fib (Prefix.of_as 2) ~out_port:3 ();
@@ -623,6 +738,35 @@ let prop_engine_invariants =
         (* only possible when tunneled to us - which never happens here
            (outer_dst is 99, not this router) *)
         false)
+
+(* Acceptance gate (k=1 bit-identity): an entry whose ranked set is the
+   singleton [a] must forward every packet exactly like the historical
+   single-alternative entry configured through set_alt_port. *)
+let prop_engine_k1_matches_single_alt =
+  QCheck2.Test.make ~name:"engine: singleton ranked set = single-alt shim" ~count:300
+    engine_env_gen
+    (fun (alt_kind, upstream_rel, congested, buckets, has_alt, flow, encapped) ->
+      let mk ~ranked =
+        let env =
+          make_env ~alt_kind
+            ~upstream_kind:(Engine.Ebgp { neighbor_as = 8; rel = upstream_rel })
+            ~congested:(fun p -> congested && p = 0)
+            ~deflect_buckets:buckets
+            ~alt:(if has_alt && not ranked then Some 1 else None)
+            ()
+        in
+        if has_alt && ranked then
+          Fib.set_alts (Option.get (Fib.find env.Engine.fib (Prefix.of_as 2))) [ 1 ];
+        env
+      in
+      let base =
+        Packet.make ~src:(Prefix.host_of_as 1 1) ~dst:(Prefix.host_of_as 2 1) ~flow ()
+      in
+      let p = if encapped then Packet.encapsulate base ~outer_src:7 ~outer_dst:99 else base in
+      Engine.forward (mk ~ranked:false) ~ingress:(Some 2) p
+      = Engine.forward (mk ~ranked:true) ~ingress:(Some 2) p
+      && Engine.forward ~tag_check:false (mk ~ranked:false) ~ingress:(Some 2) p
+         = Engine.forward ~tag_check:false (mk ~ranked:true) ~ingress:(Some 2) p)
 
 (* ---------- Daemon ---------- *)
 
@@ -712,6 +856,63 @@ let test_daemon_alt_change_resets_buckets () =
     (2 * Daemon.default_config.Daemon.ramp_up)
     (buckets ())
 
+let test_daemon_clamps_at_edges () =
+  (* Regression (clamp bug): the level is pinned to [0, Fib.buckets] and
+     the ramp counters account only buckets actually shifted. *)
+  let fib, buckets = daemon_fib () in
+  let entry = Option.get (Fib.find fib (Prefix.of_as 2)) in
+  Fib.set_deflect_buckets entry (Fib.buckets - 1);
+  let up0 = Obs.counter_value "daemon.ramp_up_buckets" in
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  Alcotest.(check int) "clamped at Fib.buckets" Fib.buckets (buckets ());
+  Alcotest.(check int) "only the shifted bucket counted" (up0 + 1)
+    (Obs.counter_value "daemon.ramp_up_buckets");
+  run_epoch fib ~out_util:0.99 ~alt_util:0.0;
+  Alcotest.(check int) "held at the ceiling" Fib.buckets (buckets ());
+  Alcotest.(check int) "no spurious ramp-up at the ceiling" (up0 + 1)
+    (Obs.counter_value "daemon.ramp_up_buckets");
+  Fib.set_deflect_buckets entry 0;
+  let down0 = Obs.counter_value "daemon.ramp_down_buckets" in
+  run_epoch fib ~out_util:0.3 ~alt_util:0.0;
+  Alcotest.(check int) "floor is zero" 0 (buckets ());
+  Alcotest.(check int) "ramp_down at zero emits no count" down0
+    (Obs.counter_value "daemon.ramp_down_buckets")
+
+let run_epoch_ranked fib ~out_util ~alts =
+  Daemon.epoch_ranked ~fib
+    ~port_utilization:(fun p -> if p = 0 then out_util else 0.0)
+    ~choose_alts:(fun _ _ -> alts)
+    ()
+
+let test_daemon_ranked_rotation () =
+  (* Per-set ramp state: a withdrawn slot drops out without resetting the
+     survivors' ramp; only a wholly fresh (disjoint) set restarts cold. *)
+  let fib, buckets = daemon_fib () in
+  let entry = Option.get (Fib.find fib (Prefix.of_as 2)) in
+  run_epoch_ranked fib ~out_util:0.99 ~alts:[ 1; 2 ];
+  run_epoch_ranked fib ~out_util:0.99 ~alts:[ 1; 2 ];
+  let up = 2 * Daemon.default_config.Daemon.ramp_up in
+  Alcotest.(check int) "ramped against {1,2}" up (buckets ());
+  let rot0 = Obs.counter_value "daemon.slots_rotated" in
+  let reset0 = Obs.counter_value "daemon.buckets_reset" in
+  (* slot 1 withdrawn, slot 2 survives, fresh slot 3 joins *)
+  run_epoch_ranked fib ~out_util:0.99 ~alts:[ 2; 3 ];
+  Alcotest.(check int) "survivor holds the ramp (and keeps climbing)"
+    (up + Daemon.default_config.Daemon.ramp_up)
+    (buckets ());
+  Alcotest.(check int) "rotation counted" (rot0 + 1)
+    (Obs.counter_value "daemon.slots_rotated");
+  Alcotest.(check int) "no reset on a partial rotation" reset0
+    (Obs.counter_value "daemon.buckets_reset");
+  Alcotest.(check (list int)) "rotated set installed" [ 2; 3; -1; -1 ]
+    (List.init Fib.max_alts (Fib.alt_at entry));
+  (* a disjoint set is cold: reset, then the same epoch's fresh ramp *)
+  run_epoch_ranked fib ~out_util:0.99 ~alts:[ 4; 5 ];
+  Alcotest.(check int) "disjoint set restarts the ramp"
+    Daemon.default_config.Daemon.ramp_up (buckets ());
+  Alcotest.(check int) "reset counted" (reset0 + 1)
+    (Obs.counter_value "daemon.buckets_reset")
+
 (* ---------- Alt_select ---------- *)
 
 let gadget_rt = lazy (let g = Generator.fig2a_gadget () in (g, Routing.compute g 0))
@@ -737,6 +938,31 @@ let test_alt_select_best () =
   (* no positive spare -> nothing *)
   Alcotest.(check bool) "all full -> none" true
     (Alt_select.best_alternative rt ~src_as:1 ~upstream:None ~spare:(fun _ -> 0.) = None)
+
+let test_alt_select_ranked () =
+  let _, rt = Lazy.force gadget_rt in
+  let vias l = List.map (fun (e : Routing.rib_entry) -> e.Routing.via) l in
+  let spare nb = if nb = 3 then 100. else 10. in
+  Alcotest.(check (list int)) "most spare first" [ 3; 2 ]
+    (vias (Alt_select.ranked_alternatives rt ~src_as:1 ~upstream:None ~spare ~k:4));
+  (* the pool is capped at k BEFORE ranking, in RIB preference order, so
+     the runtime set stays inside what the k-limited verifier admits *)
+  Alcotest.(check (list int)) "k=1 pool is the first RIB alternative" [ 2 ]
+    (vias (Alt_select.ranked_alternatives rt ~src_as:1 ~upstream:None ~spare ~k:1));
+  Alcotest.(check (list int)) "ties rank by lower AS id" [ 2; 3 ]
+    (vias
+       (Alt_select.ranked_alternatives rt ~src_as:1 ~upstream:None
+          ~spare:(fun _ -> 5.)
+          ~k:4));
+  Alcotest.(check (list int)) "saturated alternatives drop out" [ 3 ]
+    (vias
+       (Alt_select.ranked_alternatives rt ~src_as:1 ~upstream:None
+          ~spare:(fun nb -> if nb = 3 then 1. else 0.)
+          ~k:4));
+  Alcotest.(check (list int)) "peer upstream may not deflect to peers" []
+    (vias
+       (Alt_select.ranked_alternatives rt ~src_as:1
+          ~upstream:(Some Relationship.Peer) ~spare ~k:4))
 
 (* ---------- Loop_walk: the theorem ---------- *)
 
@@ -825,6 +1051,9 @@ let () =
           Alcotest.test_case "flow buckets" `Quick test_fib_buckets;
           Alcotest.test_case "re-insert preserves deflection state" `Quick
             test_fib_reinsert_preserves_deflection;
+          Alcotest.test_case "may_deflect tracks live alternatives" `Quick
+            test_fib_may_deflect_clears;
+          Alcotest.test_case "ranked alternative slots" `Quick test_fib_ranked_slots;
           Alcotest.test_case "deflects" `Quick test_fib_deflects;
           Alcotest.test_case "O(1) size + fib.entries gauge" `Quick
             test_fib_size_and_gauge;
@@ -856,8 +1085,11 @@ let () =
           Alcotest.test_case "deflection counters" `Quick test_engine_deflection_counters;
           Alcotest.test_case "instant congestion deflects bucket 0" `Quick
             test_engine_congestion_deflects_first_bucket;
+          Alcotest.test_case "k=2 ECMP spread across ranked slots" `Quick
+            test_engine_k2_spreads_buckets;
           Alcotest.test_case "local delivery" `Quick test_engine_local_delivery;
           QCheck_alcotest.to_alcotest prop_engine_invariants;
+          QCheck_alcotest.to_alcotest prop_engine_k1_matches_single_alt;
         ] );
       ( "daemon",
         [
@@ -871,11 +1103,16 @@ let () =
           Alcotest.test_case "congestion predicate" `Quick test_daemon_is_congested;
           Alcotest.test_case "alt change resets the ramp" `Quick
             test_daemon_alt_change_resets_buckets;
+          Alcotest.test_case "level clamps at both edges" `Quick
+            test_daemon_clamps_at_edges;
+          Alcotest.test_case "ranked rotation holds, disjoint resets" `Quick
+            test_daemon_ranked_rotation;
         ] );
       ( "alt_select",
         [
           Alcotest.test_case "valley filter" `Quick test_alt_select_permitted;
           Alcotest.test_case "greedy best + tie-break" `Quick test_alt_select_best;
+          Alcotest.test_case "ranked candidate list" `Quick test_alt_select_ranked;
         ] );
       ( "loop_walk",
         [

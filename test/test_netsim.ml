@@ -936,6 +936,48 @@ let test_packetsim_tunnel_transit () =
   Alcotest.(check bool) "transit hops counted" true
     (Mifo_util.Obs.counter_value "engine.transit.routed" > transit0)
 
+let test_packetsim_ranked_chooser () =
+  (* A ranked chooser drives Daemon.epoch_ranked from the daemon tick:
+     r1's slow default link to AS 2 congests, the chooser offers its two
+     fast parallel links as a ranked pair, and the daemon installs both
+     slots and ramps the deflection level against the set. *)
+  let sim = Packetsim.create () in
+  let h1 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 1 1) in
+  let h2 = Packetsim.add_host sim ~addr:(Prefix.host_of_as 2 1) in
+  let r1 = Packetsim.add_router sim ~as_id:1 in
+  let r2 = Packetsim.add_router sim ~as_id:2 in
+  let local = Engine.Local in
+  let down = Engine.Ebgp { neighbor_as = 2; rel = Relationship.Customer } in
+  let up = Engine.Ebgp { neighbor_as = 1; rel = Relationship.Provider } in
+  let _, r1h = Packetsim.connect sim ~a:h1 ~b:r1 ~kind_ab:local ~kind_ba:local ~rate:1e9 () in
+  let _, r2h = Packetsim.connect sim ~a:h2 ~b:r2 ~kind_ab:local ~kind_ba:local ~rate:1e9 () in
+  let slow, slow_back =
+    Packetsim.connect sim ~a:r1 ~b:r2 ~kind_ab:down ~kind_ba:up ~rate:10e6 ()
+  in
+  let alt_a, _ = Packetsim.connect sim ~a:r1 ~b:r2 ~kind_ab:down ~kind_ba:up ~rate:1e9 () in
+  let alt_b, _ = Packetsim.connect sim ~a:r1 ~b:r2 ~kind_ab:down ~kind_ba:up ~rate:1e9 () in
+  Fib.insert (Packetsim.fib sim r1) (Prefix.of_as 2) ~out_port:slow ();
+  Fib.insert (Packetsim.fib sim r1) (Prefix.of_as 1) ~out_port:r1h ();
+  Fib.insert (Packetsim.fib sim r2) (Prefix.of_as 2) ~out_port:r2h ();
+  Fib.insert (Packetsim.fib sim r2) (Prefix.of_as 1) ~out_port:slow_back ();
+  Packetsim.set_ranked_chooser sim r1 (fun _ _ -> [ alt_a; alt_b ]);
+  let _ = Packetsim.add_flow sim ~src:h1 ~dst:h2 ~bytes:2_000_000 ~start:0. in
+  let _ = Packetsim.add_flow sim ~src:h1 ~dst:h2 ~bytes:2_000_000 ~start:0. in
+  Packetsim.run ~until:10. sim;
+  let entry = Option.get (Fib.find (Packetsim.fib sim r1) (Prefix.of_as 2)) in
+  Alcotest.(check (list int)) "ranked pair installed" [ alt_a; alt_b; -1; -1 ]
+    (List.init Fib.max_alts (Fib.alt_at entry));
+  Alcotest.(check bool) "daemon ramped against the set" true
+    (Fib.deflect_buckets entry > 0);
+  let c = Packetsim.counters sim in
+  Alcotest.(check bool) "packets deflected" true (c.Packetsim.deflected > 0);
+  Array.iter
+    (fun (r : Packetsim.flow_result) ->
+      match r.Packetsim.finish with
+      | Some _ -> ()
+      | None -> Alcotest.fail "transfer did not complete")
+    (Packetsim.flow_results sim)
+
 let () =
   Alcotest.run "mifo_netsim"
     [
@@ -1007,5 +1049,7 @@ let () =
             test_packetsim_engines_bit_identical;
           Alcotest.test_case "tunnel transits an intermediate router" `Quick
             test_packetsim_tunnel_transit;
+          Alcotest.test_case "ranked chooser drives epoch_ranked" `Quick
+            test_packetsim_ranked_chooser;
         ] );
     ]
