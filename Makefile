@@ -37,16 +37,53 @@ lint:
 	dune exec bin/mifo_lint.exe
 
 # Static data-plane verifier gate: the default configuration must verify
-# clean (both unbounded and with the k=2 bounded automaton), and the
-# Tag-Check ablations must fail WITH a concrete loop counterexample
+# clean — under the full property suite (loops, delivery, stretch,
+# resilience), both unbounded and with the k=2 bounded automaton — and
+# the Tag-Check ablations must fail WITH a concrete loop counterexample
 # (exit 1 + a forwarding-loop violation in the JSON).  The k2 gadget leg
 # pins the ranked-set semantics: its ablated automaton is loop-free when
 # only the first alternative is admissible (-k 1) and must loop the
-# moment the second ranked slot opens (-k 2).
+# moment the second ranked slot opens (-k 2).  The black-hole gadget leg
+# must fail the delivery check (and only it) under a failed link, with a
+# counterexample the checker replays stranded through the dynamic
+# walker; the stretch gadget leg must fail the stretch check (and only
+# it) at --stretch-bound 1.  Both gadgets verify clean when healthy.
 static-check:
-	dune exec bin/mifo_sim.exe -- check --ases 150 --seed 42 >/dev/null
-	dune exec bin/mifo_sim.exe -- check --ases 150 --seed 42 -k 2 >/dev/null
+	dune exec bin/mifo_sim.exe -- check --ases 150 --seed 42 \
+		--props loops,delivery,stretch,resilience >/dev/null
+	dune exec bin/mifo_sim.exe -- check --ases 150 --seed 42 -k 2 \
+		--props loops,delivery,stretch,resilience >/dev/null
 	dune exec bin/mifo_sim.exe -- check --k2-gadget --no-tag-check -k 1 >/dev/null
+	dune exec bin/mifo_sim.exe -- check --bh-gadget \
+		--props loops,delivery,stretch,resilience >/dev/null
+	dune exec bin/mifo_sim.exe -- check --stretch-gadget \
+		--props loops,delivery,stretch,resilience >/dev/null
+	@out=$$(dune exec bin/mifo_sim.exe -- check --bh-gadget --props delivery \
+		--fail-link 2:0 2>&1); \
+	if [ $$? -eq 0 ]; then \
+		echo "static-check: black-hole gadget unexpectedly verified clean"; exit 1; \
+	fi; \
+	case "$$out" in \
+	*black-hole*) ;; \
+	*) echo "static-check: black-hole gadget failed without a black-hole violation"; exit 1;; \
+	esac; \
+	case "$$out" in \
+	*"replayed "*) echo "static-check: black-hole gadget fails and replays stranded";; \
+	*) echo "static-check: black-hole counterexample did not replay"; exit 1;; \
+	esac
+	@out=$$(dune exec bin/mifo_sim.exe -- check --stretch-gadget --props stretch \
+		--stretch-bound 1 2>&1); \
+	if [ $$? -eq 0 ]; then \
+		echo "static-check: stretch gadget unexpectedly verified clean at bound 1"; exit 1; \
+	fi; \
+	case "$$out" in \
+	*stretch*) ;; \
+	*) echo "static-check: stretch gadget failed without a stretch violation"; exit 1;; \
+	esac; \
+	case "$$out" in \
+	*"replayed "*) echo "static-check: stretch gadget fails and replays delivered";; \
+	*) echo "static-check: stretch counterexample did not replay"; exit 1;; \
+	esac
 	@out=$$(dune exec bin/mifo_sim.exe -- check --gadget --no-tag-check 2>/dev/null); \
 	if [ $$? -eq 0 ]; then \
 		echo "static-check: ablated gadget unexpectedly verified clean"; exit 1; \
@@ -94,6 +131,7 @@ assert not bad, "engines diverged: %s" % bad' \
 		echo "bench-smoke: python3 not installed, skipping JSON parse check"; \
 	fi
 	MIFO_ASES=300 MIFO_44K_ASES=2000 MIFO_44K_DESTS=8 MIFO_44K_DELTAS=6 \
+	MIFO_44K_CHECK_DESTS=4 MIFO_44K_FAILS=16 \
 	MIFO_BENCH_ROUTING_OUT=_build/BENCH_routing-smoke.json \
 	MIFO_BENCH_SIM_OUT=_build/BENCH_sim-smoke.json \
 		dune exec bench/main.exe -- routing
@@ -105,9 +143,16 @@ assert chk["verdicts_identical"], "incremental and full verdicts diverged"; \
 assert sc["dests_per_sec"] > 0 and sc["peak_words"] > 0, "missing measurements"; \
 assert "jobs" in sc and "jobs" in d["precompute"]["parallel"], "jobs not recorded"; \
 assert d["machine"]["cores"] > 1 or "speedup" not in d["precompute"], \
-	"speedup quoted on a 1-core box"' \
+	"speedup quoted on a 1-core box"; \
+ck=d["check44k"]; \
+assert ck["parallel_identical"], "parallel and serial property reports diverged"; \
+assert ck["clean"], "property suite found violations on the healthy topology"; \
+assert all(ck[p]["states_per_sec"] > 0 for p in ("loops","delivery","stretch","resilience")), \
+	"missing per-property throughput"; \
+assert ck["resilience_speedup"] > 0 and ck["peak_words"] > 0, \
+	"missing resilience sweep / peak memory measurements"' \
 			_build/BENCH_routing-smoke.json && \
-		echo "bench-smoke: scale44k CSR/oracle and incremental/full checks agree"; \
+		echo "bench-smoke: scale44k + check44k identities and measurements hold"; \
 	else \
 		echo "bench-smoke: python3 not installed, skipping JSON parse check"; \
 	fi

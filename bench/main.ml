@@ -175,6 +175,12 @@ type scale_bench = {
 
 let scale_bench_result : scale_bench option ref = ref None
 
+(* Graph + warm routing table handed from [scale44k_bench] to
+   [check44k_bench] so the 44K topology is generated once per run. *)
+let scale44k_ctx :
+    (Mifo_topology.As_graph.t * Mifo_bgp.Routing_table.t * int array) option ref =
+  ref None
+
 (* The paper's evaluation scale: route computation throughput, peak
    memory, and full-vs-incremental static verification on the 44,340-AS
    preset (MIFO_44K_* shrink it for smoke runs).  The CSR representation
@@ -296,7 +302,178 @@ let scale44k_bench () =
         sc_peak_words = peak_words;
         sc_rep_identical = !rep_identical;
         sc_check = check;
-      }
+      };
+  scale44k_ctx := Some (g, table, dests)
+
+(* --- Property-suite verification bench at the 44K scale ----------------- *)
+
+type prop_sample = { ps_secs : float; ps_states : int; ps_states_per_sec : float }
+
+type check44k_bench = {
+  ck_ases : int;
+  ck_dests : int;
+  ck_fails : int;  (* seeded resilience sample size per destination *)
+  ck_loops : prop_sample;
+  ck_delivery : prop_sample;
+  ck_stretch : prop_sample;
+  ck_resilience : prop_sample;
+  ck_max_stretch : int;
+  ck_res_sweep_secs : float;
+  ck_res_full_secs : float;  (* the same links as N independent full checks *)
+  ck_res_speedup : float;
+  ck_parallel_identical : bool;
+  ck_clean : bool;
+  ck_peak_words : float;
+}
+
+let check44k_result : check44k_bench option ref = ref None
+
+(* The {!Mifo_analysis.Props} suite over the 44K topology built by
+   [scale44k_bench]: wall clock and states/sec per property on a sampled
+   destination set, the certificate-based resilience sweep against the
+   same links as independent full checks, and the parallel-vs-serial
+   report identity (bit-equal JSON at jobs=1 vs the default pool).
+   MIFO_44K_CHECK_DESTS / MIFO_44K_FAILS shrink it for smoke runs. *)
+let check44k_bench () =
+  match !scale44k_ctx with
+  | None -> ()
+  | Some (g, table, all_dests) ->
+    let module As_graph = Mifo_topology.As_graph in
+    let module Routing = Mifo_bgp.Routing in
+    let module Routing_table = Mifo_bgp.Routing_table in
+    let module Parallel = Mifo_util.Parallel in
+    let module Props = Mifo_analysis.Props in
+    let module Verifier = Mifo_analysis.Verifier in
+    let module Report = Mifo_analysis.Report in
+    let module Prng = Mifo_util.Prng in
+    let n = As_graph.n g in
+    let ncheck = Stdlib.max 1 (env_int "MIFO_44K_CHECK_DESTS" 8) in
+    let fails = Stdlib.max 1 (env_int "MIFO_44K_FAILS" 64) in
+    let dests =
+      Array.to_list (Array.sub all_dests 0 (Stdlib.min ncheck (Array.length all_dests)))
+    in
+    Printf.printf "== Property suite at scale (%d ASes, %d dests, %d sampled fails) ==\n%!"
+      n (List.length dests) fails;
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (Unix.gettimeofday () -. t0, r)
+    in
+    let run props =
+      Verifier.verify_props ~fail_links:fails ~seed ~props g ~table ~dests
+    in
+    let clean = ref true in
+    let sample name props states_of =
+      let dt, (rep : Report.t) = time (fun () -> run props) in
+      if not (Report.ok rep) then clean := false;
+      let states = states_of rep.Report.stats in
+      Printf.printf "  %-10s %8.3fs  %9d states  %12.0f states/s\n%!" name dt states
+        (float_of_int states /. dt);
+      ( { ps_secs = dt; ps_states = states; ps_states_per_sec = float_of_int states /. dt },
+        rep )
+    in
+    let loops, _ = sample "loops" [ Props.Loops ] (fun s -> s.Report.states_explored) in
+    let delivery, _ =
+      sample "delivery" [ Props.Delivery ] (fun s -> s.Report.delivery_states)
+    in
+    let stretch, stretch_rep =
+      sample "stretch" [ Props.Stretch ] (fun s -> s.Report.stretch_states)
+    in
+    let resilience, res_rep =
+      sample "resilience" [ Props.Resilience ] (fun s -> s.Report.failed_links)
+    in
+    (* The certificate sweep vs the same sampled links as independent full
+       checks (loop DFS + delivery scan under each overlay, no
+       certificates).  The verdict sets must agree. *)
+    let res_full_secs, full_viols =
+      time (fun () ->
+          let viols = ref 0 in
+          List.iter
+            (fun d ->
+              let rt = Routing_table.get table d in
+              let candidates = ref [] in
+              for u = n - 1 downto 0 do
+                if u <> d && Routing.reachable rt u then candidates := u :: !candidates
+              done;
+              let candidates = Array.of_list !candidates in
+              let chosen =
+                if fails < Array.length candidates then begin
+                  let rng = Prng.create ~seed:(seed + (31 * d)) () in
+                  let idx =
+                    Prng.sample_without_replacement rng fails (Array.length candidates)
+                  in
+                  Array.map (fun i -> candidates.(i)) idx
+                end
+                else candidates
+              in
+              Array.iter
+                (fun u ->
+                  match Routing.next_hop rt u with
+                  | Some v when Routing.rib_size rt u >= 2 ->
+                    let r =
+                      Props.verify_dest ~fail_link:(u, v)
+                        ~props:[ Props.Loops; Props.Delivery ] g rt
+                    in
+                    viols := !viols + List.length r.Report.violations
+                  | _ -> ())
+                chosen)
+            dests;
+          !viols)
+    in
+    let sweep_viols =
+      List.length
+        (List.filter
+           (function
+             | Report.Failure_loop _ | Report.Black_hole _ -> true | _ -> false)
+           res_rep.Report.violations)
+    in
+    if sweep_viols <> full_viols then begin
+      Printf.printf "   <-- RESILIENCE SWEEP / FULL-CHECK VERDICT MISMATCH (%d vs %d)\n%!"
+        sweep_viols full_viols;
+      bench_failed := true
+    end;
+    let res_speedup = res_full_secs /. Stdlib.max 1e-9 resilience.ps_secs in
+    (* Bit-identical reports at any domain count: jobs=1 vs the default
+       pool over the full suite. *)
+    let pool1 = Parallel.create ~jobs:1 () in
+    let rep_serial =
+      Verifier.verify_props ~pool:pool1 ~fail_links:fails ~seed ~props:Props.all g
+        ~table ~dests
+    in
+    Parallel.shutdown pool1;
+    let rep_parallel = run Props.all in
+    let parallel_identical =
+      Report.to_json_string rep_serial = Report.to_json_string rep_parallel
+    in
+    if not parallel_identical then begin
+      Printf.printf "   <-- PARALLEL / SERIAL REPORT MISMATCH\n%!";
+      bench_failed := true
+    end;
+    let peak_words = float_of_int (Gc.quick_stat ()).Gc.top_heap_words in
+    Printf.printf
+      "  resilience sweep %.3fs vs %d full checks %.3fs (%.1fx)\n\
+      \  max stretch %d   parallel identical: %b   clean: %b   peak heap %.1f MWords\n\n%!"
+      resilience.ps_secs resilience.ps_states res_full_secs res_speedup
+      stretch_rep.Report.stats.Report.max_stretch parallel_identical !clean
+      (peak_words /. 1e6);
+    check44k_result :=
+      Some
+        {
+          ck_ases = n;
+          ck_dests = List.length dests;
+          ck_fails = fails;
+          ck_loops = loops;
+          ck_delivery = delivery;
+          ck_stretch = stretch;
+          ck_resilience = resilience;
+          ck_max_stretch = stretch_rep.Report.stats.Report.max_stretch;
+          ck_res_sweep_secs = resilience.ps_secs;
+          ck_res_full_secs = res_full_secs;
+          ck_res_speedup = res_speedup;
+          ck_parallel_identical = parallel_identical;
+          ck_clean = !clean;
+          ck_peak_words = peak_words;
+        }
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -369,6 +546,37 @@ let write_bench_json path =
       | None -> ""
       | Some sc -> Printf.sprintf "  \"scale44k\": %s,\n" (scale44k_json sc)
     in
+    let check44k =
+      match !check44k_result with
+      | None -> ""
+      | Some c ->
+        let prop p =
+          Printf.sprintf
+            "{\"secs\": %.6f, \"states\": %d, \"states_per_sec\": %.1f}" p.ps_secs
+            p.ps_states p.ps_states_per_sec
+        in
+        Printf.sprintf
+          "  \"check44k\": {\n\
+          \    \"ases\": %d,\n\
+          \    \"dests\": %d,\n\
+          \    \"fail_links\": %d,\n\
+          \    \"loops\": %s,\n\
+          \    \"delivery\": %s,\n\
+          \    \"stretch\": %s,\n\
+          \    \"resilience\": %s,\n\
+          \    \"max_stretch\": %d,\n\
+          \    \"resilience_sweep_secs\": %.6f,\n\
+          \    \"resilience_full_secs\": %.6f,\n\
+          \    \"resilience_speedup\": %.2f,\n\
+          \    \"parallel_identical\": %b,\n\
+          \    \"clean\": %b,\n\
+          \    \"peak_words\": %.0f\n\
+          \  },\n"
+          c.ck_ases c.ck_dests c.ck_fails (prop c.ck_loops) (prop c.ck_delivery)
+          (prop c.ck_stretch) (prop c.ck_resilience) c.ck_max_stretch
+          c.ck_res_sweep_secs c.ck_res_full_secs c.ck_res_speedup
+          c.ck_parallel_identical c.ck_clean c.ck_peak_words
+    in
     let figures =
       String.concat ", "
         (List.map
@@ -379,10 +587,10 @@ let write_bench_json path =
     Printf.fprintf oc
       "{\n\
       \  \"machine\": {\"cores\": %d},\n\
-       %s%s%s\
+       %s%s%s%s\
       \  \"figure_secs\": {%s}\n\
        }\n"
-      cores precompute forward scale44k figures;
+      cores precompute forward scale44k check44k figures;
     close_out oc;
     Printf.printf "[wrote %s]\n%!" path
 
@@ -971,7 +1179,8 @@ let validate () =
    incremental re-verification vs the full-DFS oracle). *)
 let routing () =
   routing_precompute_bench ();
-  scale44k_bench ()
+  scale44k_bench ();
+  check44k_bench ()
 
 (* [micro] runs first by default: the later experiments grow the heap by
    hundreds of MB, which would distort nanosecond-scale measurements. *)

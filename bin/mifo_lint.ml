@@ -48,8 +48,17 @@ let domain_shared = [ "routing.ml"; "routing_table.ml"; "obs.ml" ]
    the 44K-scale memory/locality work.  Oracle representations and
    mutex-guarded control-plane caches carry explicit [lint:allow]
    waivers; pure control-plane parsers are exempt wholesale. *)
-let no_hashtbl_dirs = [ "bgp"; "core" ]
+let no_hashtbl_dirs = [ "bgp"; "core"; "analysis" ]
 let no_hashtbl_exempt = [ "bgp_proto.ml"; "prefix_table.ml" ]
+
+(* Library code reports through {!Report} / {!Obs.Json}; writing to
+   stdout from lib/ bypasses the JSON contract and interleaves with the
+   drivers' own output under the domain fan-out. *)
+let no_stdout_prints =
+  [
+    ("Printf.printf", "stdout print in lib/; report through Report/Obs.Json");
+    ("print_endline", "stdout print in lib/; report through Report/Obs.Json");
+  ]
 
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
@@ -109,6 +118,12 @@ let lint_file path =
     List.mem dir no_hashtbl_dirs
     && not (List.mem (Filename.basename path) no_hashtbl_exempt)
   in
+  let in_lib =
+    let prefix = "lib" ^ Filename.dir_sep in
+    let n = String.length prefix in
+    (String.length path >= n && String.sub path 0 n = prefix)
+    || contains ~sub:(Filename.dir_sep ^ prefix) path
+  in
   Array.iteri
     (fun i line ->
       if not (contains ~sub:"lint:allow" line) then begin
@@ -123,7 +138,12 @@ let lint_file path =
         if no_hashtbl && contains ~sub:"Hashtbl." line then
           report path (i + 1) line
             "bare Hashtbl on a data-plane hot path; use the flat CSR/open-addressed \
-             representations (or waive an oracle with lint:allow)"
+             representations (or waive an oracle with lint:allow)";
+        if in_lib then
+          List.iter
+            (fun (sub, msg) ->
+              if contains ~sub line then report path (i + 1) line (sub ^ ": " ^ msg))
+            no_stdout_prints
       end)
     lines;
   if List.mem (Filename.basename path) domain_shared then begin

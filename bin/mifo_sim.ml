@@ -277,6 +277,85 @@ let check_cmd =
             "Check the k-alternative gadget: loop-free at $(b,--k 1), loops at \
              $(b,--k 2) when the Tag-Check is ablated.")
   in
+  let bh_gadget_t =
+    Arg.(
+      value & flag
+      & info [ "bh-gadget" ]
+          ~doc:
+            "Check the black-hole gadget: all properties verify on the healthy \
+             topology, but $(b,--fail-link 2:0) strands AS 2 — the delivery check \
+             must fail with a counterexample that replays stranded.")
+  in
+  let stretch_gadget_t =
+    Arg.(
+      value & flag
+      & info [ "stretch-gadget" ]
+          ~doc:
+            "Check the bounded-stretch gadget: deflections toward AS 0 realise a \
+             worst-case stretch of 2, so the stretch check fails under \
+             $(b,--stretch-bound 1) while every other property verifies.")
+  in
+  let props_t =
+    let props_conv =
+      let parse s =
+        match Mifo_analysis.Props.parse_props s with
+        | Ok ps -> Ok ps
+        | Error e -> Error (`Msg e)
+      in
+      let print fmt ps =
+        Format.pp_print_string fmt
+          (String.concat "," (List.map Mifo_analysis.Props.prop_to_string ps))
+      in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt props_conv [ Mifo_analysis.Props.Loops ]
+      & info [ "props" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated properties to verify statically: any of $(b,loops), \
+             $(b,delivery), $(b,stretch), $(b,resilience).  Default: loops only \
+             (the historical behaviour).")
+  in
+  let stretch_bound_t =
+    Arg.(
+      value
+      & opt int Mifo_analysis.Props.default_stretch_bound
+      & info [ "stretch-bound" ] ~docv:"B"
+          ~doc:
+            "Maximum tolerated stretch: worst deliverable deflection-path length \
+             minus default-path length, per source.")
+  in
+  let fail_link_t =
+    let link_conv =
+      let parse s =
+        match String.split_on_char ':' s with
+        | [ u; v ] -> (
+          match (int_of_string_opt u, int_of_string_opt v) with
+          | Some u, Some v when u >= 0 && v >= 0 -> Ok (u, v)
+          | _ -> Error (`Msg (Printf.sprintf "bad link %S (want U:V)" s)))
+        | _ -> Error (`Msg (Printf.sprintf "bad link %S (want U:V)" s))
+      in
+      let print fmt (u, v) = Format.fprintf fmt "%d:%d" u v in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some link_conv) None
+      & info [ "fail-link" ] ~docv:"U:V"
+          ~doc:
+            "Verify under a single-link-failure overlay: the AS-level link \
+             $(docv) is down in both directions and the endpoint whose default \
+             route used it locally repairs onto its next surviving RIB route.")
+  in
+  let fail_links_t =
+    Arg.(
+      value & opt int 0
+      & info [ "fail-links" ] ~docv:"N"
+          ~doc:
+            "Cap the resilience sweep to a seeded sample of $(docv) default-tree \
+             links per destination (0, the default, sweeps all of them).")
+  in
   let k_t =
     Arg.(
       value & opt int 0
@@ -315,13 +394,17 @@ let check_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Write the JSON report to $(docv) instead of stdout.")
   in
-  let run obs seed ases topo_file gadget k2_gadget no_tag k dests hosts out =
+  let run obs seed ases topo_file gadget k2_gadget bh_gadget stretch_gadget no_tag
+      k props stretch_bound fail_link fail_links dests hosts out =
     with_obs obs @@ fun () ->
     let module Report = Mifo_analysis.Report in
+    let module Props = Mifo_analysis.Props in
     let tag_check = not no_tag in
     let g =
       if gadget then Generator.fig2a_gadget ()
       else if k2_gadget then Generator.k2_gadget ()
+      else if bh_gadget then Generator.black_hole_gadget ()
+      else if stretch_gadget then Generator.stretch_gadget ()
       else
         match topo_file with
         | Some path -> (Mifo_topology.As_rel_io.load path).Mifo_topology.As_rel_io.graph
@@ -340,10 +423,42 @@ let check_cmd =
     let host_ases = sample hosts in
     Mifo_bgp.Routing_table.precompute table (Array.of_list as_dests);
     let as_report =
-      Mifo_analysis.Verifier.verify_as_level ~tag_check
+      Mifo_analysis.Verifier.verify_props ~tag_check
         ?k:(if k > 0 then Some k else None)
-        g ~table ~dests:as_dests
+        ~stretch_bound ?fail_link ~fail_links ~seed ~props g ~table ~dests:as_dests
     in
+    (* Machine-check every delivery/stretch counterexample against the
+       dynamic walker before reporting: a static finding that does not
+       replay is a verifier bug, reported as exit 2. *)
+    let replayed_ok = ref 0 and replay_bad = ref 0 in
+    List.iter
+      (fun v ->
+        match v with
+        | Report.Black_hole { dest; path; moves; failed_link; at; _ } -> (
+          let rt = Mifo_bgp.Routing_table.get table dest in
+          match Props.replay_stranded ~tag_check g rt ~path ~moves ~failed_link with
+          | Mifo_core.Loop_walk.Dropped _ -> incr replayed_ok
+          | _ ->
+            incr replay_bad;
+            Printf.eprintf
+              "replay MISMATCH: black-hole at AS %d toward AS %d did not strand\n"
+              at dest)
+        | Report.Stretch_exceeded { dest; src; actual_len; path; moves; _ } -> (
+          let rt = Mifo_bgp.Routing_table.get table dest in
+          match Props.replay_stretch ~tag_check g rt ~path ~moves with
+          | Mifo_core.Loop_walk.Delivered p when List.length p - 1 = actual_len ->
+            incr replayed_ok
+          | _ ->
+            incr replay_bad;
+            Printf.eprintf
+              "replay MISMATCH: stretch path from AS %d toward AS %d did not \
+               deliver in %d hops\n"
+              src dest actual_len)
+        | _ -> ())
+      as_report.Report.violations;
+    if !replayed_ok > 0 then
+      Printf.eprintf "replayed %d static counterexample(s) through the dynamic walker\n"
+        !replayed_ok;
     let config =
       { Mifo_netsim.Packetsim.default_config with Mifo_netsim.Packetsim.tag_check }
     in
@@ -366,17 +481,21 @@ let check_cmd =
       Printf.printf "wrote %s\n" path
     | None -> print_endline json);
     prerr_endline (Report.summary report);
+    if !replay_bad > 0 then exit 2;
     if not (Report.ok report) then exit 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Statically verify the data plane: loop-freedom of the deflection automaton, \
-          valley-free compliance of every RIB path, and FIB/RIB consistency of the \
-          built packet network.  Emits a JSON report; exits non-zero on any violation.")
+         "Statically verify the data plane: loop-freedom of the deflection automaton \
+          (plus, with $(b,--props), black-hole freedom, bounded stretch and \
+          single-link-failure resilience), valley-free compliance of every RIB path, \
+          and FIB/RIB consistency of the built packet network.  Emits a JSON report; \
+          exits non-zero on any violation.")
     Term.(
       const run $ obs_t $ seed_t $ ases_t $ topo_file_t $ gadget_t $ k2_gadget_t
-      $ no_tag_t $ k_t $ check_dests_t $ hosts_t $ out_t)
+      $ bh_gadget_t $ stretch_gadget_t $ no_tag_t $ k_t $ props_t $ stretch_bound_t
+      $ fail_link_t $ fail_links_t $ check_dests_t $ hosts_t $ out_t)
 
 let topo_cmd =
   let out_t =

@@ -22,7 +22,8 @@ let describe = function
       (match reason with
        | Loop_walk.Valley -> "valley-free check"
        | Loop_walk.No_route -> "no route"
-       | Loop_walk.Dead_end -> "dead end")
+       | Loop_walk.Dead_end -> "dead end"
+       | Loop_walk.Link_down -> "link down")
       (String.concat " -> " (List.map string_of_int path))
   | Loop_walk.Looped { path; cycle } ->
     Printf.sprintf "LOOPED: %s (cycle %s)"

@@ -1,9 +1,17 @@
 module As_graph = Mifo_topology.As_graph
 module Routing = Mifo_bgp.Routing
+module Relationship = Mifo_topology.Relationship
 module Policy = Mifo_core.Policy
 module Loop_walk = Mifo_core.Loop_walk
+module Intset = Mifo_util.Intset
 
-type move = { at : int; tag : bool; via : int; slot : int; deflected : bool }
+type move = Automaton.move = {
+  at : int;
+  tag : bool;
+  via : int;
+  slot : int;
+  deflected : bool;
+}
 
 type counterexample = {
   dest : int;
@@ -17,52 +25,6 @@ type loop_result = { counterexample : counterexample option; states_explored : i
 
 let all_enabled ~at:_ ~via:_ = true
 
-(* Outgoing transitions of product state (v, tag): the default route is
-   always available and never checked; every other RIB entry is a
-   deflection gated by the exit-point Tag-Check (and, for incremental
-   rechecking, by the [enabled] overlay modelling withdrawn FIB
-   alternatives).  Iterates the RIB through the packed accessors — no
-   boxed entries materialise, which is what keeps the 44K product DFS
-   inside the CSR arena.  The tag after the hop [v -> via] is rewritten
-   at [via]'s entering point to "the upstream neighbor is my customer";
-   the stored relationship is [via]'s role relative to [v], so the
-   upstream role is its inverse. *)
-let edges ~tag_check ~enabled ~max_alt _g rt v tag =
-  if v = Routing.dest rt then []
-  else begin
-    let k = Routing.rib_size rt v in
-    if k = 0 then []
-    else begin
-      let edge i deflected =
-        let via = Routing.rib_via rt v i in
-        let rel = Routing.rib_rel_at rt v i in
-        ( { at = v; tag; via; slot = i; deflected },
-          via,
-          Policy.tag_of_upstream (Mifo_topology.Relationship.inverse rel) )
-      in
-      (* [max_alt] caps the deflectable RIB indices: a k-limited data
-         plane only ever installs the first k RIB alternatives
-         (Alt_select pool-caps in preference order), so admitting
-         exactly indices 1..k soundly over-approximates it. *)
-      let rec alts i acc =
-        if i < 1 then acc
-        else begin
-          let via = Routing.rib_via rt v i in
-          let acc =
-            if
-              ((not tag_check)
-              || Policy.check ~tag ~downstream:(Routing.rib_rel_at rt v i))
-              && enabled ~at:v ~via
-            then edge i true :: acc
-            else acc
-          in
-          alts (i - 1) acc
-        end
-      in
-      edge 0 false :: alts (Stdlib.min max_alt (k - 1)) []
-    end
-  end
-
 type frame = {
   v : int;
   tag : bool;
@@ -71,29 +33,22 @@ type frame = {
   mutable rest : (move * int * bool) list;
 }
 
-let find_loop ?(tag_check = true) ?(deflection_enabled = all_enabled) ?k g rt =
-  let enabled = deflection_enabled in
-  (* [?k = None] is the unbounded legacy automaton over [(AS, tag)]
-     states — bit-identical to the historical checker, slot collapsed
-     to 0.  [Some kk] bounds deflections to the first [kk] RIB
-     alternatives and widens the state to the k-way choice
-     [(AS, tag, slot)], [slot] = the ranked slot the packet entered by
-     (0 = default/root).  The widening is verdict-equivalent to the
-     collapsed bounded automaton (the entering slot does not constrain
-     the next move) but counterexample moves record which ranked slot
-     closed the cycle. *)
-  let max_alt = match k with None -> Stdlib.max_int | Some kk -> kk in
-  let slots = match k with None -> 1 | Some kk -> kk + 1 in
-  let n = As_graph.n g in
-  let dest = Routing.dest rt in
-  let enc v tag slot = (((2 * v) + (if tag then 1 else 0)) * slots) + slot in
+let find_loop_auto auto =
+  (* Exhaustive DFS over the product automaton from every source root
+     [(v, source_tag, 0)].  The transition relation, state encoding and
+     overlay live in {!Automaton}; this function owns only the cycle
+     search and counterexample extraction. *)
+  let n = As_graph.n (Automaton.graph auto) in
+  let dest = Automaton.dest auto in
+  let enc = Automaton.enc auto in
   let slot_of entered_by =
-    if slots = 1 then 0
-    else match entered_by with None -> 0 | Some (m : move) -> m.slot
+    match entered_by with
+    | None -> 0
+    | Some m -> Automaton.slot_of_move auto m
   in
-  let color = Array.make (2 * n * slots) 0 in
+  let color = Array.make (Automaton.n_states auto) 0 in
   (* index of the state's frame in the current DFS path, bottom-first *)
-  let pos = Array.make (2 * n * slots) (-1) in
+  let pos = Array.make (Automaton.n_states auto) (-1) in
   let explored = ref 0 in
   let result = ref None in
   let path = ref [] (* top of the DFS path first *) in
@@ -105,9 +60,7 @@ let find_loop ?(tag_check = true) ?(deflection_enabled = all_enabled) ?k g rt =
     pos.(s) <- !depth;
     incr depth;
     incr explored;
-    path :=
-      { v; tag; slot; entered_by; rest = edges ~tag_check ~enabled ~max_alt g rt v tag }
-      :: !path
+    path := { v; tag; slot; entered_by; rest = Automaton.edges auto v tag } :: !path
   in
   let pop () =
     match !path with
@@ -176,6 +129,14 @@ let find_loop ?(tag_check = true) ?(deflection_enabled = all_enabled) ?k g rt =
   done;
   { counterexample = !result; states_explored = !explored }
 
+let find_loop_in = find_loop_auto
+
+let find_loop ?(tag_check = true) ?(deflection_enabled = all_enabled) ?k g rt =
+  find_loop_auto
+    (Automaton.create ~tag_check
+       ~overlay:(Automaton.deflection_overlay deflection_enabled)
+       ?k g rt)
+
 let replay ?(tag_check = true) g rt cx =
   let moves = Array.of_list (cx.entry_moves @ cx.cycle_moves) in
   let total = Array.length moves in
@@ -215,31 +176,31 @@ module Inc = struct
     tag_check : bool;
     k : int option;  (* k-alternative bound, None = unbounded *)
     slots : int;  (* widened-state slot count: 1 or k+1 *)
-    disabled : (int, unit) Hashtbl.t;  (* key = at * n + via *)
+    disabled : Intset.t;  (* key = at * n + via; flat set, domain-private *)
+    auto : Automaton.t;  (* overlay reads [disabled] live *)
     mutable pending_add : (int * int) list;  (* re-enabled since last recheck *)
     mutable pending_remove : (int * int) list;  (* disabled since last recheck *)
     mutable last : loop_result;
-    mutable epoch : int;
-    visit_epoch : int array;  (* scratch: 2n * slots product states *)
-    scan_color : int array;  (* 1 = gray, 2 = black; valid iff epoch matches *)
+    scratch : Automaton.Scratch.t;  (* region-scan colors, epoch-cleared *)
     mutable full_checks : int;
     mutable region_scans : int;
   }
 
   type t = inc
 
-  let enabled_of t =
-    let n = As_graph.n t.g in
-    fun ~at ~via -> not (Hashtbl.mem t.disabled ((at * n) + via))
-
   let full_check t =
     t.full_checks <- t.full_checks + 1;
-    find_loop ~tag_check:t.tag_check ~deflection_enabled:(enabled_of t) ?k:t.k t.g
-      t.rt
+    find_loop_auto t.auto
 
   let create ?(tag_check = true) ?k g rt =
     let n = As_graph.n g in
     let slots = match k with None -> 1 | Some kk -> kk + 1 in
+    let disabled = Intset.create () in
+    let enabled ~at ~via = not (Intset.mem disabled ((at * n) + via)) in
+    let auto =
+      Automaton.create ~tag_check ~overlay:(Automaton.deflection_overlay enabled) ?k g
+        rt
+    in
     let t =
       {
         g;
@@ -247,104 +208,53 @@ module Inc = struct
         tag_check;
         k;
         slots;
-        disabled = Hashtbl.create 16;
+        disabled;
+        auto;
         pending_add = [];
         pending_remove = [];
         last = { counterexample = None; states_explored = 0 };
-        epoch = 0;
-        visit_epoch = Array.make (2 * n * slots) 0;
-        scan_color = Array.make (2 * n * slots) 0;
+        scratch = Automaton.Scratch.create ();
         full_checks = 0;
         region_scans = 0;
       }
     in
     t.last <- full_check t;
+    (* Pre-size the region-scan scratch so the first recheck is as
+       O(region) as every later one — the arrays are allocated here,
+       not inside a caller's timing window. *)
+    Automaton.Scratch.round t.scratch ~states:(Automaton.n_states auto);
     t
 
   let result t = t.last
   let stats t = (t.full_checks, t.region_scans)
 
-  let deflection_enabled t ~at ~via = (enabled_of t) ~at ~via
+  let deflection_enabled t ~at ~via =
+    not (Intset.mem t.disabled ((at * As_graph.n t.g) + via))
 
   let set_deflection t ~at ~via ~enabled =
     let n = As_graph.n t.g in
     let key = (at * n) + via in
     if enabled then begin
-      if Hashtbl.mem t.disabled key then begin
-        Hashtbl.remove t.disabled key;
+      if Intset.mem t.disabled key then begin
+        Intset.remove t.disabled key;
         t.pending_add <- (at, via) :: t.pending_add
       end
     end
-    else if not (Hashtbl.mem t.disabled key) then begin
-      Hashtbl.add t.disabled key ();
+    else if not (Intset.mem t.disabled key) then begin
+      Intset.add t.disabled key;
       t.pending_remove <- (at, via) :: t.pending_remove
     end
 
   (* DFS over the current edge set from the states touched by re-enabled
-     edges; true iff a cycle is reachable from them.  Epoch-stamped
-     colors so the 2n scratch arrays are never cleared between scans. *)
+     edges; true iff a cycle is reachable from them.  Any new cycle, and
+     any path newly connecting a source root to an old cycle, runs
+     through a re-enabled edge — its endpoints (both tags and every
+     entering slot, a conservative superset of the gated states) seed
+     {!Automaton.cycle_from}. *)
   let region_scan t adds =
     t.region_scans <- t.region_scans + 1;
-    t.epoch <- t.epoch + 1;
-    let epoch = t.epoch in
-    let color s = if t.visit_epoch.(s) = epoch then t.scan_color.(s) else 0 in
-    let set_color s c =
-      t.visit_epoch.(s) <- epoch;
-      t.scan_color.(s) <- c
-    in
-    let enabled = enabled_of t in
-    let slots = t.slots in
-    let max_alt = match t.k with None -> Stdlib.max_int | Some kk -> kk in
-    let enc v tag slot = (((2 * v) + (if tag then 1 else 0)) * slots) + slot in
-    let mslot (m : move) = if slots = 1 then 0 else m.slot in
-    let explored = ref 0 in
-    let found = ref false in
-    let stack = Stack.create () in
-    let push v tag slot =
-      set_color (enc v tag slot) 1;
-      incr explored;
-      Stack.push
-        ( v,
-          tag,
-          slot,
-          ref (edges ~tag_check:t.tag_check ~enabled ~max_alt t.g t.rt v tag) )
-        stack
-    in
-    let drive () =
-      while (not !found) && not (Stack.is_empty stack) do
-        let v, tag, slot, rest = Stack.top stack in
-        match !rest with
-        | [] ->
-          set_color (enc v tag slot) 2;
-          ignore (Stack.pop stack)
-        | (m, w, wtag) :: tl -> (
-          rest := tl;
-          match color (enc w wtag (mslot m)) with
-          | 1 -> found := true
-          | 0 -> push w wtag (mslot m)
-          | _ -> ())
-      done
-    in
-    (* Any new cycle, and any path newly connecting a source root to an
-       old cycle, runs through a re-enabled edge — its endpoints (both
-       tags and every entering slot, a conservative superset of the
-       gated states) seed the scan. *)
-    List.iter
-      (fun (at, via) ->
-        List.iter
-          (fun v ->
-            List.iter
-              (fun tag ->
-                for slot = 0 to slots - 1 do
-                  if (not !found) && color (enc v tag slot) = 0 then begin
-                    push v tag slot;
-                    drive ()
-                  end
-                done)
-              [ false; true ])
-          [ at; via ])
-      adds;
-    (!found, !explored)
+    let seeds = List.concat_map (fun (at, via) -> [ at; via ]) adds in
+    Automaton.cycle_from t.auto ~scratch:t.scratch ~seeds
 
   let recheck t =
     let adds = t.pending_add and removes = t.pending_remove in
@@ -374,28 +284,91 @@ module Inc = struct
     t.last
 end
 
+(* The valley audit, chain-first.  A RIB path at [v] via entry [e] is
+   [v :: default_path (e.via)], so both its hop count and its
+   valley-freeness are functions of [e]'s direct hop plus a property of
+   [via]'s default chain alone.  Per destination we memoize, for every
+   node [w], the chain depth (hop count of [w]'s default path) and a
+   2-bit validity mask of the chain under the valley automaton's two
+   future-constraint states — S0 "anything allowed next" (still inside
+   the Up* prefix) and S1 "only Down allowed" (a Flat or Down hop has
+   been taken).  Each RIB entry is then audited in O(1) from the packed
+   accessors; the boxed path materialises only on the cold violation
+   path.  This is what keeps the 44K audit inside the CSR arena
+   (previously: one boxed list per RIB entry via [rib_paths]). *)
+let ok_s0 = 1 (* chain valid when entered in S0 *)
+let ok_s1 = 2 (* chain valid when entered in S1 *)
+
+let chain_masks g rt =
+  let n = As_graph.n g in
+  let dest = Routing.dest rt in
+  let depth = Array.make n (-1) in
+  let okmask = Array.make n (-1) in
+  depth.(dest) <- 0;
+  okmask.(dest) <- ok_s0 lor ok_s1;
+  let compute w0 =
+    (* walk the default chain to the first memoized node, then unwind *)
+    let rec walk w acc =
+      if depth.(w) >= 0 then acc
+      else
+        match Routing.next_hop rt w with
+        | None -> acc (* unreachable: caller reports, chain unused *)
+        | Some nh -> walk nh ((w, nh) :: acc)
+    in
+    List.iter
+      (fun (w, nh) ->
+        depth.(w) <- 1 + depth.(nh);
+        let hop = Relationship.hop_of (As_graph.rel_exn g w nh) in
+        let nh_ok = okmask.(nh) in
+        let s0_ok =
+          match hop with
+          | Relationship.Up -> nh_ok land ok_s0 <> 0
+          | Relationship.Flat | Relationship.Down -> nh_ok land ok_s1 <> 0
+        in
+        let s1_ok =
+          match hop with
+          | Relationship.Down -> nh_ok land ok_s1 <> 0
+          | Relationship.Up | Relationship.Flat -> false
+        in
+        okmask.(w) <- (if s0_ok then ok_s0 else 0) lor if s1_ok then ok_s1 else 0)
+      (walk w0 [])
+  in
+  (depth, okmask, compute)
+
 let check_paths g rt =
   let dest = Routing.dest rt in
   let n = As_graph.n g in
   let violations = ref [] in
   let count = ref 0 in
+  let depth, okmask, compute_chain = chain_masks g rt in
   for v = 0 to n - 1 do
     if v <> dest then
       if not (Routing.reachable rt v) then
         violations := Report.Unreachable { dest; node = v } :: !violations
-      else
-        List.iter
-          (fun ((e : Routing.rib_entry), p) ->
-            incr count;
-            let actual = List.length p - 1 in
-            if actual <> e.len then
-              violations :=
-                Report.Rib_len_mismatch
-                  { dest; at = v; via = e.via; expected = e.len; actual }
-                :: !violations;
-            if not (As_graph.path_is_valley_free g p) then
-              violations :=
-                Report.Valley_path { dest; at = v; via = e.via; path = p } :: !violations)
-          (Routing.rib_paths rt v)
+      else begin
+        let k = Routing.rib_size rt v in
+        for i = 0 to k - 1 do
+          incr count;
+          let via = Routing.rib_via rt v i in
+          if depth.(via) < 0 then compute_chain via;
+          let actual = 1 + depth.(via) in
+          if actual <> Routing.rib_len_at rt v i then
+            violations :=
+              Report.Rib_len_mismatch
+                { dest; at = v; via; expected = Routing.rib_len_at rt v i; actual }
+              :: !violations;
+          let hop = Relationship.hop_of (Routing.rib_rel_at rt v i) in
+          let valley_free =
+            match hop with
+            | Relationship.Up -> okmask.(via) land ok_s0 <> 0
+            | Relationship.Flat | Relationship.Down -> okmask.(via) land ok_s1 <> 0
+          in
+          if not valley_free then
+            violations :=
+              Report.Valley_path
+                { dest; at = v; via; path = v :: Routing.default_path rt via }
+              :: !violations
+        done
+      end
   done;
   (List.rev !violations, !count)

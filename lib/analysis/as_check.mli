@@ -11,7 +11,7 @@
     checked here exhaustively, with a concrete counterexample on
     failure that replays through the dynamic walker. *)
 
-type move = {
+type move = Automaton.move = {
   at : int;  (** the AS making the decision *)
   tag : bool;  (** the tag the packet carries there *)
   via : int;  (** the chosen next-hop AS *)
@@ -28,6 +28,12 @@ type counterexample = {
 }
 
 type loop_result = { counterexample : counterexample option; states_explored : int }
+
+val find_loop_in : Automaton.t -> loop_result
+(** The loop check over an already-built automaton — any overlay, any
+    bound.  {!find_loop} below is this over a fresh automaton with a
+    deflection overlay; the property suite ({!Props}) runs it under
+    failed-link overlays. *)
 
 val find_loop :
   ?tag_check:bool ->
@@ -110,7 +116,9 @@ val replay :
 
 val check_paths :
   Mifo_topology.As_graph.t -> Mifo_bgp.Routing.t -> Report.violation list * int
-(** Audit every RIB-derivable path ({!Mifo_bgp.Routing.rib_paths}) of
-    every AS: valley-free compliance and advertised-length agreement,
-    plus reachability.  Returns the violations and the number of paths
-    checked. *)
+(** Audit every RIB-derivable path of every AS: valley-free compliance
+    and advertised-length agreement, plus reachability.  Returns the
+    violations and the number of paths checked.  Runs over the packed
+    {!Mifo_bgp.Routing.rib_via}/[rib_len_at]/[rib_rel_at] accessors with
+    per-destination chain memos — O(1) and allocation-free per RIB
+    entry; boxed paths materialise only inside violation records. *)

@@ -11,16 +11,57 @@ type violation =
   | Dangling_fib_port of { node : int; prefix : string; port : int; reason : string }
   | Ebgp_tunnel_egress of { node : int; endpoint : int; port : int; prefix : string }
   | Unreachable of { dest : int; node : int }
+  | Black_hole of {
+      dest : int;
+      at : int;
+      path : int list;
+      moves : Automaton.move list;
+      failed_link : (int * int) option;
+    }
+  | Stretch_exceeded of {
+      dest : int;
+      src : int;
+      default_len : int;
+      actual_len : int;
+      bound : int;
+      path : int list;
+      moves : Automaton.move list;
+    }
+  | Failure_loop of {
+      dest : int;
+      failed_link : int * int;
+      entry : int list;
+      cycle : int list;
+    }
 
 type stats = {
   dests_checked : int;
   states_explored : int;
   paths_checked : int;
   fib_entries_checked : int;
+  delivery_states : int;
+  stranded_states : int;
+  stretch_states : int;
+  max_stretch : int;
+  failed_links : int;
+  unprotectable_links : int;
+  resilience_full_checks : int;
 }
 
 let empty_stats =
-  { dests_checked = 0; states_explored = 0; paths_checked = 0; fib_entries_checked = 0 }
+  {
+    dests_checked = 0;
+    states_explored = 0;
+    paths_checked = 0;
+    fib_entries_checked = 0;
+    delivery_states = 0;
+    stranded_states = 0;
+    stretch_states = 0;
+    max_stretch = 0;
+    failed_links = 0;
+    unprotectable_links = 0;
+    resilience_full_checks = 0;
+  }
 
 let add_stats a b =
   {
@@ -28,6 +69,13 @@ let add_stats a b =
     states_explored = a.states_explored + b.states_explored;
     paths_checked = a.paths_checked + b.paths_checked;
     fib_entries_checked = a.fib_entries_checked + b.fib_entries_checked;
+    delivery_states = a.delivery_states + b.delivery_states;
+    stranded_states = a.stranded_states + b.stranded_states;
+    stretch_states = a.stretch_states + b.stretch_states;
+    max_stretch = Stdlib.max a.max_stretch b.max_stretch;
+    failed_links = a.failed_links + b.failed_links;
+    unprotectable_links = a.unprotectable_links + b.unprotectable_links;
+    resilience_full_checks = a.resilience_full_checks + b.resilience_full_checks;
   }
 
 type t = { violations : violation list; stats : stats }
@@ -48,9 +96,27 @@ let kind_of = function
   | Dangling_fib_port _ -> "dangling-fib-port"
   | Ebgp_tunnel_egress _ -> "ebgp-tunnel-egress"
   | Unreachable _ -> "unreachable"
+  | Black_hole _ -> "black-hole"
+  | Stretch_exceeded _ -> "stretch"
+  | Failure_loop _ -> "failure-loop"
 
 let num i = Json.Num (float_of_int i)
 let path_json p = Json.Arr (List.map num p)
+
+let moves_json moves =
+  Json.Arr
+    (List.map
+       (fun (m : Automaton.move) ->
+         Json.Obj
+           [
+             ("at", num m.at);
+             ("via", num m.via);
+             ("slot", num m.slot);
+             ("deflected", Json.Bool m.deflected);
+           ])
+       moves)
+
+let link_json (u, v) = Json.Arr [ num u; num v ]
 
 let violation_to_json v =
   Json.Obj
@@ -88,7 +154,33 @@ let violation_to_json v =
         ("port", num port);
         ("prefix", Json.Str prefix);
       ]
-    | Unreachable { dest; node } -> [ ("dest", num dest); ("node", num node) ]))
+    | Unreachable { dest; node } -> [ ("dest", num dest); ("node", num node) ]
+    | Black_hole { dest; at; path; moves; failed_link } ->
+      [
+        ("dest", num dest);
+        ("at", num at);
+        ("path", path_json path);
+        ("moves", moves_json moves);
+        ( "failed_link",
+          match failed_link with None -> Json.Null | Some l -> link_json l );
+      ]
+    | Stretch_exceeded { dest; src; default_len; actual_len; bound; path; moves } ->
+      [
+        ("dest", num dest);
+        ("src", num src);
+        ("default_len", num default_len);
+        ("actual_len", num actual_len);
+        ("bound", num bound);
+        ("path", path_json path);
+        ("moves", moves_json moves);
+      ]
+    | Failure_loop { dest; failed_link; entry; cycle } ->
+      [
+        ("dest", num dest);
+        ("failed_link", link_json failed_link);
+        ("entry", path_json entry);
+        ("cycle", path_json cycle);
+      ]))
 
 let path_to_string p = String.concat " -> " (List.map string_of_int p)
 
@@ -114,6 +206,21 @@ let violation_to_string v =
       prefix port node endpoint
   | Unreachable { dest; node } ->
     Printf.sprintf "node %d has no route toward destination %d" node dest
+  | Black_hole { dest; at; path; failed_link; _ } ->
+    Printf.sprintf "black hole toward %d: packet stranded at AS %d via %s%s" dest at
+      (path_to_string path)
+      (match failed_link with
+      | None -> ""
+      | Some (u, v) -> Printf.sprintf " (link %d-%d down)" u v)
+  | Stretch_exceeded { dest; src; default_len; actual_len; bound; path; _ } ->
+    Printf.sprintf
+      "stretch bound exceeded toward %d from AS %d: %d hop(s) vs default %d (bound \
+       +%d): %s"
+      dest src actual_len default_len bound (path_to_string path)
+  | Failure_loop { dest; failed_link = u, v; entry; cycle } ->
+    Printf.sprintf "forwarding loop toward %d under failed link %d-%d: cycle %s%s" dest
+      u v (path_to_string cycle)
+      (if entry = [] then "" else Printf.sprintf " entered via %s" (path_to_string entry))
 
 let to_json t =
   Json.Obj
@@ -127,6 +234,13 @@ let to_json t =
             ("states_explored", num t.stats.states_explored);
             ("paths_checked", num t.stats.paths_checked);
             ("fib_entries_checked", num t.stats.fib_entries_checked);
+            ("delivery_states", num t.stats.delivery_states);
+            ("stranded_states", num t.stats.stranded_states);
+            ("stretch_states", num t.stats.stretch_states);
+            ("max_stretch", num t.stats.max_stretch);
+            ("failed_links", num t.stats.failed_links);
+            ("unprotectable_links", num t.stats.unprotectable_links);
+            ("resilience_full_checks", num t.stats.resilience_full_checks);
           ] );
     ]
 
@@ -139,5 +253,16 @@ let summary t =
       (if ok t then "clean" else Printf.sprintf "%d violation(s)" (List.length t.violations))
       t.stats.dests_checked t.stats.states_explored t.stats.paths_checked
       t.stats.fib_entries_checked
+  in
+  let head =
+    if t.stats.delivery_states = 0 && t.stats.failed_links = 0 then head
+    else
+      head
+      ^ Printf.sprintf
+          "\nprops: %d delivery state(s) (%d stranded), max stretch %d over %d \
+           state(s), %d failed link(s) swept (%d unprotectable, %d full recheck(s))"
+          t.stats.delivery_states t.stats.stranded_states t.stats.max_stretch
+          t.stats.stretch_states t.stats.failed_links t.stats.unprotectable_links
+          t.stats.resilience_full_checks
   in
   String.concat "\n" (head :: List.map (fun v -> "  " ^ violation_to_string v) t.violations)

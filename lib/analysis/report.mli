@@ -36,12 +36,49 @@ type violation =
   | Unreachable of { dest : int; node : int }
       (** A node with no route toward a destination the control plane
           says is reachable. *)
+  | Black_hole of {
+      dest : int;
+      at : int;  (** the stranded AS: root-reachable, cannot reach [dest] *)
+      path : int list;  (** concrete AS path from a source to [at], inclusive *)
+      moves : Automaton.move list;  (** the decision script along [path] *)
+      failed_link : (int * int) option;  (** the failure overlay, if any *)
+    }
+      (** A root-reachable automaton state that cannot co-reach the
+          destination — a deflection strategy exists that strands the
+          packet.  Replaying [moves] through {!Mifo_core.Loop_walk.walk}
+          (with [?link_up] masking [failed_link]) must come back
+          [Dropped]. *)
+  | Stretch_exceeded of {
+      dest : int;
+      src : int;  (** the source whose worst path overshoots *)
+      default_len : int;  (** its default AS-path length *)
+      actual_len : int;  (** the worst deliverable deflection path length *)
+      bound : int;  (** the allowed excess over [default_len] *)
+      path : int list;  (** a concrete worst path, source to destination *)
+      moves : Automaton.move list;  (** its decision script; replays [Delivered] *)
+    }
+      (** A deflection path longer than default + bound. *)
+  | Failure_loop of {
+      dest : int;
+      failed_link : int * int;
+      entry : int list;
+      cycle : int list;
+    }
+      (** A forwarding loop that appears only under the single-link
+          failure overlay (mask + local repair). *)
 
 type stats = {
   dests_checked : int;
   states_explored : int;  (** product-automaton states visited *)
   paths_checked : int;  (** RIB paths audited for valleys/lengths *)
   fib_entries_checked : int;
+  delivery_states : int;  (** collapsed states examined by the delivery check *)
+  stranded_states : int;  (** root-reachable states that cannot deliver *)
+  stretch_states : int;  (** states with a finite worst-path length *)
+  max_stretch : int;  (** worst observed stretch; {!add_stats} takes the max *)
+  failed_links : int;  (** default-tree links swept by resilience *)
+  unprotectable_links : int;  (** failed links with no surviving RIB route *)
+  resilience_full_checks : int;  (** sweeps that escalated to a full re-check *)
 }
 
 val empty_stats : stats

@@ -1,43 +1,39 @@
 module As_graph = Mifo_topology.As_graph
 module Routing_table = Mifo_bgp.Routing_table
 module Packetsim = Mifo_netsim.Packetsim
+module Parallel = Mifo_util.Parallel
 
-let verify_as_level ?(tag_check = true) ?k g ~table ~dests =
-  let reports =
-    List.map
-      (fun d ->
-        let rt = Routing_table.get table d in
-        let { As_check.counterexample; states_explored } =
-          As_check.find_loop ~tag_check ?k g rt
-        in
-        let loop_viols =
-          match counterexample with
-          | None -> []
-          | Some cx ->
-            [
-              Report.Forwarding_loop
-                {
-                  dest = d;
-                  level = Report.As_level;
-                  entry = cx.As_check.entry;
-                  cycle = cx.As_check.cycle;
-                };
-            ]
-        in
-        let path_viols, paths_checked = As_check.check_paths g rt in
-        {
-          Report.violations = loop_viols @ path_viols;
-          stats =
-            {
-              Report.dests_checked = 1;
-              states_explored;
-              paths_checked;
-              fib_entries_checked = 0;
-            };
-        })
-      dests
+(* One destination: the requested property suite plus the RIB path
+   audit.  Pure per-destination; the fan-out below runs it on the
+   domain pool with slot-indexed result writes, so the merged report is
+   bit-identical at any MIFO_JOBS. *)
+let verify_dest ?tag_check ?k ?stretch_bound ?fail_link ?fail_links ?seed ~props g
+    ~table d =
+  let rt = Routing_table.get table d in
+  let prop_report =
+    Props.verify_dest ?tag_check ?k ?stretch_bound ?fail_link ?fail_links ?seed
+      ~props g rt
   in
-  Report.merge reports
+  let path_viols, paths_checked = As_check.check_paths g rt in
+  {
+    Report.violations = prop_report.Report.violations @ path_viols;
+    stats = { prop_report.Report.stats with Report.paths_checked };
+  }
+
+let verify_props ?tag_check ?k ?stretch_bound ?fail_link ?fail_links ?seed ?pool
+    ?(props = Props.all) g ~table ~dests =
+  let pool = match pool with Some p -> p | None -> Parallel.get_default () in
+  let reports =
+    Parallel.parallel_map pool
+      (verify_dest ?tag_check ?k ?stretch_bound ?fail_link ?fail_links ?seed ~props g
+         ~table)
+      (Array.of_list dests)
+  in
+  (* Merge in destination order — independent of domain scheduling. *)
+  Report.merge (Array.to_list reports)
+
+let verify_as_level ?tag_check ?k g ~table ~dests =
+  verify_props ?tag_check ?k ~props:[ Props.Loops ] g ~table ~dests
 
 let verify_network sim ~routing =
   let fib_viols, fib_entries_checked = Net_check.audit_fibs sim ~routing in
@@ -46,9 +42,9 @@ let verify_network sim ~routing =
     Report.violations = fib_viols @ loop_viols;
     stats =
       {
+        Report.empty_stats with
         Report.dests_checked = List.length routing;
         states_explored;
-        paths_checked = 0;
         fib_entries_checked;
       };
   }

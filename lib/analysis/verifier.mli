@@ -7,6 +7,27 @@
     built packet network (FIB audits and the tunnel-aware product
     automaton). *)
 
+val verify_props :
+  ?tag_check:bool ->
+  ?k:int ->
+  ?stretch_bound:int ->
+  ?fail_link:int * int ->
+  ?fail_links:int ->
+  ?seed:int ->
+  ?pool:Mifo_util.Parallel.pool ->
+  ?props:Props.prop list ->
+  Mifo_topology.As_graph.t ->
+  table:Mifo_bgp.Routing_table.t ->
+  dests:int list ->
+  Report.t
+(** Run the {!Props} property suite (default: all four properties) plus
+    the {!As_check.check_paths} audit for every listed destination,
+    fanned out over the {!Mifo_util.Parallel} domain pool ([?pool]
+    defaults to the shared one).  Results are written into slots indexed
+    by destination and merged in destination order, so the report is
+    bit-identical at any [MIFO_JOBS].  Per-property options as in
+    {!Props.verify_dest}. *)
+
 val verify_as_level :
   ?tag_check:bool ->
   ?k:int ->

@@ -3,7 +3,7 @@ module Relationship = Mifo_topology.Relationship
 module Routing = Mifo_bgp.Routing
 
 type decision = Default | Deflect of int
-type drop_reason = Valley | No_route | Dead_end
+type drop_reason = Valley | No_route | Dead_end | Link_down
 
 type outcome =
   | Delivered of int list
@@ -16,10 +16,11 @@ type outcome =
 let cycle_of_path path i =
   List.filteri (fun j _ -> j >= i) path
 
-let walk ?(tag_check = true) ?max_hops g rt ~decide ~src =
+let walk ?(tag_check = true) ?link_up ?max_hops g rt ~decide ~src =
   let dest = Routing.dest rt in
   let n = As_graph.n g in
   let max_hops = match max_hops with Some m -> m | None -> (2 * n) + 4 in
+  let link_up u v = match link_up with None -> true | Some f -> f u v in
   let seen = Hashtbl.create 64 in (* lint:allow replay-only cold path *)
   (* state: current AS, the AS we came from (None at the source), the
      reversed path so far *)
@@ -41,14 +42,33 @@ let walk ?(tag_check = true) ?max_hops g rt ~decide ~src =
         let entries = Routing.rib rt v in
         match entries with
         | [] -> Dropped { path = List.rev rev_path; at = v; reason = Dead_end }
-        | default :: _ -> (
+        | default :: alternatives -> (
           match decide ~as_id:v ~upstream ~entries with
-          | Default -> step default.Routing.via (Some v) rev_path (hops + 1)
+          | Default ->
+            if link_up v default.Routing.via then
+              step default.Routing.via (Some v) rev_path (hops + 1)
+            else begin
+              (* Local repair: the default egress link is down, so the
+                 node's FIB has reconverged onto its best surviving RIB
+                 route, followed unconditionally (it is the new default,
+                 not a deflection — no Tag-Check).  With no surviving
+                 route the packet is stranded. *)
+              match
+                List.find_opt
+                  (fun (e : Routing.rib_entry) -> link_up v e.via)
+                  alternatives
+              with
+              | Some e -> step e.via (Some v) rev_path (hops + 1)
+              | None ->
+                Dropped { path = List.rev rev_path; at = v; reason = Link_down }
+            end
           | Deflect nb -> (
             match
               List.find_opt (fun (e : Routing.rib_entry) -> e.via = nb) entries
             with
             | None -> Dropped { path = List.rev rev_path; at = v; reason = No_route }
+            | Some e when not (link_up v e.via) ->
+              Dropped { path = List.rev rev_path; at = v; reason = Link_down }
             | Some e ->
               let upstream_rel =
                 match upstream with

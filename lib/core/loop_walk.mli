@@ -12,7 +12,14 @@ type decision =
   | Default  (** follow the default next hop *)
   | Deflect of int  (** deflect to this RIB neighbor *)
 
-type drop_reason = Valley | No_route | Dead_end
+type drop_reason =
+  | Valley  (** deflection rejected by the Tag-Check *)
+  | No_route  (** deflection toward a neighbor that exported no route *)
+  | Dead_end  (** a node with an empty RIB *)
+  | Link_down
+      (** stranded by a failed link: the chosen hop's link is down and —
+          for a default hop — no surviving RIB route exists to repair
+          onto.  Only reachable with [?link_up]. *)
 
 type outcome =
   | Delivered of int list  (** the full AS path, source to destination *)
@@ -28,6 +35,7 @@ type outcome =
 
 val walk :
   ?tag_check:bool ->
+  ?link_up:(int -> int -> bool) ->
   ?max_hops:int ->
   Mifo_topology.As_graph.t ->
   Mifo_bgp.Routing.t ->
@@ -47,6 +55,16 @@ val walk :
     [Dropped Valley] — exactly the engine's behaviour; with
     [tag_check:false] the deflection proceeds unchecked, which is the
     legacy multi-path data plane the theorem shows can loop.
+
+    [?link_up u v] (default: everything up) masks failed physical
+    links: a default hop over a down link repairs locally onto the
+    first surviving RIB route (unconditionally — it is the new
+    default), or strands the packet with [Dropped Link_down] when none
+    survives; a [Deflect] over a down link strands it directly.  This
+    is the dynamic counterpart of the static failure model
+    ({!Mifo_analysis}'s resilience and delivery checks replay their
+    counterexamples through it).
+
     [max_hops] defaults to [2 * As_graph.n g + 4]; exceeding it (or
     revisiting an AS with the same upstream) reports [Looped], carrying
     the concrete cycle when a state was revisited. *)

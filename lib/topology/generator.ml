@@ -248,3 +248,23 @@ let k2_gadget () =
         (2, 0, As_graph.Peer_peer);
         (1, 2, As_graph.Peer_peer);
       ]
+
+let black_hole_gadget () =
+  As_graph.create ~n:4
+    ~edges:
+      [
+        (2, 1, As_graph.Provider_customer);
+        (3, 1, As_graph.Provider_customer);
+        (0, 2, As_graph.Provider_customer);
+        (0, 3, As_graph.Provider_customer);
+      ]
+
+let stretch_gadget () =
+  As_graph.create ~n:4
+    ~edges:
+      [
+        (1, 2, As_graph.Provider_customer);
+        (2, 3, As_graph.Provider_customer);
+        (3, 0, As_graph.Provider_customer);
+        (1, 0, As_graph.Provider_customer);
+      ]

@@ -64,3 +64,26 @@ val k2_gadget : unit -> As_graph.t
     entry.  Only when the ranked set admits the second-ranked
     alternative (k ≥ 2) do the 1→2 and 2→1 deflection edges both
     open, closing the cycle. *)
+
+val black_hole_gadget : unit -> As_graph.t
+(** A 4-AS topology that strands packets when one link fails: AS 1 is a
+    customer of 2 and 3, which are customers of 0 (the destination).
+    Toward 0 every RIB is clean — loops, valleys and stretch all verify
+    — but ASes 2 and 3 are single-homed in the RIB sense (their only
+    route is the direct provider link to 0), so failing link 2–0
+    strands every packet at AS 2 with no repair: the delivery check
+    (and only it) must fail under [--fail-link 2:0], with a
+    counterexample that replays [Dropped] through the dynamic walker.
+    AS 1 deflecting 2→3 survives — which is why the loop check stays
+    clean under the same failure. *)
+
+val stretch_gadget : unit -> As_graph.t
+(** A 4-AS chain with a shortcut: 1→2→3→0 provider–customer chain
+    (downhill toward 0) plus a direct 1→0 link.  Toward destination 0,
+    AS 1 defaults to the direct link (len 1) but holds the 3-hop chain
+    route as an alternative, and AS 2 holds a 2-hop route via its
+    provider 1 next to its 2-hop default via 3.  The worst deliverable
+    deflection path (e.g. 2→1→2→3→0 after a 2→1 then 1→2 deflection
+    pair... the automaton's tag rewriting admits 2→1, 1→2 exactly once)
+    realises stretch 2, so the stretch check — and only it — must fail
+    with [--stretch-bound 1] while loops and delivery verify clean. *)

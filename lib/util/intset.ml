@@ -1,0 +1,93 @@
+(* Flat open-addressed set of nonnegative ints: linear probing over a
+   power-of-two arena with backward-shift deletion — the same machinery
+   as the flat FIB index ({!Mifo_core.Fib}), minus the arena (the key is
+   the payload).  No boxes, no buckets: membership on the verifier's
+   disabled-edge overlay stays one cache line per probe, and a value
+   owned by one domain is safe under the {!Parallel} pool (unlike
+   [Hashtbl], there is no amortised global state). *)
+
+type t = {
+  mutable cap : int;  (* power of two; 0 = never populated *)
+  mutable keys : int array;  (* -1 = empty slot *)
+  mutable live : int;
+}
+
+let empty_ints : int array = [||]
+let create () = { cap = 0; keys = empty_ints; live = 0 }
+
+(* Fibonacci-style multiplicative mix: keys here are [at * n + via]
+   products whose low bits correlate with the topology's id layout; the
+   multiply+xor spreads them before the power-of-two mask. *)
+let[@inline] hash_key k =
+  let h = k * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let find_slot t key =
+  let mask = t.cap - 1 in
+  let rec probe i =
+    let k = t.keys.(i) in
+    if k = key then i else if k = -1 then lnot i else probe ((i + 1) land mask)
+  in
+  probe (hash_key key land mask)
+
+let mem t key = t.cap > 0 && find_slot t key >= 0
+
+let grow t =
+  let old_keys = t.keys in
+  let cap = if t.cap = 0 then 16 else t.cap * 2 in
+  t.cap <- cap;
+  t.keys <- Array.make cap (-1);
+  t.live <- 0;
+  Array.iter
+    (fun k ->
+      if k >= 0 then begin
+        let slot = find_slot t k in
+        t.keys.(lnot slot) <- k;
+        t.live <- t.live + 1
+      end)
+    old_keys
+
+let add t key =
+  if key < 0 then invalid_arg "Intset.add: negative key";
+  if t.cap = 0 || t.live * 2 >= t.cap then grow t;
+  let slot = find_slot t key in
+  if slot < 0 then begin
+    t.keys.(lnot slot) <- key;
+    t.live <- t.live + 1
+  end
+
+(* Backward-shift deletion: re-home every key in the probe run after the
+   vacated slot, so lookups never need tombstones. *)
+let remove t key =
+  if t.cap > 0 then begin
+    let slot = find_slot t key in
+    if slot >= 0 then begin
+      let mask = t.cap - 1 in
+      t.live <- t.live - 1;
+      let hole = ref slot in
+      let i = ref ((slot + 1) land mask) in
+      let continue = ref true in
+      while !continue do
+        let k = t.keys.(!i) in
+        if k = -1 then continue := false
+        else begin
+          let home = hash_key k land mask in
+          (* Is [home] outside the cyclic interval (hole, i]?  Then the
+             key may move back into the hole. *)
+          let dist_hole = (!i - !hole) land mask in
+          let dist_home = (!i - home) land mask in
+          if dist_home >= dist_hole then begin
+            t.keys.(!hole) <- k;
+            hole := !i
+          end;
+          i := (!i + 1) land mask
+        end
+      done;
+      t.keys.(!hole) <- -1
+    end
+  end
+
+let cardinal t = t.live
+let is_empty t = t.live = 0
+
+let iter f t = Array.iter (fun k -> if k >= 0 then f k) t.keys

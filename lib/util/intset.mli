@@ -1,0 +1,27 @@
+(** Flat open-addressed set of nonnegative ints.
+
+    Linear probing over one power-of-two int array with backward-shift
+    deletion — the {!Mifo_core.Fib} flat-index machinery reused as a
+    plain set.  Built for the static verifier's disabled-edge overlays:
+    membership is allocation-free, the representation is two mutable
+    fields and an int array (no [Hashtbl] buckets, safe to own per
+    domain under the {!Parallel} pool), and deletion leaves no
+    tombstones.  Not synchronised: one writer at a time. *)
+
+type t
+
+val create : unit -> t
+(** An empty set.  Storage is allocated on first {!add}. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+(** Idempotent.  @raise Invalid_argument on a negative key. *)
+
+val remove : t -> int -> unit
+(** Absent keys are ignored. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Iteration order is unspecified (slot order). *)

@@ -20,6 +20,9 @@ module As_check = Mifo_analysis.As_check
 module Net_check = Mifo_analysis.Net_check
 module Report = Mifo_analysis.Report
 module Verifier = Mifo_analysis.Verifier
+module Automaton = Mifo_analysis.Automaton
+module Props = Mifo_analysis.Props
+module Parallel = Mifo_util.Parallel
 module Json = Mifo_util.Obs.Json
 
 let gadget = lazy (let g = Generator.fig2a_gadget () in (g, Routing.compute g 0))
@@ -291,10 +294,10 @@ let test_report_json () =
       Report.violations = [ v ];
       stats =
         {
+          Report.empty_stats with
           Report.dests_checked = 1;
           states_explored = 7;
           paths_checked = 5;
-          fib_entries_checked = 0;
         };
     }
   in
@@ -420,6 +423,370 @@ let test_network_ebgp_tunnel_egress () =
     Alcotest.(check int) "the leaking eBGP port" r2_rx port
   | _ -> Alcotest.fail "expected an eBGP-tunnel-egress violation"
 
+(* ---------- the property suite ---------- *)
+
+let all_props = Props.all
+
+(* The black-hole gadget: every property clean when healthy; failing
+   the default-tree link 2-0 strands AS 2 (single-route node, so it is
+   unprotectable and its packets die at the cut), and every static
+   counterexample must replay [Dropped] through the dynamic walker. *)
+let test_black_hole_gadget () =
+  let g = Generator.black_hole_gadget () in
+  let table = Routing_table.create g in
+  let dests = [ 0; 1; 2; 3 ] in
+  let healthy = Verifier.verify_props ~props:all_props g ~table ~dests in
+  Alcotest.(check bool) "healthy gadget: all properties clean" true (Report.ok healthy);
+  let rt = Routing_table.get table 0 in
+  let broken = Props.verify_dest ~props:[ Props.Delivery ] ~fail_link:(2, 0) g rt in
+  Alcotest.(check bool) "failed link 2-0: delivery violated" false (Report.ok broken);
+  Alcotest.(check bool) "every violation is a black hole" true
+    (broken.Report.violations <> []
+    && List.for_all
+         (function Report.Black_hole _ -> true | _ -> false)
+         broken.Report.violations);
+  Alcotest.(check bool) "AS 2 is stranded toward 0" true
+    (List.exists
+       (function Report.Black_hole { at = 2; dest = 0; _ } -> true | _ -> false)
+       broken.Report.violations);
+  Alcotest.(check bool) "stats count the stranded states" true
+    (broken.Report.stats.Report.stranded_states > 0);
+  List.iter
+    (function
+      | Report.Black_hole { path; moves; failed_link; _ } -> (
+        match Props.replay_stranded g rt ~path ~moves ~failed_link with
+        | Loop_walk.Dropped _ -> ()
+        | _ -> Alcotest.fail "black-hole counterexample did not strand dynamically")
+      | _ -> ())
+    broken.Report.violations
+
+(* The stretch gadget: the bounce 2 -> 1 -> 2 -> 3 -> 0 is deliverable
+   at length 4 against a default of 2, so the gadget is clean at the
+   default bound (and reports max stretch 2) but must fail at bound 1,
+   with worst paths that replay [Delivered] at exactly the claimed
+   length. *)
+let test_stretch_gadget () =
+  let g = Generator.stretch_gadget () in
+  let table = Routing_table.create g in
+  let dests = [ 0; 1; 2; 3 ] in
+  let healthy = Verifier.verify_props ~props:all_props g ~table ~dests in
+  Alcotest.(check bool) "healthy gadget: clean at the default bound" true
+    (Report.ok healthy);
+  let rt = Routing_table.get table 0 in
+  let relaxed = Props.verify_dest ~props:[ Props.Stretch ] g rt in
+  Alcotest.(check bool) "clean at the default bound toward 0" true (Report.ok relaxed);
+  Alcotest.(check int) "worst stretch toward 0 is 2" 2
+    relaxed.Report.stats.Report.max_stretch;
+  let tight = Props.verify_dest ~props:[ Props.Stretch ] ~stretch_bound:1 g rt in
+  Alcotest.(check bool) "bound 1: stretch violated" false (Report.ok tight);
+  Alcotest.(check bool) "every violation is a stretch excess" true
+    (tight.Report.violations <> []
+    && List.for_all
+         (function Report.Stretch_exceeded _ -> true | _ -> false)
+         tight.Report.violations);
+  Alcotest.(check bool) "the source of the bounce is reported" true
+    (List.exists
+       (function
+         | Report.Stretch_exceeded { src = 2; default_len = 2; actual_len = 4; _ } ->
+           true
+         | _ -> false)
+       tight.Report.violations);
+  List.iter
+    (function
+      | Report.Stretch_exceeded { path; moves; actual_len; _ } -> (
+        match Props.replay_stretch g rt ~path ~moves with
+        | Loop_walk.Delivered p ->
+          Alcotest.(check int) "replay delivers at the claimed length" actual_len
+            (List.length p - 1)
+        | _ -> Alcotest.fail "stretch counterexample did not deliver dynamically")
+      | _ -> ())
+    tight.Report.violations
+
+(* JSON serialisation of the three new violation classes and the new
+   coverage counters. *)
+let test_props_report_json () =
+  let mv = { Automaton.at = 1; tag = true; via = 2; slot = 1; deflected = true } in
+  let vs =
+    [
+      Report.Black_hole
+        { dest = 0; at = 2; path = [ 1; 2 ]; moves = [ mv ]; failed_link = Some (2, 0) };
+      Report.Stretch_exceeded
+        {
+          dest = 0;
+          src = 2;
+          default_len = 2;
+          actual_len = 4;
+          bound = 1;
+          path = [ 2; 1; 2; 3; 0 ];
+          moves = [ mv ];
+        };
+      Report.Failure_loop
+        { dest = 0; failed_link = (3, 4); entry = [ 5 ]; cycle = [ 3; 4; 3 ] };
+    ]
+  in
+  Alcotest.(check (list string))
+    "kind discriminators"
+    [ "black-hole"; "stretch"; "failure-loop" ]
+    (List.map Report.kind_of vs);
+  let r =
+    {
+      Report.violations = vs;
+      stats =
+        {
+          Report.empty_stats with
+          Report.delivery_states = 3;
+          stranded_states = 1;
+          stretch_states = 2;
+          max_stretch = 4;
+          failed_links = 5;
+          unprotectable_links = 1;
+          resilience_full_checks = 2;
+        };
+    }
+  in
+  let j = Json.parse (Report.to_json_string r) in
+  Alcotest.(check bool) "not ok" true (Json.member "ok" j = Some (Json.Bool false));
+  (match Json.member "violations" j with
+   | Some (Json.Arr [ a; b; c ]) ->
+     List.iter2
+       (fun kind v ->
+         Alcotest.(check bool) (kind ^ " kind field") true
+           (Json.member "kind" v = Some (Json.Str kind)))
+       [ "black-hole"; "stretch"; "failure-loop" ]
+       [ a; b; c ]
+   | _ -> Alcotest.fail "expected three serialised violations");
+  (match Json.member "stats" j with
+   | Some stats ->
+     List.iter
+       (fun (field, v) ->
+         Alcotest.(check bool) field true (Json.member field stats = Some (Json.Num v)))
+       [
+         ("delivery_states", 3.);
+         ("stranded_states", 1.);
+         ("stretch_states", 2.);
+         ("max_stretch", 4.);
+         ("failed_links", 5.);
+         ("unprotectable_links", 1.);
+         ("resilience_full_checks", 2.);
+       ]
+   | None -> Alcotest.fail "missing stats");
+  (* merged coverage: counters sum, the worst stretch is a max *)
+  let other =
+    {
+      Report.violations = [];
+      stats = { Report.empty_stats with Report.max_stretch = 9; failed_links = 1 };
+    }
+  in
+  let m = Report.merge [ r; other ] in
+  Alcotest.(check int) "merge: max_stretch is a max" 9 m.Report.stats.Report.max_stretch;
+  Alcotest.(check int) "merge: failed_links sum" 6 m.Report.stats.Report.failed_links
+
+(* Static delivery verdict vs dynamic stranding under random failed
+   default-tree links.  Every static black hole must replay [Dropped];
+   and when the static check is clean, no adversarial walk restricted to
+   the surviving FIB (the withdrawal model: no deflection onto a route
+   through the failed node, none across the failed link) can strand or
+   loop a packet.  The overlay must also never introduce a loop — the
+   withdrawal model provably preserves loop-freedom. *)
+let prop_delivery_matches_stranding =
+  let topo =
+    lazy
+      (Generator.generate
+         ~params:{ Generator.default_params with Generator.ases = 120; tier1 = 4;
+                   content_providers = 2; content_peer_span = (3, 8) }
+         ~seed:11 ())
+  in
+  QCheck2.Test.make
+    ~name:"static delivery verdict agrees with dynamic stranding" ~count:60
+    QCheck2.Gen.(
+      quad (int_bound 119) (int_bound 119) (int_bound 119) (int_bound 1_000_000))
+    (fun (dst, u, src, salt) ->
+      QCheck2.assume (dst <> u && dst <> src);
+      let t = Lazy.force topo in
+      let g = t.Generator.graph in
+      let rt = Routing.compute g dst in
+      QCheck2.assume (Routing.reachable rt u && Routing.reachable rt src);
+      match Routing.next_hop rt u with
+      | None -> false (* a reachable non-destination always has a next hop *)
+      | Some v ->
+        let r =
+          Props.verify_dest ~props:[ Props.Loops; Props.Delivery ] ~fail_link:(u, v) g
+            rt
+        in
+        let no_loop =
+          List.for_all
+            (function Report.Forwarding_loop _ -> false | _ -> true)
+            r.Report.violations
+        in
+        let strandings =
+          List.filter_map
+            (function
+              | Report.Black_hole { path; moves; failed_link; _ } ->
+                Some (path, moves, failed_link)
+              | _ -> None)
+            r.Report.violations
+        in
+        let replays_strand =
+          List.for_all
+            (fun (path, moves, failed_link) ->
+              match Props.replay_stranded g rt ~path ~moves ~failed_link with
+              | Loop_walk.Dropped _ -> true
+              | _ -> false)
+            strandings
+        in
+        (* [x] sits in [u]'s default subtree — routes via [x] are
+           withdrawn by the failure, exactly {!Automaton.fail_link}. *)
+        let withdrawn x =
+          let rec go x =
+            x = u
+            || (x <> dst
+               && match Routing.next_hop rt x with Some y -> go y | None -> false)
+          in
+          go x
+        in
+        let link_up a b = not ((a = u && b = v) || (a = v && b = u)) in
+        let decide ~as_id ~upstream ~entries =
+          match entries with
+          | [] | [ _ ] -> Loop_walk.Default
+          | _ :: alternatives ->
+            (* the strategy plays only moves the data plane offers: the
+               deflection must survive the withdrawal, its link must be
+               up, and it must pass the Tag-Check (the walker drops
+               inadmissible deflections as [Valley] — not a black
+               hole) *)
+            let upstream_rel =
+              Option.map (fun up -> As_graph.rel_exn g as_id up) upstream
+            in
+            let pool =
+              List.filter
+                (fun (e : Routing.rib_entry) ->
+                  (not (withdrawn e.Routing.via))
+                  && link_up as_id e.Routing.via
+                  && Policy.deflection_allowed ~upstream:upstream_rel
+                       ~downstream:e.Routing.rel)
+                alternatives
+            in
+            let c = Hashtbl.hash (as_id, salt) mod (List.length pool + 1) in
+            if c = 0 then Loop_walk.Default
+            else Loop_walk.Deflect (List.nth pool (c - 1)).Routing.via
+        in
+        let dynamic_consistent =
+          strandings <> []
+          ||
+          match Loop_walk.walk ~link_up g rt ~decide ~src with
+          | Loop_walk.Delivered _ -> true
+          | Loop_walk.Dropped _ | Loop_walk.Looped _ -> false
+        in
+        no_loop && replays_strand && dynamic_consistent)
+
+(* The parallel fan-out must be bit-identical to the serial run: same
+   JSON byte-for-byte at any job count (the 44K bench asserts the same
+   identity at scale). *)
+let prop_parallel_matches_serial =
+  let fixture =
+    lazy
+      (let topo =
+         Generator.generate
+           ~params:{ Generator.default_params with Generator.ases = 120; tier1 = 4;
+                     content_providers = 2; content_peer_span = (3, 8) }
+           ~seed:13 ()
+       in
+       let g = topo.Generator.graph in
+       (g, Routing_table.create g))
+  in
+  QCheck2.Test.make
+    ~name:"parallel property report is bit-identical to serial (4 jobs)" ~count:8
+    QCheck2.Gen.(pair (int_bound 1_000_000) (list_size (int_range 1 6) (int_bound 119)))
+    (fun (seed, dests) ->
+      let g, table = Lazy.force fixture in
+      let dests = List.sort_uniq Int.compare dests in
+      let serial = Parallel.create ~jobs:1 () in
+      let four = Parallel.create ~jobs:4 () in
+      let a =
+        Verifier.verify_props ~pool:serial ~fail_links:4 ~seed ~props:all_props g ~table
+          ~dests
+      in
+      let b =
+        Verifier.verify_props ~pool:four ~fail_links:4 ~seed ~props:all_props g ~table
+          ~dests
+      in
+      Parallel.shutdown serial;
+      Parallel.shutdown four;
+      Report.to_json_string a = Report.to_json_string b)
+
+(* The resilience sweep's certificates vs N independent full checks:
+   per failed link, the sweep's verdict (loop? how many strandings?)
+   must equal a full loop + delivery check under the same overlay, and
+   the sweep must cover exactly the protectable default-tree links plus
+   the unprotectable ones it counts. *)
+let prop_resilience_matches_full =
+  let topo =
+    lazy
+      (Generator.generate
+         ~params:{ Generator.default_params with Generator.ases = 60; tier1 = 3;
+                   content_providers = 2; content_peer_span = (3, 6) }
+         ~seed:17 ())
+  in
+  QCheck2.Test.make ~name:"resilience sweep agrees with independent full checks"
+    ~count:20
+    QCheck2.Gen.(int_bound 59)
+    (fun dst ->
+      let t = Lazy.force topo in
+      let g = t.Generator.graph in
+      let rt = Routing.compute g dst in
+      let sweep = Props.verify_dest ~props:[ Props.Loops; Props.Resilience ] g rt in
+      let ok =
+        ref
+          (List.for_all
+             (function Report.Forwarding_loop _ -> false | _ -> true)
+             sweep.Report.violations)
+      in
+      let n = As_graph.n g in
+      let protectable = ref 0 in
+      for u = 0 to n - 1 do
+        if u <> dst && Routing.reachable rt u && Routing.rib_size rt u >= 2 then begin
+          match Routing.next_hop rt u with
+          | None -> ()
+          | Some v ->
+            incr protectable;
+            let full =
+              Props.verify_dest ~props:[ Props.Loops; Props.Delivery ]
+                ~fail_link:(u, v) g rt
+            in
+            let count p l = List.length (List.filter p l) in
+            let full_loop =
+              List.exists
+                (function Report.Forwarding_loop _ -> true | _ -> false)
+                full.Report.violations
+            in
+            let full_stranded =
+              count
+                (function Report.Black_hole _ -> true | _ -> false)
+                full.Report.violations
+            in
+            let sweep_loop =
+              List.exists
+                (function
+                  | Report.Failure_loop { failed_link = (a, b); _ } -> a = u && b = v
+                  | _ -> false)
+                sweep.Report.violations
+            in
+            let sweep_stranded =
+              count
+                (function
+                  | Report.Black_hole { failed_link = Some (a, b); _ } ->
+                    a = u && b = v
+                  | _ -> false)
+                sweep.Report.violations
+            in
+            if full_loop <> sweep_loop || full_stranded <> sweep_stranded then
+              ok := false
+        end
+      done;
+      !ok
+      && sweep.Report.stats.Report.failed_links
+         = !protectable + sweep.Report.stats.Report.unprotectable_links)
+
 let () =
   Alcotest.run "mifo_analysis"
     [
@@ -440,7 +807,22 @@ let () =
             test_inc_gadget_toggle;
           QCheck_alcotest.to_alcotest prop_incremental_matches_full;
         ] );
-      ("report", [ Alcotest.test_case "JSON round-trip" `Quick test_report_json ]);
+      ( "report",
+        [
+          Alcotest.test_case "JSON round-trip" `Quick test_report_json;
+          Alcotest.test_case "property-suite violations round-trip" `Quick
+            test_props_report_json;
+        ] );
+      ( "props",
+        [
+          Alcotest.test_case "black-hole gadget: clean healthy, strands cut"
+            `Quick test_black_hole_gadget;
+          Alcotest.test_case "stretch gadget: clean at default bound, fails at 1"
+            `Quick test_stretch_gadget;
+          QCheck_alcotest.to_alcotest prop_delivery_matches_stranding;
+          QCheck_alcotest.to_alcotest prop_parallel_matches_serial;
+          QCheck_alcotest.to_alcotest prop_resilience_matches_full;
+        ] );
       ( "net_check",
         [
           Alcotest.test_case "gadget network clean" `Quick test_network_gadget_clean;
