@@ -106,8 +106,11 @@ static-check:
 # packetsim event loop), both eventq engines must report bit-identical
 # event counts and completions (the bench exits 1 on any divergence,
 # and the JSON is re-checked here), and BENCH_sim.json must be
-# well-formed JSON.  A second leg runs the routing track on a downsized
-# 44K-shaped topology and asserts the CSR/boxed RIBs and the
+# well-formed JSON.  The sharded legs run each workload at domains=1
+# and domains=2/4 and must be bit-identical to the serial oracle; the
+# JSON must record the jobs actually used and must not quote a shard
+# speedup on a 1-core box.  A second leg runs the routing track on a
+# downsized 44K-shaped topology and asserts the CSR/boxed RIBs and the
 # incremental/full verifier verdicts agree, that jobs/peak-memory are
 # recorded, and that no speedup is quoted on a 1-core box.  Perf numbers
 # at these sizes are meaningless; the full run is `make bench`.
@@ -115,6 +118,8 @@ bench-smoke:
 	MIFO_SIM_ASES=60 MIFO_SIM_FLOWS=60 MIFO_SIM_TIME=5 \
 	MIFO_PKT_ASES=4 MIFO_PKT_FLOWS=4 MIFO_PKT_KB=50 \
 	MIFO_PKT2_ASES=8 MIFO_PKT2_FLOWS=6 MIFO_PKT2_KB=50 \
+	MIFO_SHARD_ASES=6 MIFO_SHARD_FLOWS=8 MIFO_SHARD_KB=100 \
+	MIFO_SHARD2_ROUTERS=24 MIFO_SHARD2_FLOWS=8 MIFO_SHARD2_KB=100 \
 	MIFO_BENCH_SIM_OUT=_build/BENCH_sim-smoke.json \
 		dune exec bench/main.exe -- sim
 	@if command -v python3 >/dev/null 2>&1; then \
@@ -124,9 +129,16 @@ bench-smoke:
 rows=(d.get("packetsim") or [])+d["flowsim"]; \
 assert rows, "no bench rows"; \
 bad=[r["label"] for r in rows if not r["bit_identical"]]; \
-assert not bad, "engines diverged: %s" % bad' \
+assert not bad, "engines diverged: %s" % bad; \
+sh=d.get("shard") or []; \
+assert sh, "no shard rows"; \
+bad=[r["label"] for r in sh if not r["bit_identical"]]; \
+assert not bad, "sharded runs diverged from the serial oracle: %s" % bad; \
+assert all("jobs" in r and r["runs"] for r in sh), "shard jobs/runs not recorded"; \
+assert d["machine"]["cores"] > 1 or all("speedup" not in r for r in sh), \
+	"shard speedup quoted on a 1-core box"' \
 			_build/BENCH_sim-smoke.json && \
-		echo "bench-smoke: heap and wheel engines bit-identical"; \
+		echo "bench-smoke: heap/wheel engines and sharded runs bit-identical"; \
 	else \
 		echo "bench-smoke: python3 not installed, skipping JSON parse check"; \
 	fi

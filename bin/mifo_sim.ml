@@ -21,6 +21,38 @@ module Obs = Mifo_util.Obs
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ]
+        ~env:(Cmd.Env.info "MIFO_JOBS" ~doc:"Same as $(b,--jobs).")
+        ~docv:"N"
+        ~doc:
+          "Size of the shared worker-domain pool used by parallel phases (route \
+           computation, experiment fan-outs, sharded simulation windows).  \
+           Default: all cores.")
+
+let apply_jobs = function
+  | None -> ()
+  | Some n when n >= 1 -> Mifo_util.Parallel.set_default_jobs n
+  | Some n ->
+    Printf.eprintf "mifo-sim: --jobs must be >= 1 (got %d)\n" n;
+    exit 2
+
+let domains_t =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~env:
+          (Cmd.Env.info "MIFO_SIM_DOMAINS"
+             ~doc:"Same as $(b,--domains); the flag wins when both are given.")
+        ~docv:"N"
+        ~doc:
+          "Shard the packet-level simulator across $(docv) per-domain event loops \
+           synchronized by conservative time windows.  $(docv)=1 (the default) is \
+           the serial oracle; every other value is bit-identical to it.")
+
 let ases_t =
   Arg.(
     value
@@ -148,18 +180,21 @@ let with_obs (metrics, trace) f =
 let cmd_of name ~doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun obs ctx -> with_obs obs (fun () -> run_and_print (f ctx)))
-      $ obs_t $ context_t)
+      const (fun jobs obs ctx ->
+          apply_jobs jobs;
+          with_obs obs (fun () -> run_and_print (f ctx)))
+      $ jobs_t $ obs_t $ context_t)
 
 (* a figure command with CSV export: [f ctx] returns (rendered, csv files) *)
 let fig_cmd name ~doc f =
-  let run obs ctx csv =
+  let run jobs obs ctx csv =
+    apply_jobs jobs;
     with_obs obs @@ fun () ->
     let rendered, files = f ctx in
     print_string rendered;
     write_csv csv files
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ obs_t $ context_t $ csv_t)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ jobs_t $ obs_t $ context_t $ csv_t)
 
 let table1_cmd =
   cmd_of "table1" ~doc:"Regenerate Table I (topology attributes)." (fun ctx ->
@@ -200,13 +235,16 @@ let fig12_cmd =
       value & opt int 30
       & info [ "flows-per-source" ] ~docv:"N" ~doc:"Back-to-back flows per source (paper: 30).")
   in
-  let run obs mb fps csv =
+  let run jobs obs mb fps domains csv =
+    apply_jobs jobs;
+    let t0 = Mifo_testbed.Testbed.default_config in
     with_obs obs @@ fun () ->
     let config =
       {
-        Mifo_testbed.Testbed.default_config with
+        t0 with
         Mifo_testbed.Testbed.flow_bytes = mb * 1_000_000;
         flows_per_source = fps;
+        sim = { t0.Mifo_testbed.Testbed.sim with Mifo_netsim.Packetsim.domains };
       }
     in
     let t = Exp.Fig12.run ~config () in
@@ -215,7 +253,7 @@ let fig12_cmd =
   in
   Cmd.v
     (Cmd.info "fig12" ~doc:"Regenerate Fig. 12 (testbed: aggregate throughput and FCT).")
-    Term.(const run $ obs_t $ mb_t $ fps_t $ csv_t)
+    Term.(const run $ jobs_t $ obs_t $ mb_t $ fps_t $ domains_t $ csv_t)
 
 let ablations_cmd =
   cmd_of "ablations" ~doc:"Run the design-choice ablation benches." (fun ctx ->
@@ -231,9 +269,10 @@ let ablations_cmd =
         ])
 
 let validate_cmd =
-  let run obs seed ases flows eventq =
+  let run jobs obs seed ases flows eventq domains =
+    apply_jobs jobs;
     with_obs obs @@ fun () ->
-    let v = Mifo_exp.Validation.run ~ases ~flows ~eventq ~seed () in
+    let v = Mifo_exp.Validation.run ~ases ~flows ~eventq ~domains ~seed () in
     print_string (Mifo_exp.Validation.render v);
     if List.exists (fun (_, ok) -> not ok) v.Mifo_exp.Validation.invariants then exit 1
   in
@@ -260,7 +299,7 @@ let validate_cmd =
        ~doc:
          "Cross-validate the flow-level and packet-level simulators on one scenario. \
           Exits non-zero if a forwarding invariant is violated.")
-    Term.(const run $ obs_t $ seed_t $ v_ases $ v_flows $ v_eventq)
+    Term.(const run $ jobs_t $ obs_t $ seed_t $ v_ases $ v_flows $ v_eventq $ domains_t)
 
 let check_cmd =
   let gadget_t =

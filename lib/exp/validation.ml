@@ -28,7 +28,8 @@ let makespan results =
     0. results
 
 let run ?(ases = 150) ?(flows = 24) ?(flow_bytes = 10_000_000)
-    ?(eventq = Packetsim.default_config.Packetsim.eventq_engine) ~seed () =
+    ?(eventq = Packetsim.default_config.Packetsim.eventq_engine) ?(domains = 1)
+    ~seed () =
   let params =
     {
       Generator.default_params with
@@ -73,7 +74,7 @@ let run ?(ases = 150) ?(flows = 24) ?(flow_bytes = 10_000_000)
   (* --- packet level --- *)
   let packet_run deployment =
     let config =
-      { Packetsim.default_config with Packetsim.eventq_engine = eventq }
+      { Packetsim.default_config with Packetsim.eventq_engine = eventq; domains }
     in
     let net = As_network.build ~config table ~deployment ~host_rate:20e9 ~hosts () in
     Array.iter

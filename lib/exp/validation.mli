@@ -42,6 +42,7 @@ val run :
   ?flows:int ->
   ?flow_bytes:int ->
   ?eventq:Mifo_netsim.Eventq.engine ->
+  ?domains:int ->
   seed:int ->
   unit ->
   t
@@ -49,6 +50,9 @@ val run :
     [eventq] selects the packet-level simulator's event-queue engine
     (default: the {!Mifo_netsim.Packetsim.default_config} engine, i.e.
     the timing wheel); both engines are bit-identical, so the result
-    must not depend on the choice — handy for auditing exactly that. *)
+    must not depend on the choice — handy for auditing exactly that.
+    [domains] (default 1) shards the packet-level simulator across that
+    many event loops; sharded runs are bit-identical to serial, so
+    validate doubles as an end-to-end audit of the sharded engine. *)
 
 val render : t -> string

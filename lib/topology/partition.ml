@@ -1,0 +1,197 @@
+module Heap = Mifo_util.Heap
+module Obs = Mifo_util.Obs
+
+type stats = {
+  parts : int;
+  cut_edges : int;
+  min_cut_latency : float;
+  heaviest : int;
+  lightest : int;
+}
+
+let validate ~parts ~weights ~edges =
+  if parts < 1 then invalid_arg "Partition.partition: parts must be >= 1";
+  let n = Array.length weights in
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Partition.partition: negative weight")
+    weights;
+  Array.iter
+    (fun (u, v, _) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Partition.partition: edge endpoint out of range")
+    edges
+
+(* Adjacency as flat arrays: off.(u) .. off.(u+1)-1 index into
+   (nbr, lat), both directions of every edge. *)
+let adjacency n edges =
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v, _) ->
+      if u <> v then begin
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
+      end)
+    edges;
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + deg.(u)
+  done;
+  let m2 = off.(n) in
+  let nbr = Array.make m2 0 and lat = Array.make m2 0. in
+  let fill = Array.copy off in
+  Array.iter
+    (fun (u, v, l) ->
+      if u <> v then begin
+        nbr.(fill.(u)) <- v;
+        lat.(fill.(u)) <- l;
+        fill.(u) <- fill.(u) + 1;
+        nbr.(fill.(v)) <- u;
+        lat.(fill.(v)) <- l;
+        fill.(v) <- fill.(v) + 1
+      end)
+    edges;
+  (off, nbr, lat)
+
+let partition ~parts ~weights ~edges =
+  validate ~parts ~weights ~edges;
+  let n = Array.length weights in
+  let assign = Array.make n (-1) in
+  if parts = 1 || n <= parts then begin
+    (* Degenerate shapes: everything in part 0, or one node per part
+       (round-robin keeps parts maximally even). *)
+    for u = 0 to n - 1 do
+      assign.(u) <- (if parts = 1 then 0 else u mod parts)
+    done;
+    assign
+  end
+  else begin
+    let off, nbr, lat = adjacency n edges in
+    let total = Array.fold_left ( + ) 0 weights in
+    let part_weight = Array.make parts 0 in
+    let assigned = ref 0 in
+    (* Seed choice: the lowest-degree unassigned node (ties by index) —
+       peripheral seeds grow inward instead of splitting the core. *)
+    let next_seed () =
+      let best = ref (-1) and best_deg = ref max_int in
+      for u = 0 to n - 1 do
+        if assign.(u) < 0 then begin
+          let d = off.(u + 1) - off.(u) in
+          if d < !best_deg then begin
+            best := u;
+            best_deg := d
+          end
+        end
+      done;
+      !best
+    in
+    (* Grow parts 0 .. parts-2; whatever is left belongs to the last
+       part.  Per-part target is recomputed from the remaining weight so
+       an early part that overshoots (node granularity) does not starve
+       the late ones. *)
+    for p = 0 to parts - 2 do
+      let remaining_parts = parts - p in
+      let remaining_weight = total - Array.fold_left ( + ) 0 part_weight in
+      let target = (remaining_weight + remaining_parts - 1) / remaining_parts in
+      (* (latency, tiebreak node id) min-heap over the frontier *)
+      let cmp (la, ua) (lb, ub) =
+        let c = Float.compare la lb in
+        if c <> 0 then c else Int.compare ua ub
+      in
+      let frontier = Heap.create ~cmp () in
+      let absorb u =
+        assign.(u) <- p;
+        part_weight.(p) <- part_weight.(p) + weights.(u);
+        incr assigned;
+        for i = off.(u) to off.(u + 1) - 1 do
+          if assign.(nbr.(i)) < 0 then Heap.push frontier (lat.(i), nbr.(i))
+        done
+      in
+      let continue = ref (!assigned < n) in
+      while !continue && part_weight.(p) < target do
+        match Heap.pop frontier with
+        | Some (_, u) -> if assign.(u) < 0 then absorb u
+        | None -> (
+          (* empty frontier: fresh seed (first node, or a disconnected
+             component) *)
+          match next_seed () with
+          | -1 -> continue := false
+          | u -> absorb u)
+      done
+    done;
+    let p_last = parts - 1 in
+    for u = 0 to n - 1 do
+      if assign.(u) < 0 then begin
+        assign.(u) <- p_last;
+        part_weight.(p_last) <- part_weight.(p_last) + weights.(u)
+      end
+    done;
+    (* Boundary refinement: move a node to the neighboring part holding
+       most of its edges when that strictly cuts fewer edges and the
+       destination stays within one max-node-weight of the target.  Two
+       deterministic sweeps are enough to clean up the growth frontier;
+       this is not trying to be Kernighan–Lin. *)
+    let max_w = Array.fold_left Stdlib.max 1 weights in
+    let target = ((total + parts - 1) / parts) + max_w in
+    let links = Array.make parts 0 in
+    for _sweep = 1 to 2 do
+      for u = 0 to n - 1 do
+        let home = assign.(u) in
+        if off.(u + 1) > off.(u) then begin
+          Array.fill links 0 parts 0;
+          for i = off.(u) to off.(u + 1) - 1 do
+            let p = assign.(nbr.(i)) in
+            links.(p) <- links.(p) + 1
+          done;
+          let best = ref home in
+          for p = 0 to parts - 1 do
+            if
+              p <> home
+              && links.(p) > links.(!best)
+              && part_weight.(p) + weights.(u) <= target
+            then best := p
+          done;
+          if !best <> home && links.(!best) > links.(home) then begin
+            part_weight.(home) <- part_weight.(home) - weights.(u);
+            part_weight.(!best) <- part_weight.(!best) + weights.(u);
+            assign.(u) <- !best
+          end
+        end
+      done
+    done;
+    assign
+  end
+
+let stats ~weights ~edges ~assign =
+  let n = Array.length weights in
+  if Array.length assign <> n then invalid_arg "Partition.stats: assignment length";
+  let parts = 1 + Array.fold_left Stdlib.max 0 assign in
+  let part_weight = Array.make parts 0 in
+  Array.iteri (fun u p -> part_weight.(p) <- part_weight.(p) + weights.(u)) assign;
+  let cut = ref 0 and min_lat = ref infinity in
+  Array.iter
+    (fun (u, v, l) ->
+      if u <> v && assign.(u) <> assign.(v) then begin
+        incr cut;
+        if l < !min_lat then min_lat := l
+      end)
+    edges;
+  {
+    parts;
+    cut_edges = !cut;
+    min_cut_latency = !min_lat;
+    heaviest = Array.fold_left Stdlib.max 0 part_weight;
+    lightest = Array.fold_left Stdlib.min max_int part_weight;
+  }
+
+let g_parts = Obs.gauge "partition.parts"
+let g_cut = Obs.gauge "partition.cut_edges"
+let g_min_lat = Obs.gauge "partition.min_cut_latency"
+let g_heaviest = Obs.gauge "partition.heaviest"
+let g_lightest = Obs.gauge "partition.lightest"
+
+let report st =
+  Obs.set_gauge g_parts (float_of_int st.parts);
+  Obs.set_gauge g_cut (float_of_int st.cut_edges);
+  Obs.set_gauge g_min_lat st.min_cut_latency;
+  Obs.set_gauge g_heaviest (float_of_int st.heaviest);
+  Obs.set_gauge g_lightest (float_of_int st.lightest)

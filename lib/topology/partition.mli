@@ -1,0 +1,51 @@
+(** Min-cut-ish graph partitioning for sharded simulation.
+
+    Splits a weighted undirected graph into [parts] balanced pieces
+    while preferring to cut {e high-latency} edges: the conservative
+    window of a parallel discrete-event simulation is bounded by the
+    minimum latency across the cut, so every low-latency edge kept
+    inside a shard buys a longer lookahead window.
+
+    The algorithm is deterministic (no randomness, no hash iteration):
+    greedy graph growing — each part is grown from a low-degree seed by
+    repeatedly absorbing the frontier node reachable over the
+    lowest-latency edge, until the part reaches its weight target —
+    followed by a boundary refinement sweep that moves nodes to the
+    neighboring part holding most of their edges when that strictly
+    reduces the cut without breaking the balance.  Quality is
+    "min-cut-ish", not optimal: the consumers (a handful of simulator
+    shards over an AS quotient graph) need balance, a positive minimum
+    cut latency and determinism, not the last few percent of cut size. *)
+
+type stats = {
+  parts : int;  (** requested part count *)
+  cut_edges : int;  (** edges whose endpoints landed in different parts *)
+  min_cut_latency : float;
+      (** smallest latency over the cut — the lookahead a conservative
+          windowed simulation gets; [infinity] when nothing is cut *)
+  heaviest : int;  (** weight of the heaviest part *)
+  lightest : int;  (** weight of the lightest part *)
+}
+
+val partition :
+  parts:int -> weights:int array -> edges:(int * int * float) array -> int array
+(** [partition ~parts ~weights ~edges] assigns each of
+    [Array.length weights] nodes a part id in [0, parts).  [weights]
+    are non-negative balance weights (a zero-weight node still counts
+    as occupying its part); [edges] are undirected [(u, v, latency)]
+    triples, duplicates and self-loops tolerated.  Deterministic in its
+    inputs.  Parts may come out empty only when the graph has fewer
+    positive-weight nodes than [parts].
+    @raise Invalid_argument on [parts < 1], a negative weight, or an
+    edge endpoint out of range. *)
+
+val stats :
+  weights:int array -> edges:(int * int * float) array -> assign:int array -> stats
+(** Cut size, minimum cut latency and balance of an assignment (from
+    {!partition} or hand-made). *)
+
+val report : stats -> unit
+(** Publish the stats through {!Mifo_util.Obs} gauges:
+    [partition.parts], [partition.cut_edges],
+    [partition.min_cut_latency], [partition.heaviest],
+    [partition.lightest]. *)

@@ -40,8 +40,22 @@ val get_default : unit -> pool
 val set_default_jobs : int -> unit
 (** Replace the shared pool with one of the given size, shutting the
     previous one down.  Intended for tests that compare serial and
-    parallel execution in one process; not safe to call while another
-    domain is using the shared pool. *)
+    parallel execution in one process, and for a [--jobs] CLI flag; not
+    safe to call while another domain is using the shared pool.
+    @raise Invalid_argument when [jobs <= 0] — an explicit error beats
+    silently clamping a flag the user typed. *)
+
+val fork_join : pool -> int -> (int -> unit) -> unit
+(** [fork_join pool n f] runs [f 0 .. f (n-1)] as [n] separate tasks —
+    one per index, no chunking — and returns only when all have
+    finished: a fork/join barrier.  This is the primitive behind
+    windowed simulation ({!Mifo_netsim.Packetsim} shards; Flowsim can
+    reuse it the same way): each index advances one shard through a
+    time window, and the join is the synchronization point at which
+    boundary state may be exchanged.  With [jobs = 1] the tasks run
+    serially in index order on the caller.  Exception behaviour as in
+    {!parallel_for}.
+    @raise Invalid_argument on a negative [n]. *)
 
 val parallel_for : pool -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for pool ~lo ~hi f] runs [f i] for every [lo <= i < hi],

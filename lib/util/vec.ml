@@ -62,6 +62,12 @@ let drop_prefix t n =
     t.size <- t.size - n
   end
 
+let capacity t = Array.length t.data
+
+let trim t =
+  if t.size = 0 then t.data <- [||]
+  else if t.size < Array.length t.data then t.data <- Array.sub t.data 0 t.size
+
 let ensure t n fill =
   if n > t.size then begin
     let cap = Array.length t.data in

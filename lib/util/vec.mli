@@ -28,6 +28,17 @@ val drop_prefix : 'a t -> int -> unit
     prefix without churning the backing array.
     @raise Invalid_argument if [n] is negative or exceeds the length. *)
 
+val capacity : 'a t -> int
+(** Length of the backing array — the memory actually held, as opposed
+    to {!length}, the elements in use.  The spread between the two is
+    what {!trim} reclaims. *)
+
+val trim : 'a t -> unit
+(** Shrink the backing array to exactly {!length} elements (to [[||]]
+    when empty), releasing the slack a past deep backlog left behind.
+    O(length) copy when something is released; a no-op when the vec is
+    already tight.  Elements and order are unchanged. *)
+
 val ensure : 'a t -> int -> 'a -> unit
 (** [ensure t n fill] grows [t] to length at least [n], initializing any
     new slots with [fill].  A no-op when [t] is already long enough —

@@ -574,6 +574,30 @@ let test_obs_time_phase () =
   Alcotest.(check int) "raising run still counted" 2
     (Obs.counter_value "phase.testphase.runs")
 
+(* Trim must release memory on empty (capacity back to zero — the deep
+   packet-train backlog case) and shrink to fit otherwise, all without
+   touching the live prefix. *)
+let test_vec_trim () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  Alcotest.(check bool) "capacity >= length" true (Vec.capacity v >= 1000);
+  for _ = 1 to 990 do
+    ignore (Vec.pop v)
+  done;
+  Vec.trim v;
+  Alcotest.(check int) "shrunk to fit" 10 (Vec.capacity v);
+  Alcotest.(check int) "length kept" 10 (Vec.length v);
+  for i = 0 to 9 do
+    Alcotest.(check int) "values kept" i (Vec.get v i)
+  done;
+  Vec.clear v;
+  Vec.trim v;
+  Alcotest.(check int) "empty trim releases the buffer" 0 (Vec.capacity v);
+  Vec.push v 7;
+  Alcotest.(check int) "usable after release" 7 (Vec.get v 0)
+
 (* ---------- Parallel ---------- *)
 
 let with_pool jobs f =
@@ -638,6 +662,39 @@ let test_parallel_pool_reuse () =
         Alcotest.(check int) "first" round got.(0);
         Alcotest.(check int) "last" (63 + round) got.(63)
       done)
+
+let test_fork_join_barrier () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          let n = 17 in
+          let hits = Array.make n 0 in
+          Parallel.fork_join pool n (fun i -> hits.(i) <- hits.(i) + 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "each task exactly once (jobs=%d)" jobs)
+            true
+            (Array.for_all (fun h -> h = 1) hits);
+          (* the join is a barrier: every effect is visible at return *)
+          let acc = Array.make n 0 in
+          Parallel.fork_join pool n (fun i -> acc.(i) <- i * i);
+          let sum = Array.fold_left ( + ) 0 acc in
+          Alcotest.(check int) "all effects joined" 1496 sum;
+          Parallel.fork_join pool 0 (fun _ -> Alcotest.fail "ran on n=0")))
+    [ 1; 4 ];
+  with_pool 2 (fun pool ->
+      match Parallel.fork_join pool (-1) (fun _ -> ()) with
+      | () -> Alcotest.fail "negative task count accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_set_default_jobs_rejects_nonpositive () =
+  List.iter
+    (fun bad ->
+      match Parallel.set_default_jobs bad with
+      | () -> Alcotest.fail (Printf.sprintf "jobs=%d accepted" bad)
+      | exception Invalid_argument msg ->
+        Alcotest.(check bool) "message names the bad value" true
+          (String.length msg > 0))
+    [ 0; -1; -100 ]
 
 (* ---------- intset ---------- *)
 
@@ -752,6 +809,7 @@ let () =
           Alcotest.test_case "push/get/set/pop/swap_remove" `Quick test_vec;
           Alcotest.test_case "fold/iter" `Quick test_vec_fold_iter;
           Alcotest.test_case "ensure grows with fill" `Quick test_vec_ensure;
+          Alcotest.test_case "trim shrinks and releases" `Quick test_vec_trim;
         ] );
       ( "sort",
         [
@@ -786,5 +844,9 @@ let () =
           Alcotest.test_case "worker exception propagates" `Quick
             test_parallel_exception_propagates;
           Alcotest.test_case "pool reuse across batches" `Quick test_parallel_pool_reuse;
+          Alcotest.test_case "fork_join covers all tasks and joins" `Quick
+            test_fork_join_barrier;
+          Alcotest.test_case "set_default_jobs rejects non-positive" `Quick
+            test_set_default_jobs_rejects_nonpositive;
         ] );
     ]
